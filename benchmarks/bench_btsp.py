@@ -1,0 +1,24 @@
+"""Benchmark X2 — the φ = 0 ([14]) rows and the loose k=1 "range 2" entry."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.btsp_experiment import run_btsp
+
+
+def test_btsp_rows(benchmark):
+    rec = run_once(benchmark, run_btsp, seeds=2)
+    print()
+    print(rec.to_ascii())
+    rows = {row[0]: row for row in rec.rows}
+    # k=2 LCRS stays within 2 lmax everywhere.
+    for name, row in rows.items():
+        if "k2 LCRS" in name:
+            assert row[-1] is True
+    # The spider's optimal k=1 bottleneck exceeds 2 lmax (loose table row).
+    spider = [row for row in rec.rows if "spider" in row[0]][0]
+    assert spider[-1] is False
+    assert spider[4] > 2.0
+    # Caterpillars carry a certified <= 2 lmax square tour.
+    cat = [row for row in rec.rows if "caterpillar" in row[0]]
+    assert cat and cat[0][-1] is True

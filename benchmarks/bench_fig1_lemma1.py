@@ -1,0 +1,14 @@
+"""Benchmark F1 — Figure 1 / Lemma 1 (regular-polygon tightness)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig1_lemma1 import run_fig1
+
+
+def test_fig1_lemma1(benchmark):
+    rec = run_once(benchmark, run_fig1, random_trials=100)
+    print()
+    print(rec.to_ascii())
+    assert all(row[4] for row in rec.rows), "regular d-gon necessity not tight"
+    assert all(row[6] for row in rec.rows), "Lemma-1 sufficiency violated"

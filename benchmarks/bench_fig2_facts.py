@@ -1,0 +1,20 @@
+"""Benchmark F2 — Figure 2 / Facts 1-2 (MST angular invariants)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig2_facts import run_fig2
+
+
+def test_fig2_facts(benchmark):
+    rec = run_once(
+        benchmark, run_fig2, sizes=(32, 96), seeds=3,
+        workloads=("uniform", "clustered", "grid", "annulus"),
+    )
+    print()
+    print(rec.to_ascii())
+    assert all(row[4] for row in rec.rows), "Fact 1.1 (pi/3) violated"
+    assert all(row[8] for row in rec.rows), "Fact 2 violated at a degree-5 vertex"
+    # The adversarial star family must actually produce degree-5 vertices.
+    star_row = [row for row in rec.rows if row[0] == "star-d5"][0]
+    assert star_row[7] > 0

@@ -1,0 +1,25 @@
+"""Benchmark F3 — Figure 3 / Theorem 3 part 1 (k=2, φ=π) case census."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig34_theorem3 import run_fig3, theorem3_case_census
+
+
+def test_fig3_case_census(benchmark):
+    rec = run_once(benchmark, run_fig3, trials=30)
+    print()
+    print(rec.to_ascii())
+    labels = {row[0] for row in rec.rows}
+    # The census must exercise beyond-trivial degrees.
+    assert any(l.startswith("deg4") for l in labels)
+    assert any(l.startswith("deg5") for l in labels)
+    assert "all validations passed: True" in rec.notes[-1]
+
+
+def test_fig3_range_bound():
+    _, worst, ok = theorem3_case_census(np.pi, 1, trials=12)
+    assert ok
+    assert worst <= 2 * np.sin(2 * np.pi / 9) + 1e-9

@@ -1,0 +1,22 @@
+"""Benchmark F4 — Figure 4 / Theorem 3 part 2 (2π/3 ≤ φ < π) sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig34_theorem3 import run_fig4
+
+
+def test_fig4_phi_sweep(benchmark):
+    rec = run_once(
+        benchmark, run_fig4,
+        phis=(2 * np.pi / 3, 0.75 * np.pi, 0.85 * np.pi, 0.95 * np.pi),
+        trials=20,
+    )
+    print()
+    print(rec.to_ascii())
+    assert all(row[3] for row in rec.rows), "a part-2 configuration failed"
+    # The bound decreases as phi grows (more spread, less range).
+    bounds = [row[1] for row in rec.rows]
+    assert bounds == sorted(bounds, reverse=True)

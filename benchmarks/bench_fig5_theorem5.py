@@ -1,0 +1,23 @@
+"""Benchmark F5 — Figure 5 / Theorem 5 (k=3 star chains, range √3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig56_chains import chain_census, run_fig5
+
+
+def test_fig5_chain_gadgets(benchmark):
+    rec = run_once(benchmark, run_fig5)
+    print()
+    print(rec.to_ascii())
+    assert any("<= 1.7321: True" in n for n in rec.notes)
+    assert any("all validations passed: True" in n for n in rec.notes)
+
+
+def test_fig5_out_degree_budget():
+    hist, worst, ok = chain_census(3, trials=12)
+    assert ok
+    assert max(hist) <= 2, "a vertex needed more than 2 chains (out-degree cap)"
+    assert worst <= np.sqrt(3.0) + 1e-9

@@ -1,0 +1,23 @@
+"""Benchmark F6 — Figure 6 / Theorem 6 (k=4 star chains, range √2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig56_chains import chain_census, run_fig6
+
+
+def test_fig6_chain_gadgets(benchmark):
+    rec = run_once(benchmark, run_fig6)
+    print()
+    print(rec.to_ascii())
+    assert any("<= 1.4142: True" in n for n in rec.notes)
+    assert any("all validations passed: True" in n for n in rec.notes)
+
+
+def test_fig6_out_degree_budget():
+    hist, worst, ok = chain_census(4, trials=12)
+    assert ok
+    assert max(hist) <= 3, "a vertex needed more than 3 chains (out-degree cap)"
+    assert worst <= np.sqrt(2.0) + 1e-9

@@ -1,0 +1,16 @@
+"""Benchmark X4 — interference degrees: directional vs omnidirectional."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.interference_experiment import run_interference
+
+
+def test_interference(benchmark):
+    rec = run_once(benchmark, run_interference, n=96, seeds=2)
+    print()
+    print(rec.to_ascii())
+    zero_spread = [row for row in rec.rows if "phi=0" in row[0]]
+    assert zero_spread
+    for row in zero_spread:
+        assert row[4] >= 1.0, "zero-spread beams must not out-interfere omni"

@@ -1,0 +1,17 @@
+"""Benchmark X3 — strong c-connectivity of the constructions (§5 question)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.robustness_experiment import run_robustness
+
+
+def test_robustness(benchmark):
+    rec = run_once(benchmark, run_robustness, n=36, trials=30)
+    print()
+    print(rec.to_ascii())
+    # All constructions are strongly connected (c >= 1)...
+    assert all(row[1] >= 1 for row in rec.rows)
+    # ...and tree-backed ones are exactly 1-connected (the open problem).
+    tree_backed = [row for row in rec.rows if row[0] != "omni r=lmax"]
+    assert any(row[1] == 1 for row in tree_backed)

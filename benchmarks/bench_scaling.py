@@ -1,0 +1,56 @@
+"""Benchmark X5 — kernel microbenchmarks and planner scaling.
+
+Classic pytest-benchmark timings of the hot kernels (EMST, orientation,
+coverage), parameterized over n so `--benchmark-only` output exposes the
+asymptotics directly (per the HPC guide: measure, don't guess).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.antenna.coverage import transmission_graph
+from repro.core.planner import orient_antennae
+from repro.core.theorem3 import orient_theorem3
+from repro.experiments.workloads import make_workload
+from repro.geometry.points import PointSet
+from repro.spanning.emst import euclidean_mst
+from repro.utils.rng import stable_seed
+
+SIZES = (128, 512, 2048)
+
+
+def _instance(n: int) -> PointSet:
+    return PointSet(make_workload("uniform", n, stable_seed("bench-scaling", n)))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_emst_scaling(benchmark, n):
+    ps = _instance(n)
+    tree = benchmark(euclidean_mst, ps)
+    assert tree.max_degree() <= 5
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_theorem3_scaling(benchmark, n):
+    ps = _instance(n)
+    tree = euclidean_mst(ps)
+    res = benchmark(orient_theorem3, ps, np.pi, tree=tree)
+    assert res.range_bound == pytest.approx(2 * np.sin(2 * np.pi / 9))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_planner_scaling(benchmark, n):
+    ps = _instance(n)
+    tree = euclidean_mst(ps)
+    res = benchmark(orient_antennae, ps, 3, 0.0, tree=tree)
+    assert res.algorithm == "theorem5"
+
+
+@pytest.mark.parametrize("n", (128, 512))
+def test_coverage_scaling(benchmark, n):
+    ps = _instance(n)
+    res = orient_antennae(ps, 2, np.pi)
+    g = benchmark(transmission_graph, ps, res.assignment)
+    assert g.n == n

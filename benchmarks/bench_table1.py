@@ -1,0 +1,25 @@
+"""Benchmark T1 — regenerate Table 1 (the paper's headline artifact).
+
+For every (k, φ) row: run the planner over uniform and clustered workloads,
+verify strong connectivity, and check the measured critical range against
+the row's bound.  Printed with ``-s``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_reproduction(benchmark):
+    rec = run_once(
+        benchmark, run_table1, sizes=(24, 64), seeds=2, workloads=("uniform", "clustered")
+    )
+    print()
+    print(rec.to_ascii())
+    # Every row must be strongly connected and within its bound (the k=1
+    # BTSP rows are annotated rather than failed; see driver).
+    connected_col = [row[-2] for row in rec.rows]
+    bound_col = [row[-1] for row in rec.rows]
+    assert all(connected_col), "some Table-1 row lost strong connectivity"
+    assert all(bound_col), "some Table-1 row exceeded its range bound"

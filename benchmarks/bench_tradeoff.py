@@ -1,0 +1,30 @@
+"""Benchmark X1 — spread/range trade-off curve and k crossovers (Section 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.tradeoff import crossover_phi, k2_bound_curve, run_tradeoff
+
+
+def test_tradeoff_curve(benchmark):
+    rec = run_once(benchmark, run_tradeoff, n=48, seeds=2)
+    print()
+    print(rec.to_ascii())
+    # Measured never exceeds the paper bound along the whole sweep.
+    for row in rec.rows:
+        assert row[4] <= row[2] * (1 + 1e-7), f"phi={row[0]}: measured above bound"
+    # Paper bound is non-increasing along the sweep.
+    bounds = [row[2] for row in rec.rows]
+    assert bounds == sorted(bounds, reverse=True)
+
+
+def test_crossover_positions():
+    # Where must k=2 spread reach the zero-spread rows of k=3 / k=4 / k=5?
+    assert crossover_phi(np.sqrt(3.0)) == 2 * np.pi / 3
+    assert crossover_phi(np.sqrt(2.0)) == np.pi
+    assert crossover_phi(1.0) == 6 * np.pi / 5
+    phis = np.linspace(0.0, 1.9 * np.pi, 50)
+    curve = k2_bound_curve(phis)
+    assert np.all(np.diff(curve) <= 1e-12)

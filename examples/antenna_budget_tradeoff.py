@@ -1,0 +1,56 @@
+"""Planning study: how many antennae, how much total spread?
+
+Sweeps every (k, phi) configuration of Table 1 on one deployment and prints
+the range each would require — the table an engineer would consult to pick
+hardware (number of beams) against transmit power (range).
+
+Run:  python examples/antenna_budget_tradeoff.py
+"""
+
+import numpy as np
+
+from repro import PointSet, euclidean_mst, orient_antennae
+from repro.experiments.workloads import grid_points
+from repro.utils.tables import format_ascii_table
+
+PI = np.pi
+
+
+def main() -> None:
+    sensors = PointSet(grid_points(100, spacing=50.0, jitter=0.2, seed=3))
+    tree = euclidean_mst(sensors)
+    print(f"planned grid: {len(sensors)} sensors, lmax = {tree.lmax:.1f} m\n")
+
+    configs = [
+        (1, 0.0), (1, PI), (1, 1.3 * PI), (1, 1.6 * PI),
+        (2, 0.0), (2, 2 * PI / 3), (2, 0.9 * PI), (2, PI), (2, 1.2 * PI),
+        (3, 0.0), (3, 0.8 * PI),
+        (4, 0.0), (4, 0.4 * PI),
+        (5, 0.0),
+    ]
+    rows = []
+    for k, phi in configs:
+        res = orient_antennae(sensors, k, phi, tree=tree)
+        rows.append([
+            k,
+            f"{np.degrees(phi):5.0f}",
+            res.algorithm,
+            f"{res.range_bound:.3f}",
+            f"{res.range_bound_absolute:.0f} m",
+            f"{res.realized_range():.0f} m",
+        ])
+    print(format_ascii_table(
+        ["k", "spread sum (deg)", "algorithm", "bound (lmax)", "range bound", "realized"],
+        rows,
+        title="Table-1 planner on this deployment",
+    ))
+
+    print("\nreading the table:")
+    print(" * beams cost spread OR range: 5 zero-width beams reach lmax;")
+    print("   1 beam needs 8pi/5 ~ 288 deg of spread for the same range;")
+    print(" * the sweet spots the paper proves: k=2 @ 180 deg -> 1.286x,")
+    print("   k=3 @ 0 deg -> 1.732x, k=4 @ 0 deg -> 1.414x.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Perimeter surveillance: a ring of sensors with zero-spread beams.
+
+An annulus deployment (fence monitoring) where sensors carry 3 fixed
+pencil-beams (Theorem 5).  Shows planning, per-sensor beam tables, and what
+happens to connectivity as sensors fail — the operational questions behind
+the paper's section-5 open problem.
+
+Run:  python examples/perimeter_surveillance.py
+"""
+
+import numpy as np
+
+from repro import PointSet, euclidean_mst, orient_antennae
+from repro.analysis.robustness import failure_sweep, strong_connectivity_order
+from repro.experiments.workloads import annulus_points
+from repro.graph.connectivity import strong_connectivity_certificate
+
+
+def main() -> None:
+    sensors = PointSet(annulus_points(90, r_inner=180.0, r_outer=220.0, seed=17))
+    tree = euclidean_mst(sensors)
+    print(f"perimeter ring: {len(sensors)} sensors, lmax = {tree.lmax:.1f} m")
+
+    res = orient_antennae(sensors, k=3, phi=0.0, tree=tree)
+    print(f"plan: {res.algorithm}, range {res.range_bound_absolute:.1f} m "
+          f"(= sqrt(3) * lmax), all beams zero-spread")
+
+    g = res.transmission_graph()
+    cert = strong_connectivity_certificate(g)
+    print(f"connectivity: strongly connected = {cert.strongly_connected} "
+          f"({g.m} directed links)")
+
+    # Beam table for the first few sensors (what a field tech would upload).
+    print("\nbeam table (first 5 sensors):")
+    for u in range(5):
+        beams = ", ".join(
+            f"{np.degrees(s.orientation):6.1f} deg" for s in res.assignment[u]
+        )
+        print(f"  sensor {u:2d}: boresights [{beams}]")
+
+    # Failure analysis.
+    order = strong_connectivity_order(g)
+    rep = failure_sweep(res, max_failures=3, trials=60, seed=5)
+    print(f"\nconnectivity order c = {order} "
+          f"(network survives any {order - 1} deletions)")
+    for f in sorted(rep.survival_by_failures):
+        print(f"  random failures f={f}: survives {100 * rep.survival(f):5.1f} % "
+              f"of trials")
+    print("\ntakeaway: tree-backed orientations are 1-connected; guaranteeing")
+    print("c >= 2 with bounded spread is exactly the paper's open problem.")
+
+
+if __name__ == "__main__":
+    main()

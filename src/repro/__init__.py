@@ -1,0 +1,77 @@
+"""repro — sensor network connectivity with multiple directional antennae.
+
+A complete reproduction of
+
+    B. Bhattacharya, Y. Hu, Q. Shi, E. Kranakis, D. Krizanc,
+    "Sensor Network Connectivity with Multiple Directional Antennae of a
+    Given Angular Sum", IPPS 2009.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import orient_antennae, is_strongly_connected
+>>> rng = np.random.default_rng(0)
+>>> pts = rng.random((50, 2))
+>>> result = orient_antennae(pts, k=2, phi=np.pi)     # Theorem 3, part 1
+>>> bool(is_strongly_connected(result.transmission_graph()))
+True
+"""
+
+from repro._version import __version__
+from repro.antenna.coverage import critical_range, transmission_graph
+from repro.antenna.model import AntennaAssignment
+from repro.core.bounds import paper_range_bound, table1_rows
+from repro.core.kone import orient_k1
+from repro.core.ktwo_zero import orient_k2_zero_spread
+from repro.core.lemma1 import lemma1_orientation, lemma1_required_spread, optimal_star_spread
+from repro.core.planner import choose_algorithm, orient_antennae
+from repro.core.result import OrientationResult
+from repro.core.theorem2 import orient_theorem2
+from repro.core.theorem3 import orient_theorem3
+from repro.core.theorem5 import orient_theorem5
+from repro.core.theorem6 import orient_theorem6
+from repro.errors import ReproError
+from repro.io import load_result, save_result
+from repro.geometry.points import PointSet
+from repro.geometry.sectors import Sector
+from repro.graph.connectivity import (
+    directed_vertex_connectivity,
+    is_strongly_c_connected,
+    is_strongly_connected,
+)
+from repro.graph.digraph import DiGraph
+from repro.spanning.emst import SpanningTree, euclidean_mst
+from repro.spanning.rooted import RootedTree
+
+__all__ = [
+    "__version__",
+    "AntennaAssignment",
+    "DiGraph",
+    "OrientationResult",
+    "PointSet",
+    "ReproError",
+    "RootedTree",
+    "Sector",
+    "SpanningTree",
+    "choose_algorithm",
+    "critical_range",
+    "directed_vertex_connectivity",
+    "euclidean_mst",
+    "is_strongly_c_connected",
+    "is_strongly_connected",
+    "lemma1_orientation",
+    "lemma1_required_spread",
+    "load_result",
+    "save_result",
+    "optimal_star_spread",
+    "orient_antennae",
+    "orient_k1",
+    "orient_k2_zero_spread",
+    "orient_theorem2",
+    "orient_theorem3",
+    "orient_theorem5",
+    "orient_theorem6",
+    "paper_range_bound",
+    "table1_rows",
+    "transmission_graph",
+]

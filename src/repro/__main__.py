@@ -1,0 +1,123 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+plan       orient antennae for a CSV of sensor coordinates
+bounds     print the paper's Table 1 (optionally evaluated at a phi)
+render     write an SVG picture of a saved orientation
+validate   re-check a saved orientation's certificate
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+import numpy as np
+
+
+def _parse_phi(text: str) -> float:
+    """Accept plain radians or pi-expressions like 'pi', '2pi/3', '1.2pi'."""
+    t = text.strip().lower().replace(" ", "")
+    if "pi" in t:
+        coeff, _, rest = t.partition("pi")
+        num = float(coeff) if coeff not in ("", "+") else 1.0
+        if rest.startswith("/"):
+            num /= float(rest[1:])
+        elif rest:
+            raise argparse.ArgumentTypeError(f"cannot parse angle {text!r}")
+        return num * math.pi
+    return float(t)
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.planner import orient_antennae
+    from repro.io import points_from_csv, save_result
+
+    points = points_from_csv(args.input)
+    result = orient_antennae(points, args.k, args.phi)
+    print(result.summary())
+    report = result.validate()
+    print(f"certificate: {report.summary()}")
+    if args.output:
+        save_result(result, args.output)
+        print(f"wrote {args.output}")
+    return 0 if report.ok else 1
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    from repro.core.bounds import paper_range_bound, table1_rows
+    from repro.utils.tables import format_ascii_table
+
+    rows = [
+        [r.k, r.phi_description, r.range_formula, r.source] for r in table1_rows()
+    ]
+    print(format_ascii_table(["k", "phi", "range", "source"], rows,
+                             title="Paper Table 1"))
+    if args.phi is not None:
+        print()
+        for k in range(1, 6):
+            bound, source = paper_range_bound(k, args.phi)
+            print(f"  k={k}, phi={args.phi:.4f}: range <= {bound:.4f} lmax ({source})")
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    from repro.io import load_result
+    from repro.viz.svg import render_orientation_svg
+
+    result = load_result(args.input)
+    svg = render_orientation_svg(result, size=args.size)
+    with open(args.output, "w", encoding="utf8") as fh:
+        fh.write(svg)
+    print(f"wrote {args.output} ({len(svg)} bytes)")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.io import load_result
+
+    result = load_result(args.input)
+    report = result.validate()
+    print(result.summary())
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("plan", help="orient antennae for a CSV deployment")
+    p.add_argument("--input", required=True, help="CSV of x,y sensor coordinates")
+    p.add_argument("--k", type=int, required=True, help="antennae per sensor")
+    p.add_argument("--phi", type=_parse_phi, required=True,
+                   help="angular-sum budget (radians; accepts 'pi', '2pi/3')")
+    p.add_argument("--output", help="write the orientation JSON here")
+    p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser("bounds", help="print the paper's Table 1")
+    p.add_argument("--phi", type=_parse_phi, default=None,
+                   help="also evaluate every k at this phi")
+    p.set_defaults(fn=cmd_bounds)
+
+    p = sub.add_parser("render", help="render a saved orientation as SVG")
+    p.add_argument("--input", required=True, help="orientation JSON")
+    p.add_argument("--output", required=True, help="SVG path")
+    p.add_argument("--size", type=int, default=640)
+    p.set_defaults(fn=cmd_render)
+
+    p = sub.add_parser("validate", help="re-check a saved orientation")
+    p.add_argument("--input", required=True, help="orientation JSON")
+    p.set_defaults(fn=cmd_validate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

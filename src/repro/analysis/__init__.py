@@ -1,0 +1,22 @@
+"""Analyses beyond the paper's theorems: robustness, interference, capacity."""
+
+from repro.analysis.robustness import (
+    strong_connectivity_order,
+    failure_sweep,
+    RobustnessReport,
+)
+from repro.analysis.interference import interference_report, InterferenceReport
+from repro.analysis.capacity import capacity_gain_yi_pei, transport_capacity_gupta_kumar
+from repro.analysis.metrics import orientation_metrics, OrientationMetrics
+
+__all__ = [
+    "strong_connectivity_order",
+    "failure_sweep",
+    "RobustnessReport",
+    "interference_report",
+    "InterferenceReport",
+    "capacity_gain_yi_pei",
+    "transport_capacity_gupta_kumar",
+    "orientation_metrics",
+    "OrientationMetrics",
+]

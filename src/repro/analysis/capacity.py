@@ -1,0 +1,54 @@
+"""Capacity proxies from the paper's introduction ([7] and [19]).
+
+Two closed-form figures the intro cites to motivate directional antennae:
+
+* Gupta–Kumar [7]: with ``n`` optimally placed omnidirectional antennae the
+  per-node transport capacity scales as ``Θ(√(W/n))``.
+* Yi–Pei–Kalyanaraman [19]: directional transmission *and* reception with
+  beam width θ yields a ``2π/θ · √(1/η)``-style gain; the paper quotes the
+  ``√(2π/θ) / η`` form — we expose the gain factor ``2π/θ`` for transmit
+  and receive beams separately so experiments can report both.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["transport_capacity_gupta_kumar", "capacity_gain_yi_pei"]
+
+
+def transport_capacity_gupta_kumar(n: int, bandwidth_w: float = 1.0) -> float:
+    """Per-network transport capacity scale ``√(W·n)``-style ([7]).
+
+    Returns the Θ(√(W n)) magnitude (bit-meters/sec up to constants); the
+    per-node share is this divided by ``n``, i.e. Θ(√(W/n)).
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if bandwidth_w <= 0:
+        raise InvalidParameterError("bandwidth must be positive")
+    return math.sqrt(bandwidth_w * n)
+
+
+def capacity_gain_yi_pei(
+    theta_tx: float, theta_rx: float | None = None, *, eta: float = 1.0
+) -> float:
+    """Capacity gain factor for beam widths ``θ`` ([19]).
+
+    Transmit-only beamforming gains ``√(2π/θ_tx)``; adding directional
+    reception multiplies by ``√(2π/θ_rx)``.  ``eta`` (the paper's α) scales
+    the average fraction of interfered receivers; the quoted gain is
+    ``√(2π/θ) · √(2π/θ_rx) / η``.
+    """
+    if not 0 < theta_tx <= 2 * math.pi:
+        raise InvalidParameterError(f"theta_tx must be in (0, 2pi], got {theta_tx}")
+    if eta <= 0:
+        raise InvalidParameterError("eta must be positive")
+    gain = math.sqrt(2 * math.pi / theta_tx)
+    if theta_rx is not None:
+        if not 0 < theta_rx <= 2 * math.pi:
+            raise InvalidParameterError(f"theta_rx must be in (0, 2pi], got {theta_rx}")
+        gain *= math.sqrt(2 * math.pi / theta_rx)
+    return gain / eta

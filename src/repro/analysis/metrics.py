@@ -1,0 +1,67 @@
+"""One-stop summary metrics for an orientation result.
+
+Aggregates the quantities every experiment reports: range bound vs realized
+vs critical, spread usage, antenna counts, and graph size — so benchmark
+drivers stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+
+from repro.core.result import OrientationResult
+from repro.graph.connectivity import is_strongly_connected
+
+__all__ = ["OrientationMetrics", "orientation_metrics"]
+
+
+@dataclass
+class OrientationMetrics:
+    """Flat record of an orientation's measured properties."""
+
+    algorithm: str
+    n: int
+    k: int
+    phi: float
+    range_bound: float
+    realized_range: float
+    critical_range: float
+    max_spread_sum: float
+    antennas_max: int
+    antennas_total: int
+    edges: int
+    strongly_connected: bool
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def bound_satisfied(self, tol: float = 1e-7) -> bool:
+        """Is the measured critical range within the proven bound?"""
+        return self.critical_range <= self.range_bound * (1.0 + tol) + 1e-12
+
+
+def orientation_metrics(
+    result: OrientationResult, *, compute_critical: bool = True
+) -> OrientationMetrics:
+    """Measure ``result``; ranges are reported in lmax units."""
+    g = result.transmission_graph()
+    counts = result.assignment.counts()
+    critical = (
+        result.measured_critical_range_normalized()
+        if compute_critical
+        else float("nan")
+    )
+    return OrientationMetrics(
+        algorithm=result.algorithm,
+        n=len(result.points),
+        k=result.k,
+        phi=result.phi,
+        range_bound=result.range_bound,
+        realized_range=result.realized_range_normalized(),
+        critical_range=critical,
+        max_spread_sum=result.max_spread_sum(),
+        antennas_max=int(counts.max()) if len(counts) else 0,
+        antennas_total=int(counts.sum()),
+        edges=g.m,
+        strongly_connected=is_strongly_connected(g),
+    )

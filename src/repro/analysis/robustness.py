@@ -1,0 +1,94 @@
+"""Strong c-connectivity of produced orientations (the paper's §5 question).
+
+The conclusion asks: "for a given integer c, ensure the network remains
+strongly connected after the deletion of any c − 1 nodes."  The paper leaves
+this open; this module *measures* the c-connectivity the Table-1
+constructions actually deliver, which is the natural experimental companion
+(tree-based constructions are expected to be exactly 1-connected — every
+internal MST vertex is a cut — while denser incidental coverage sometimes
+buys more).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import OrientationResult
+from repro.errors import InvalidParameterError
+from repro.graph.connectivity import (
+    directed_vertex_connectivity,
+    is_strongly_connected,
+)
+from repro.graph.digraph import DiGraph
+
+__all__ = ["strong_connectivity_order", "failure_sweep", "RobustnessReport"]
+
+
+def strong_connectivity_order(g: DiGraph) -> int:
+    """Largest c such that g stays strongly connected after any c−1 deletions.
+
+    Equals ``directed_vertex_connectivity(g)`` for non-complete graphs, and
+    ``n − 1`` for complete digraphs; 0 if not strongly connected at all.
+    """
+    if not is_strongly_connected(g):
+        return 0
+    return max(1, directed_vertex_connectivity(g))
+
+
+@dataclass
+class RobustnessReport:
+    """Outcome of random-failure simulation on one orientation."""
+
+    n: int
+    connectivity_order: int
+    survival_by_failures: dict[int, float]
+
+    def survival(self, f: int) -> float:
+        return self.survival_by_failures.get(f, float("nan"))
+
+
+def _subgraph_without(g: DiGraph, removed: np.ndarray) -> DiGraph:
+    keep = np.ones(g.n, dtype=bool)
+    keep[removed] = False
+    remap = -np.ones(g.n, dtype=np.int64)
+    remap[keep] = np.arange(int(keep.sum()))
+    e = g.edges()
+    if e.size == 0:
+        return DiGraph(int(keep.sum()))
+    mask = keep[e[:, 0]] & keep[e[:, 1]]
+    sub_edges = np.stack([remap[e[mask, 0]], remap[e[mask, 1]]], axis=1)
+    return DiGraph(int(keep.sum()), sub_edges)
+
+
+def failure_sweep(
+    result: OrientationResult,
+    *,
+    max_failures: int = 3,
+    trials: int = 50,
+    seed: int | None = 0,
+) -> RobustnessReport:
+    """Monte-Carlo survival probability under random node failures.
+
+    For each failure count f ∈ 1..max_failures, deletes f uniformly random
+    sensors ``trials`` times and reports the fraction of trials in which the
+    surviving transmission graph is still strongly connected.
+    """
+    if max_failures < 0:
+        raise InvalidParameterError("max_failures must be >= 0")
+    g = result.transmission_graph()
+    n = g.n
+    rng = np.random.default_rng(seed)
+    survival: dict[int, float] = {}
+    for f in range(1, max_failures + 1):
+        if n - f < 2:
+            break
+        ok = 0
+        for _ in range(trials):
+            removed = rng.choice(n, size=f, replace=False)
+            if is_strongly_connected(_subgraph_without(g, removed)):
+                ok += 1
+        survival[f] = ok / trials
+    order = strong_connectivity_order(g) if n <= 400 else (1 if is_strongly_connected(g) else 0)
+    return RobustnessReport(n=n, connectivity_order=order, survival_by_failures=survival)

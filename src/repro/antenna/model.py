@@ -1,0 +1,114 @@
+"""Per-sensor antenna assignments.
+
+An :class:`AntennaAssignment` maps each sensor index to the list of
+:class:`~repro.geometry.sectors.Sector` beams mounted on it.  It is the
+common output format of every orientation algorithm in :mod:`repro.core`,
+and the input to :func:`repro.antenna.coverage.transmission_graph`.
+
+The class is a thin builder around list-of-lists plus flattened numpy views
+for the vectorized coverage kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.geometry.sectors import Sector
+
+__all__ = ["AntennaAssignment"]
+
+
+class AntennaAssignment:
+    """Sectors per sensor, for ``n`` sensors indexed ``0..n-1``."""
+
+    def __init__(self, n: int, sectors: Sequence[Sequence[Sector]] | None = None):
+        if n < 0:
+            raise InvalidParameterError(f"sensor count must be >= 0, got {n}")
+        self.n = int(n)
+        self._sectors: list[list[Sector]] = [[] for _ in range(self.n)]
+        if sectors is not None:
+            if len(sectors) != self.n:
+                raise InvalidParameterError(
+                    f"expected {self.n} sector lists, got {len(sectors)}"
+                )
+            for i, lst in enumerate(sectors):
+                for s in lst:
+                    self.add(i, s)
+
+    # -- construction --------------------------------------------------------------
+    def add(self, sensor: int, sector: Sector) -> None:
+        """Mount ``sector`` on ``sensor``."""
+        if not 0 <= sensor < self.n:
+            raise InvalidParameterError(f"sensor {sensor} out of range (n={self.n})")
+        if not isinstance(sector, Sector):
+            raise InvalidParameterError(f"expected a Sector, got {type(sector).__name__}")
+        self._sectors[sensor].append(sector)
+
+    def extend(self, sensor: int, sectors: Iterable[Sector]) -> None:
+        for s in sectors:
+            self.add(sensor, s)
+
+    # -- access -----------------------------------------------------------------
+    def __getitem__(self, sensor: int) -> list[Sector]:
+        return list(self._sectors[sensor])
+
+    def __iter__(self) -> Iterator[tuple[int, Sector]]:
+        for i, lst in enumerate(self._sectors):
+            for s in lst:
+                yield i, s
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return (
+            f"AntennaAssignment(n={self.n}, antennae={self.total_antennae()}, "
+            f"max_per_node={int(self.counts().max()) if self.n else 0})"
+        )
+
+    def counts(self) -> np.ndarray:
+        """Number of antennae per sensor."""
+        return np.asarray([len(lst) for lst in self._sectors], dtype=np.int64)
+
+    def total_antennae(self) -> int:
+        return int(self.counts().sum())
+
+    def spread_sums(self) -> np.ndarray:
+        """Sum of sector spreads per sensor (the paper's per-node angle sum)."""
+        return np.asarray(
+            [sum(s.spread for s in lst) for lst in self._sectors], dtype=float
+        )
+
+    def max_spread_sum(self) -> float:
+        sums = self.spread_sums()
+        return float(sums.max()) if sums.size else 0.0
+
+    def max_radius(self) -> float:
+        radii = [s.radius for _, s in self]
+        return float(max(radii)) if radii else 0.0
+
+    # -- transforms -----------------------------------------------------------------
+    def with_uniform_radius(self, radius: float) -> "AntennaAssignment":
+        """Copy with every sector's radius replaced by ``radius``."""
+        out = AntennaAssignment(self.n)
+        for i, s in self:
+            out.add(i, s.with_radius(radius))
+        return out
+
+    def flattened(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(sensor_idx, start, spread, radius)`` flat arrays over all antennae."""
+        idx, start, spread, radius = [], [], [], []
+        for i, s in self:
+            idx.append(i)
+            start.append(s.start)
+            spread.append(s.spread)
+            radius.append(s.radius)
+        return (
+            np.asarray(idx, dtype=np.int64),
+            np.asarray(start, dtype=float),
+            np.asarray(spread, dtype=float),
+            np.asarray(radius, dtype=float),
+        )

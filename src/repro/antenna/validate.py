@@ -1,0 +1,153 @@
+"""Certificate validation for orientation results.
+
+Every orientation algorithm returns, besides the sectors, the *intended
+edges* its correctness argument relies on.  :func:`validate_assignment`
+checks the full contract:
+
+* at most ``k`` antennae per sensor;
+* per-sensor spread sum ≤ φ (+ε);
+* every intended edge is actually realized by some sector (angularly and
+  within its radius);
+* the intended edge set alone forms a strongly connected digraph;
+* every intended edge is no longer than ``range_bound`` (absolute units);
+* (optionally) the full transmission graph is strongly connected — implied
+  by the intended subgraph being so, but checked independently.
+
+Violations are collected, not raised, so tests and benchmarks can report
+all problems at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.antenna.coverage import transmission_graph
+from repro.antenna.model import AntennaAssignment
+from repro.geometry.points import PointSet
+from repro.graph.connectivity import is_strongly_connected
+from repro.graph.digraph import DiGraph
+
+__all__ = ["OrientationIssue", "ValidationReport", "validate_assignment"]
+
+_REL_TOL = 1e-9
+
+
+@dataclass
+class OrientationIssue:
+    """One violated contract clause."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.detail}"
+
+
+@dataclass
+class ValidationReport:
+    """Aggregate validation outcome."""
+
+    ok: bool
+    issues: list[OrientationIssue] = field(default_factory=list)
+    max_spread_sum: float = 0.0
+    max_antennas: int = 0
+    max_intended_length: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"OK (max antennas {self.max_antennas}, "
+                f"max spread sum {self.max_spread_sum:.6f}, "
+                f"max intended edge {self.max_intended_length:.6f})"
+            )
+        return "; ".join(str(i) for i in self.issues)
+
+
+def validate_assignment(
+    points: PointSet,
+    assignment: AntennaAssignment,
+    intended_edges: np.ndarray,
+    *,
+    k: int | None = None,
+    phi: float | None = None,
+    range_bound: float | None = None,
+    check_transmission: bool = True,
+    eps: float = 1e-9,
+) -> ValidationReport:
+    """Check the full orientation contract; see module docstring."""
+    issues: list[OrientationIssue] = []
+    n = len(points)
+    coords = points.coords
+    edges = np.asarray(intended_edges, dtype=np.int64).reshape(-1, 2)
+
+    counts = assignment.counts()
+    max_ant = int(counts.max()) if n else 0
+    if k is not None and max_ant > k:
+        offenders = np.flatnonzero(counts > k)[:5].tolist()
+        issues.append(
+            OrientationIssue("antenna-count", f"sensors {offenders} exceed k={k}")
+        )
+
+    sums = assignment.spread_sums()
+    max_sum = float(sums.max()) if n else 0.0
+    if phi is not None and n:
+        bad = np.flatnonzero(sums > phi + max(eps, phi * _REL_TOL) + 1e-12)
+        if bad.size:
+            issues.append(
+                OrientationIssue(
+                    "spread-budget",
+                    f"sensors {bad[:5].tolist()} exceed phi={phi:.6f} "
+                    f"(worst {float(sums[bad].max()):.6f})",
+                )
+            )
+
+    # Intended edges realized by the sectors?
+    max_len = 0.0
+    for u, v in edges:
+        u, v = int(u), int(v)
+        d = float(np.hypot(*(coords[v] - coords[u])))
+        max_len = max(max_len, d)
+        if not any(
+            s.covers_point(coords[u], coords[v], eps=eps) for s in assignment[u]
+        ):
+            issues.append(
+                OrientationIssue(
+                    "uncovered-intended-edge", f"edge ({u}, {v}) not covered by any sector of {u}"
+                )
+            )
+
+    if range_bound is not None and max_len > range_bound * (1.0 + 1e-7) + 1e-12:
+        issues.append(
+            OrientationIssue(
+                "range-bound",
+                f"max intended edge {max_len:.6f} exceeds bound {range_bound:.6f}",
+            )
+        )
+
+    if n > 1:
+        intended = DiGraph(n, edges)
+        if not is_strongly_connected(intended):
+            issues.append(
+                OrientationIssue("intended-connectivity", "intended edge set not strongly connected")
+            )
+        if check_transmission:
+            g = transmission_graph(points, assignment, eps=eps)
+            if not is_strongly_connected(g):
+                issues.append(
+                    OrientationIssue(
+                        "transmission-connectivity", "full transmission graph not strongly connected"
+                    )
+                )
+
+    return ValidationReport(
+        ok=not issues,
+        issues=issues,
+        max_spread_sum=max_sum,
+        max_antennas=max_ant,
+        max_intended_length=max_len,
+    )

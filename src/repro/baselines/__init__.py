@@ -1,0 +1,14 @@
+"""Comparison baselines: omnidirectional antennae and exact tiny-instance search."""
+
+from repro.baselines.omni import omnidirectional_critical_range, orient_omnidirectional
+from repro.baselines.exact_orientation import (
+    exact_min_range_single_antenna,
+    exact_min_spread_star,
+)
+
+__all__ = [
+    "omnidirectional_critical_range",
+    "orient_omnidirectional",
+    "exact_min_range_single_antenna",
+    "exact_min_spread_star",
+]

@@ -1,0 +1,56 @@
+"""Omnidirectional baseline (spread 2π).
+
+The classic unit-disk-graph fact anchors every comparison in the paper: with
+omnidirectional antennae the minimum common range for (strong) connectivity
+is exactly ``lmax``, the longest MST edge.  Directional orientations trade
+spread for range against this baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.antenna.model import AntennaAssignment
+from repro.core.result import OrientationResult
+from repro.geometry.angles import TWO_PI
+from repro.geometry.points import PointSet
+from repro.geometry.sectors import Sector
+from repro.spanning.emst import SpanningTree, euclidean_mst
+
+__all__ = ["omnidirectional_critical_range", "orient_omnidirectional"]
+
+
+def omnidirectional_critical_range(points: PointSet | np.ndarray) -> float:
+    """Minimum common radius connecting all sensors omnidirectionally.
+
+    Equals the longest MST edge (the unit-disk graph at radius r is
+    connected iff r ≥ lmax).
+    """
+    ps = points if isinstance(points, PointSet) else PointSet(points)
+    if len(ps) <= 1:
+        return 0.0
+    return euclidean_mst(ps, max_degree=None).lmax
+
+
+def orient_omnidirectional(
+    points: PointSet | np.ndarray,
+    *,
+    tree: SpanningTree | None = None,
+) -> OrientationResult:
+    """One full-circle antenna per sensor at radius lmax (the baseline)."""
+    ps = points if isinstance(points, PointSet) else PointSet(points)
+    n = len(ps)
+    if tree is None:
+        tree = euclidean_mst(ps)
+    lmax = tree.lmax if n > 1 else 0.0
+    assignment = AntennaAssignment(n)
+    for u in range(n):
+        assignment.add(u, Sector(0.0, TWO_PI, lmax))
+    intended = (
+        np.vstack([tree.edges, tree.edges[:, ::-1]])
+        if n > 1
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    return OrientationResult(
+        ps, assignment, intended, 1, TWO_PI, 1.0, lmax, "omnidirectional"
+    )

@@ -1,0 +1,77 @@
+"""Exact bottleneck TSP by Held–Karp dynamic programming.
+
+``dp[S][j]`` = the smallest achievable maximum edge over all paths that
+start at vertex 0, visit exactly the vertex set ``S`` (which contains 0 and
+``j``), and end at ``j``.  Transition: append ``j`` to a path ending at
+``i``.  The tour closes back to 0.  O(2ⁿ·n²) time, O(2ⁿ·n) memory —
+practical to n ≈ 15, which is all the baseline comparisons need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.geometry.points import PointSet, pairwise_distances
+
+__all__ = ["held_karp_bottleneck"]
+
+_MAX_N = 16
+
+
+def held_karp_bottleneck(points) -> tuple[list[int], float]:
+    """Optimal bottleneck tour: returns ``(order, bottleneck)``.
+
+    ``order`` is a permutation of ``0..n-1``; the tour closes cyclically.
+    For n ≤ 2 the "tour" degenerates (a single vertex, or the doubled edge).
+    """
+    coords = points.coords if isinstance(points, PointSet) else np.asarray(points, float)
+    n = coords.shape[0]
+    if n > _MAX_N:
+        raise InvalidParameterError(
+            f"held_karp_bottleneck is exponential; n={n} exceeds {_MAX_N}"
+        )
+    if n == 1:
+        return [0], 0.0
+    dist = pairwise_distances(coords)
+    if n == 2:
+        return [0, 1], float(dist[0, 1])
+
+    full = 1 << n
+    inf = np.inf
+    dp = np.full((full, n), inf)
+    parent = np.full((full, n), -1, dtype=np.int64)
+    dp[1, 0] = 0.0
+    for s in range(1, full):
+        if not s & 1:  # all states include vertex 0
+            continue
+        row = dp[s]
+        for j in range(1, n):
+            if not s & (1 << j):
+                continue
+            prev = s ^ (1 << j)
+            if prev == 0:
+                continue
+            # candidates: max(dp[prev][i], dist[i][j]) over i in prev
+            cand = np.maximum(dp[prev], dist[:, j])
+            mask = np.array([(prev >> i) & 1 for i in range(n)], dtype=bool)
+            cand[~mask] = inf
+            i_best = int(np.argmin(cand))
+            if cand[i_best] < row[j]:
+                row[j] = cand[i_best]
+                parent[s, j] = i_best
+    last = full - 1
+    closing = np.maximum(dp[last], dist[:, 0])
+    closing[0] = inf
+    j = int(np.argmin(closing))
+    bottleneck = float(closing[j])
+    order = [j]
+    s = last
+    while parent[s, j] >= 0:
+        i = int(parent[s, j])
+        s ^= 1 << j
+        j = i
+        order.append(j)
+    order.reverse()
+    assert order[0] == 0 and len(order) == n
+    return order, bottleneck

@@ -1,0 +1,233 @@
+"""Bottleneck-TSP heuristics with a certified lower bound.
+
+``best_tour`` is the entry point: exact DP for tiny instances, otherwise
+nearest-neighbour seeding plus bottleneck-aware 2-opt, compared against
+:func:`bottleneck_lower_bound` so callers can report approximation quality
+honestly (the paper's "range 2" row for k = 1 is evaluated this way).
+
+The lower bound combines two necessities for any Hamiltonian cycle:
+
+* every vertex needs two distinct tour neighbours, so the bottleneck is at
+  least every vertex's second-nearest-neighbour distance;
+* the threshold graph at the bottleneck must be spanning-biconnected
+  (a Hamiltonian cycle is 2-connected), found by binary search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.btsp.exact import held_karp_bottleneck
+from repro.geometry.points import PointSet, pairwise_distances
+
+__all__ = [
+    "TourResult",
+    "nearest_neighbor_tour",
+    "two_opt_bottleneck",
+    "bottleneck_lower_bound",
+    "best_tour",
+]
+
+
+@dataclass
+class TourResult:
+    """A tour plus its quality metrics."""
+
+    order: list[int]
+    bottleneck: float
+    lower_bound: float
+    method: str
+
+    @property
+    def ratio(self) -> float:
+        """Approximation ratio versus the certified lower bound (≥ 1)."""
+        if self.lower_bound <= 0:
+            return 1.0
+        return self.bottleneck / self.lower_bound
+
+
+def _coords(points) -> np.ndarray:
+    return points.coords if isinstance(points, PointSet) else np.asarray(points, float)
+
+
+def tour_bottleneck(dist: np.ndarray, order: list[int]) -> float:
+    """Longest edge of the closed tour ``order``."""
+    n = len(order)
+    if n <= 1:
+        return 0.0
+    idx = np.asarray(order + [order[0]], dtype=np.int64)
+    return float(dist[idx[:-1], idx[1:]].max())
+
+
+def nearest_neighbor_tour(dist: np.ndarray, start: int = 0) -> list[int]:
+    """Greedy nearest-neighbour tour (seed for local search)."""
+    n = dist.shape[0]
+    unvisited = np.ones(n, dtype=bool)
+    unvisited[start] = False
+    order = [start]
+    cur = start
+    for _ in range(n - 1):
+        masked = np.where(unvisited, dist[cur], np.inf)
+        nxt = int(np.argmin(masked))
+        order.append(nxt)
+        unvisited[nxt] = False
+        cur = nxt
+    return order
+
+
+def two_opt_bottleneck(
+    dist: np.ndarray, order: list[int], *, max_rounds: int = 60
+) -> list[int]:
+    """2-opt local search minimizing (bottleneck, total length) lexicographically.
+
+    A 2-opt move replaces edges (a,b),(c,d) with (a,c),(b,d) and reverses the
+    middle segment; it is accepted if it strictly improves the objective.
+    """
+    n = len(order)
+    if n < 4:
+        return list(order)
+    tour = list(order)
+
+    def edge(i: int) -> float:
+        return float(dist[tour[i], tour[(i + 1) % n]])
+
+    for _ in range(max_rounds):
+        improved = False
+        current_bn = tour_bottleneck(dist, tour)
+        for i in range(n - 1):
+            a, b = tour[i], tour[i + 1]
+            d_ab = float(dist[a, b])
+            for j in range(i + 2, n):
+                if i == 0 and j == n - 1:
+                    continue
+                c, d = tour[j], tour[(j + 1) % n]
+                d_cd = float(dist[c, d])
+                d_ac = float(dist[a, c])
+                d_bd = float(dist[b, d])
+                old_m = max(d_ab, d_cd)
+                new_m = max(d_ac, d_bd)
+                # Accept if it lowers the larger of the two touched edges and
+                # does not create a new global bottleneck.
+                if new_m < old_m - 1e-12 and (
+                    old_m >= current_bn - 1e-12 or new_m < current_bn
+                ):
+                    tour[i + 1 : j + 1] = reversed(tour[i + 1 : j + 1])
+                    improved = True
+                    current_bn = tour_bottleneck(dist, tour)
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+    return tour
+
+
+def _second_nearest_bound(dist: np.ndarray) -> float:
+    """max over v of (second-smallest positive distance from v)."""
+    n = dist.shape[0]
+    if n < 3:
+        return float(dist.max()) if n == 2 else 0.0
+    d = dist.copy()
+    np.fill_diagonal(d, np.inf)
+    two_smallest = np.partition(d, 1, axis=1)[:, :2]
+    return float(two_smallest[:, 1].max())
+
+
+def _is_biconnected_at(dist: np.ndarray, t: float) -> bool:
+    """Is the threshold graph (edges ≤ t) spanning and 2-connected?"""
+    n = dist.shape[0]
+    if n < 3:
+        return bool(np.all(dist[np.triu_indices(n, 1)] <= t)) if n == 2 else True
+    adj = [np.flatnonzero((dist[v] <= t) & (np.arange(n) != v)) for v in range(n)]
+    if any(len(a) < 2 for a in adj):
+        return False
+    # Iterative Hopcroft–Tarjan articulation check.
+    disc = np.full(n, -1)
+    low = np.zeros(n, dtype=np.int64)
+    parent = np.full(n, -1)
+    timer = 0
+    stack = [(0, 0)]
+    disc[0] = low[0] = timer
+    timer += 1
+    root_children = 0
+    order_stack = []
+    it = [0] * n
+    while stack:
+        u, _ = stack[-1]
+        if it[u] < len(adj[u]):
+            v = int(adj[u][it[u]])
+            it[u] += 1
+            if disc[v] == -1:
+                parent[v] = u
+                disc[v] = low[v] = timer
+                timer += 1
+                if u == 0:
+                    root_children += 1
+                stack.append((v, 0))
+            elif v != parent[u]:
+                low[u] = min(low[u], disc[v])
+        else:
+            stack.pop()
+            if stack:
+                p = stack[-1][0]
+                low[p] = min(low[p], low[u])
+                if p != 0 and low[u] >= disc[p]:
+                    return False  # articulation point
+    if np.any(disc == -1):
+        return False  # disconnected
+    return root_children < 2
+
+
+def bottleneck_lower_bound(points) -> float:
+    """Certified lower bound on the bottleneck of any Hamiltonian cycle."""
+    coords = _coords(points)
+    n = coords.shape[0]
+    if n <= 1:
+        return 0.0
+    dist = pairwise_distances(coords)
+    lb = _second_nearest_bound(dist)
+    # Binary search the biconnectivity threshold over candidate distances.
+    cand = np.unique(dist[np.triu_indices(n, 1)])
+    cand = cand[cand >= lb - 1e-12]
+    lo, hi = 0, len(cand) - 1
+    if hi < 0 or _is_biconnected_at(dist, float(cand[0]) if len(cand) else 0.0):
+        return max(lb, float(cand[0]) if len(cand) else lb)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _is_biconnected_at(dist, float(cand[mid])):
+            hi = mid
+        else:
+            lo = mid + 1
+    return max(lb, float(cand[hi]))
+
+
+def best_tour(points, *, exact_threshold: int = 12, seeds: int = 4) -> TourResult:
+    """Best available bottleneck tour for the instance size.
+
+    Exact DP for ``n ≤ exact_threshold``; otherwise multi-start
+    nearest-neighbour + bottleneck 2-opt.
+    """
+    coords = _coords(points)
+    n = coords.shape[0]
+    lb = bottleneck_lower_bound(points)
+    if n <= 2:
+        return TourResult(list(range(n)), lb, lb, "trivial")
+    dist = pairwise_distances(coords)
+    if n <= exact_threshold:
+        order, bn = held_karp_bottleneck(coords)
+        return TourResult(order, bn, lb, "held-karp")
+    best_order: list[int] | None = None
+    best_bn = np.inf
+    starts = np.linspace(0, n - 1, num=min(seeds, n), dtype=int)
+    for s in starts:
+        order = nearest_neighbor_tour(dist, int(s))
+        order = two_opt_bottleneck(dist, order)
+        bn = tour_bottleneck(dist, order)
+        if bn < best_bn:
+            best_bn, best_order = bn, order
+        if best_bn <= lb * (1.0 + 1e-9):
+            break
+    assert best_order is not None
+    return TourResult(best_order, float(best_bn), lb, "nn+2opt")

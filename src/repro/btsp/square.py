@@ -1,0 +1,135 @@
+"""Tree squares and caterpillar tours.
+
+Parker–Rardin's factor-2 bottleneck guarantee rests on Hamiltonian cycles in
+*squares* of spanning structures: consecutive tour vertices at graph
+distance ≤ 2 in a structure whose edges are ≤ t are at Euclidean distance
+≤ 2t (triangle inequality).  The square of a **tree** is Hamiltonian iff the
+tree is a caterpillar; :func:`caterpillar_square_tour` builds that cycle
+explicitly, giving a certified ≤ 2·lmax tour whenever the MST is a
+caterpillar.  Non-caterpillar MSTs (e.g. 3-leg spiders) are exactly the
+instances where the paper's k = 1, "range 2" row is loose — benchmarked in
+``benchmarks/bench_btsp.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.spanning.emst import SpanningTree
+
+__all__ = ["tree_square_edges", "is_caterpillar", "caterpillar_spine", "caterpillar_square_tour"]
+
+
+def tree_square_edges(tree: SpanningTree) -> np.ndarray:
+    """Edges of T²: pairs at tree distance 1 or 2 (u < v)."""
+    adj = tree.adjacency()
+    pairs: set[tuple[int, int]] = set()
+    for u, v in tree.edges:
+        pairs.add((int(min(u, v)), int(max(u, v))))
+    for w in range(tree.n):
+        nbrs = adj[w]
+        for i in range(len(nbrs)):
+            for j in range(i + 1, len(nbrs)):
+                a, b = nbrs[i], nbrs[j]
+                pairs.add((min(a, b), max(a, b)))
+    return np.asarray(sorted(pairs), dtype=np.int64)
+
+
+def caterpillar_spine(tree: SpanningTree) -> list[int] | None:
+    """The spine path of a caterpillar, or None if the tree is not one.
+
+    A caterpillar is a tree whose non-leaf vertices induce a path.  Returns
+    that path (possibly empty for stars, where every vertex but the centre
+    is a leaf — the centre alone is the spine).
+    """
+    n = tree.n
+    if n <= 2:
+        return list(range(n))
+    deg = tree.degrees()
+    adj = tree.adjacency()
+    internal = [v for v in range(n) if deg[v] >= 2]
+    if not internal:  # n == 2 handled above
+        return None  # pragma: no cover
+    # The internal vertices must induce a path.
+    ideg = {}
+    iset = set(internal)
+    for v in internal:
+        ideg[v] = sum(1 for w in adj[v] if w in iset)
+    if any(d > 2 for d in ideg.values()):
+        return None
+    ends = [v for v in internal if ideg[v] <= 1]
+    if len(internal) == 1:
+        return internal
+    if len(ends) != 2:
+        return None  # induced cycle or disconnected (impossible in a tree)
+    # Walk the induced path.
+    spine = [ends[0]]
+    prev = -1
+    cur = ends[0]
+    while True:
+        nxt = [w for w in adj[cur] if w in iset and w != prev]
+        if not nxt:
+            break
+        prev, cur = cur, nxt[0]
+        spine.append(cur)
+    return spine if len(spine) == len(internal) else None
+
+
+def is_caterpillar(tree: SpanningTree) -> bool:
+    """Is the tree a caterpillar (its square is Hamiltonian)?"""
+    return caterpillar_spine(tree) is not None
+
+
+def caterpillar_square_tour(tree: SpanningTree) -> list[int]:
+    """A Hamiltonian cycle of T² for a caterpillar ``tree``.
+
+    Zigzag construction over the spine ``s_0..s_m``: the forward pass visits
+    the even-indexed spine vertices interleaved with the *legs of the odd*
+    ones (every hop skips at most one spine vertex, so tree distance ≤ 2);
+    the backward pass visits the odd spine vertices interleaved with the
+    legs of the even ones, closing at ``s_0``.  Consecutive tour vertices
+    are at tree distance ≤ 2, so with edge lengths ≤ lmax the Euclidean
+    bottleneck is ≤ 2·lmax.
+    """
+    spine = caterpillar_spine(tree)
+    if spine is None:
+        raise InvalidParameterError("tree is not a caterpillar; its square is not Hamiltonian")
+    n = tree.n
+    if n <= 2:
+        return list(range(n))
+    adj = tree.adjacency()
+    sset = set(spine)
+    legs = {s: [w for w in adj[s] if w not in sset] for s in spine}
+    m = len(spine) - 1
+    tour: list[int] = []
+    # Forward: even spine, legs of odd spine.
+    for i in range(0, m + 1):
+        if i % 2 == 0:
+            tour.append(spine[i])
+        else:
+            tour.extend(legs[spine[i]])
+    # Backward: odd spine, legs of even spine (for even m this starts with
+    # the legs of s_m, immediately after s_m itself — a distance-1 hop).
+    for i in range(m, -1, -1):
+        if i % 2 == 1:
+            tour.append(spine[i])
+        else:
+            tour.extend(legs[spine[i]])
+    assert len(tour) == n and len(set(tour)) == n, "zigzag missed a vertex"
+    _verify_square_tour(tree, tour)
+    return tour
+
+
+def _verify_square_tour(tree: SpanningTree, tour: list[int]) -> None:
+    """Assert consecutive tour vertices are at tree distance ≤ 2."""
+    adj = [set(a) for a in tree.adjacency()]
+    n = len(tour)
+    for idx in range(n):
+        a, b = tour[idx], tour[(idx + 1) % n]
+        if b in adj[a]:
+            continue
+        if not adj[a] & adj[b]:
+            raise InvalidParameterError(
+                f"square-tour hop ({a}, {b}) exceeds tree distance 2"
+            )

@@ -1,0 +1,34 @@
+"""The paper's contribution: antenna-orientation algorithms and bounds.
+
+Entry point: :func:`repro.core.planner.orient_antennae` dispatches to the
+best algorithm for a given ``(k, phi)`` per Table 1 of the paper.
+"""
+
+from repro.core.result import OrientationResult
+from repro.core.bounds import paper_range_bound, table1_rows, thm2_phi_threshold
+from repro.core.lemma1 import lemma1_orientation, lemma1_required_spread, optimal_star_spread
+from repro.core.theorem2 import orient_theorem2
+from repro.core.theorem3 import orient_theorem3
+from repro.core.theorem5 import orient_theorem5
+from repro.core.theorem6 import orient_theorem6
+from repro.core.ktwo_zero import orient_k2_zero_spread
+from repro.core.kone import orient_k1
+from repro.core.planner import orient_antennae, choose_algorithm
+
+__all__ = [
+    "OrientationResult",
+    "paper_range_bound",
+    "table1_rows",
+    "thm2_phi_threshold",
+    "lemma1_orientation",
+    "lemma1_required_spread",
+    "optimal_star_spread",
+    "orient_theorem2",
+    "orient_theorem3",
+    "orient_theorem5",
+    "orient_theorem6",
+    "orient_k2_zero_spread",
+    "orient_k1",
+    "orient_antennae",
+    "choose_algorithm",
+]

@@ -1,0 +1,172 @@
+"""Closed-form range bounds of Table 1 and the planner's bound oracle.
+
+All bounds are in normalized units (multiples of ``lmax``, the longest MST
+edge).  ``paper_range_bound(k, phi)`` returns the best bound the paper's
+Table 1 offers for that configuration together with its source row.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "TWO_PI",
+    "thm2_phi_threshold",
+    "thm3_part1_bound",
+    "thm3_part2_bound",
+    "kone_pair_bound",
+    "paper_range_bound",
+    "table1_rows",
+    "Table1Row",
+]
+
+TWO_PI = 2.0 * math.pi
+
+#: Range bound of Theorem 3 part 1 (k=2, φ ≥ π): 2·sin(2π/9) ≈ 1.2856.
+THM3_PART1_RANGE = 2.0 * math.sin(2.0 * math.pi / 9.0)
+#: Theorem 5 (k=3, any φ): √3.
+THM5_RANGE = math.sqrt(3.0)
+#: Theorem 6 (k=4, any φ): √2.
+THM6_RANGE = math.sqrt(2.0)
+#: [14]-style zero-spread rows for k ∈ {1, 2}.
+BTSP_RANGE = 2.0
+
+
+def thm2_phi_threshold(k: int) -> float:
+    """Theorem 2's angular-sum threshold ``2π(5-k)/5`` for range 1."""
+    if not 1 <= k:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    keff = min(k, 5)
+    return TWO_PI * (5 - keff) / 5.0
+
+
+def thm3_part1_bound() -> float:
+    """k = 2, φ ≥ π: range 2·sin(2π/9)."""
+    return THM3_PART1_RANGE
+
+
+def thm3_part2_bound(phi: float) -> float:
+    """k = 2, 2π/3 ≤ φ < π: range 2·sin(π/2 − φ/4)."""
+    if not (2.0 * math.pi / 3.0 - 1e-12 <= phi <= math.pi + 1e-12):
+        raise InvalidParameterError(
+            f"theorem 3 part 2 needs phi in [2pi/3, pi], got {phi}"
+        )
+    return 2.0 * math.sin(math.pi / 2.0 - phi / 4.0)
+
+
+def kone_pair_bound(phi: float) -> float:
+    """k = 1, π ≤ φ < 8π/5: range 2·sin(π − φ/2) (the [4] row).
+
+    Equals ``2 sin(β/2)`` with ``β = 2π − φ`` the uncovered wedge.  Clamped
+    below at 1 (an antenna must at least reach its MST neighbour).
+    """
+    if not (math.pi - 1e-12 <= phi <= 8.0 * math.pi / 5.0 + 1e-12):
+        raise InvalidParameterError(
+            f"k=1 pair construction needs phi in [pi, 8pi/5], got {phi}"
+        )
+    return max(1.0, 2.0 * math.sin(math.pi - phi / 2.0))
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    k: int
+    phi_description: str
+    phi_lo: float
+    phi_hi: float  # exclusive upper end; inf for unbounded
+    range_formula: str
+    source: str
+
+    def bound_at(self, phi: float) -> float:
+        """Evaluate the row's range bound at a concrete φ."""
+        return _evaluate_formula(self.range_formula, phi)
+
+
+def _evaluate_formula(formula: str, phi: float) -> float:
+    if formula == "2":
+        return 2.0
+    if formula == "1":
+        return 1.0
+    if formula == "sqrt3":
+        return THM5_RANGE
+    if formula == "sqrt2":
+        return THM6_RANGE
+    if formula == "2sin(pi-phi/2)":
+        return max(1.0, 2.0 * math.sin(math.pi - phi / 2.0))
+    if formula == "2sin(2pi/9)":
+        return THM3_PART1_RANGE
+    if formula == "2sin(pi/2-phi/4)":
+        return 2.0 * math.sin(math.pi / 2.0 - phi / 4.0)
+    raise InvalidParameterError(f"unknown formula {formula!r}")  # pragma: no cover
+
+
+def table1_rows() -> list[Table1Row]:
+    """The paper's Table 1, verbatim (sources included)."""
+    pi = math.pi
+    return [
+        Table1Row(1, "phi >= 0", 0.0, pi, "2", "[14] bottleneck TSP"),
+        Table1Row(1, "pi <= phi < 8pi/5", pi, 8 * pi / 5, "2sin(pi-phi/2)", "[4]"),
+        Table1Row(1, "phi >= 8pi/5", 8 * pi / 5, math.inf, "1", "[4] / Theorem 2"),
+        Table1Row(2, "phi >= 0", 0.0, 2 * pi / 3, "2", "[14]"),
+        Table1Row(2, "2pi/3 <= phi < pi", 2 * pi / 3, pi, "2sin(pi/2-phi/4)", "Theorem 3"),
+        Table1Row(2, "phi >= pi", pi, 6 * pi / 5, "2sin(2pi/9)", "Theorem 3"),
+        Table1Row(2, "phi >= 6pi/5", 6 * pi / 5, math.inf, "1", "Theorem 2"),
+        Table1Row(3, "phi >= 0", 0.0, 4 * pi / 5, "sqrt3", "Theorem 5"),
+        Table1Row(3, "phi >= 4pi/5", 4 * pi / 5, math.inf, "1", "Theorem 2"),
+        Table1Row(4, "phi >= 0", 0.0, 2 * pi / 5, "sqrt2", "Theorem 6"),
+        Table1Row(4, "phi >= 2pi/5", 2 * pi / 5, math.inf, "1", "Theorem 2"),
+        Table1Row(5, "phi >= 0", 0.0, math.inf, "1", "folklore"),
+    ]
+
+
+def paper_range_bound(k: int, phi: float) -> tuple[float, str]:
+    """Best Table-1 bound for ``(k, phi)``: ``(range_in_lmax, source)``.
+
+    ``k > 5`` is treated as 5 (extra antennae cannot hurt).  Raises for
+    ``k < 1`` or ``phi < 0``.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    if phi < 0 or phi > TWO_PI + 1e-12:
+        raise InvalidParameterError(f"phi must be in [0, 2pi], got {phi}")
+    keff = min(int(k), 5)
+    best: tuple[float, str] | None = None
+    for row in table1_rows():
+        if row.k != keff:
+            continue
+        if row.phi_lo - 1e-12 <= phi:
+            # A spread budget larger than the row's range is still usable by
+            # running the row's algorithm with the spread capped, so evaluate
+            # the (monotone non-increasing) formula at the clamped phi.
+            phi_eval = phi if phi < row.phi_hi else row.phi_hi
+            b = row.bound_at(phi_eval)
+            if best is None or b < best[0] - 1e-15:
+                best = (b, row.source)
+    assert best is not None  # every k has a phi >= 0 row
+    return best
+
+
+def best_achievable_bound(k: int, phi: float) -> tuple[float, int, str]:
+    """Best bound using *up to* ``k`` antennae: ``(range, k_used, source)``.
+
+    Table 1 itself is not monotone in k — e.g. at φ = 2.4, two antennae
+    (Theorem 3 part 2: ≈1.649) beat the table's three-antennae √3 row —
+    but a sensor with k antennae may always leave some unused, so the
+    planner minimizes over ``k' ≤ k``.  Ties prefer the larger ``k'``
+    (whose guarantee is constructive rather than the loose k = 1 BTSP row).
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    best: tuple[float, int, str] | None = None
+    for k_used in range(1, min(int(k), 5) + 1):
+        b, src = paper_range_bound(k_used, phi)
+        if best is None or b < best[0] - 1e-15 or (
+            abs(b - best[0]) <= 1e-15 and k_used > best[1]
+        ):
+            best = (b, k_used, src)
+    assert best is not None
+    return best

@@ -1,0 +1,262 @@
+"""k = 1 orientations (Table 1 rows attributed to [4] and [14]).
+
+Three regimes:
+
+* ``φ ≥ 8π/5`` — Theorem 2 with k = 1: a single antenna of spread
+  ``2π − (largest neighbour gap) ≤ 8π/5`` covers every MST neighbour, so the
+  bidirected MST survives and the range is the optimal ``lmax``.
+* ``π ≤ φ < 8π/5`` — range ``2·sin(π − φ/2)·lmax`` via a **matched-pair**
+  construction (our provable substitute for [4]'s algorithm, see DESIGN.md):
+  an MST matching saturating every internal vertex pairs sensors along tree
+  edges; each partner starts its sector on the ray towards the other and
+  sweeps ``φ`` ccw.  The two uncovered wedges (each ``β = 2π − φ ≤ π``) face
+  "opposite sides" of the pair edge, so anything within ``lmax`` of either
+  partner is covered by one of them within ``2·sin(β/2)·lmax``.  Unmatched
+  vertices are leaves and aim their sector's boundary ray at their (matched)
+  neighbour.
+* ``φ < π`` — the bottleneck-TSP regime of [14]: the orientation is a
+  directed Hamiltonian cycle (:mod:`repro.btsp`).  The paper's "2" entry is
+  loose here (3-leg spiders force > 2·lmax); we report the measured
+  bottleneck and the certified lower bound honestly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.antenna.model import AntennaAssignment
+from repro.btsp.heuristic import best_tour
+from repro.core.bounds import kone_pair_bound
+from repro.core.result import OrientationResult
+from repro.core.theorem2 import orient_theorem2
+from repro.errors import AlgorithmInvariantError, InvalidParameterError
+from repro.geometry.angles import angle_of
+from repro.geometry.points import PointSet
+from repro.geometry.sectors import Sector, sector_toward
+from repro.spanning.emst import SpanningTree, euclidean_mst
+from repro.spanning.rooted import RootedTree
+
+__all__ = ["orient_k1", "saturating_matching", "orient_k1_pairs", "orient_k1_tour"]
+
+_EIGHT_FIFTHS_PI = 8.0 * np.pi / 5.0
+
+
+def saturating_matching(tree: SpanningTree) -> dict[int, int]:
+    """A matching on tree edges saturating every internal (non-leaf) vertex.
+
+    Existence: peel any leaf ``ℓ`` with parent ``p``; a matching of ``T−ℓ``
+    saturating its internal vertices either already saturates ``p`` or can
+    take the edge ``(p, ℓ)``.  Implemented as a linear tree DP maximizing the
+    number of saturated internal vertices (which therefore reaches all of
+    them), with reconstruction.
+
+    Returns a symmetric dict ``partner[u] = v``.
+    """
+    n = tree.n
+    if n <= 1:
+        return {}
+    rooted = RootedTree(tree, 0)
+    deg = tree.degrees()
+    internal = deg >= 2
+    NEG = -(10**9)
+
+    # dp0[v]: best saturated-internal count in T_v, v not matched upward.
+    # dp1[v]: best count when v is matched to its parent (v's own bonus
+    #         included; the parent's bonus is accounted at the parent).
+    dp0 = np.zeros(n, dtype=np.int64)
+    dp1 = np.zeros(n, dtype=np.int64)
+    choice = np.full(n, -1, dtype=np.int64)  # child v matches in dp0 (-1: none)
+    order = list(rooted.postorder())
+    for v in order:
+        kids = rooted.children[v]
+        base = int(sum(dp0[c] for c in kids))
+        bonus = 1 if internal[v] else 0
+        dp1[v] = base + bonus
+        best0, best_child = base, -1
+        for c in kids:
+            cand = base - int(dp0[c]) + int(dp1[c]) + bonus
+            if cand > best0:
+                best0, best_child = cand, c
+        dp0[v] = best0
+        choice[v] = best_child
+
+    partner: dict[int, int] = {}
+    stack: list[tuple[int, bool]] = [(rooted.root, False)]  # (v, matched_upward)
+    while stack:
+        v, matched_up = stack.pop()
+        kids = rooted.children[v]
+        if matched_up:
+            for c in kids:
+                stack.append((c, False))
+            continue
+        c_star = int(choice[v])
+        if c_star >= 0:
+            partner[v] = c_star
+            partner[c_star] = v
+            for c in kids:
+                stack.append((c, c == c_star))
+        else:
+            for c in kids:
+                stack.append((c, False))
+
+    missing = [v for v in range(n) if internal[v] and v not in partner]
+    if missing:  # pragma: no cover - contradicts the peeling argument
+        raise AlgorithmInvariantError(
+            f"saturating matching failed for internal vertices {missing[:5]}"
+        )
+    return partner
+
+
+def orient_k1_pairs(
+    points: PointSet | np.ndarray,
+    phi: float,
+    *,
+    tree: SpanningTree | None = None,
+) -> OrientationResult:
+    """Single antenna per sensor, ``π ≤ φ < 8π/5``; range 2·sin(π − φ/2)·lmax."""
+    if not (np.pi - 1e-12 <= phi):
+        raise InvalidParameterError(f"pair construction needs phi >= pi, got {phi}")
+    phi_eff = float(min(phi, _EIGHT_FIFTHS_PI))
+    ps = points if isinstance(points, PointSet) else PointSet(points)
+    n = len(ps)
+    if tree is None:
+        tree = euclidean_mst(ps)
+    lmax = tree.lmax if n > 1 else 0.0
+    bound = kone_pair_bound(phi_eff)
+    radius = bound * lmax
+    assignment = AntennaAssignment(n)
+    if n == 1:
+        return OrientationResult(
+            ps, assignment, np.empty((0, 2), dtype=np.int64), 1, float(phi),
+            bound, lmax, "k1-pairs",
+        )
+
+    coords = ps.coords
+    partner = saturating_matching(tree)
+    # Matched sensors: sector starts on the ray towards the partner and
+    # sweeps φ ccw; the uncovered wedge trails clockwise behind that ray.
+    for u, v in partner.items():
+        direction = float(angle_of(coords[v] - coords[u]))
+        assignment.add(u, Sector(direction, phi_eff, radius))
+    # Unmatched sensors are leaves; aim the sector boundary at the neighbour.
+    adj = tree.adjacency()
+    for u in range(n):
+        if u in partner:
+            continue
+        if len(adj[u]) != 1:  # pragma: no cover - saturation guarantees this
+            raise AlgorithmInvariantError(f"unmatched vertex {u} is internal")
+        x = adj[u][0]
+        direction = float(angle_of(coords[x] - coords[u]))
+        assignment.add(u, Sector(direction, phi_eff, radius))
+
+    # Intended edges: both directions of every tree edge, each realized by
+    # the endpoint itself or its partner (the pair lemma guarantees one).
+    intended: list[tuple[int, int]] = []
+    for a, b in tree.edges:
+        a, b = int(a), int(b)
+        for src, dst in ((a, b), (b, a)):
+            owner = _covering_endpoint(ps, assignment, partner, src, dst)
+            intended.append((owner, dst))
+    # Pair edges (may duplicate tree edges; DiGraph dedups).
+    for u, v in partner.items():
+        intended.append((u, v))
+
+    return OrientationResult(
+        ps,
+        assignment,
+        np.asarray(intended, dtype=np.int64),
+        1,
+        float(phi),
+        bound,
+        lmax,
+        "k1-pairs",
+        stats={
+            "pairs": len(partner) // 2,
+            "unmatched_leaves": n - len(partner),
+            "phi_effective": phi_eff,
+        },
+    )
+
+
+def _covering_endpoint(
+    ps: PointSet,
+    assignment: AntennaAssignment,
+    partner: dict[int, int],
+    src: int,
+    dst: int,
+) -> int:
+    """Which of ``src`` / ``partner[src]`` covers ``dst``?  (Pair lemma.)"""
+    coords = ps.coords
+    candidates = [src] + ([partner[src]] if src in partner else [])
+    for cand in candidates:
+        if any(s.covers_point(coords[cand], coords[dst]) for s in assignment[cand]):
+            return cand
+    raise AlgorithmInvariantError(
+        f"pair lemma violated: neither {src} nor its partner covers {dst}"
+    )
+
+
+def orient_k1_tour(
+    points: PointSet | np.ndarray,
+    *,
+    phi: float = 0.0,
+    tree: SpanningTree | None = None,
+) -> OrientationResult:
+    """Single zero-spread antenna per sensor: a directed bottleneck tour.
+
+    ``range_bound`` is set to the *measured* tour bottleneck (normalized);
+    ``stats['paper_row_bound']`` records the paper's (loose) value 2, and
+    ``stats['lower_bound']`` the certified bottleneck lower bound.
+    """
+    ps = points if isinstance(points, PointSet) else PointSet(points)
+    n = len(ps)
+    if tree is None:
+        tree = euclidean_mst(ps)
+    lmax = tree.lmax if n > 1 else 0.0
+    assignment = AntennaAssignment(n)
+    if n == 1:
+        return OrientationResult(
+            ps, assignment, np.empty((0, 2), dtype=np.int64), 1, float(phi),
+            2.0, lmax, "k1-tour",
+        )
+    tour = best_tour(ps)
+    coords = ps.coords
+    intended = []
+    for i, u in enumerate(tour.order):
+        v = tour.order[(i + 1) % n]
+        assignment.add(u, sector_toward(coords[u], coords[v], radius=tour.bottleneck))
+        intended.append((u, v))
+    bound_norm = tour.bottleneck / lmax if lmax else 0.0
+    return OrientationResult(
+        ps,
+        assignment,
+        np.asarray(intended, dtype=np.int64),
+        1,
+        float(phi),
+        bound_norm,
+        lmax,
+        "k1-tour",
+        stats={
+            "paper_row_bound": 2.0,
+            "tour_method": tour.method,
+            "lower_bound": tour.lower_bound,
+            "lower_bound_normalized": tour.lower_bound / lmax if lmax else 0.0,
+            "approx_ratio": tour.ratio,
+        },
+    )
+
+
+def orient_k1(
+    points: PointSet | np.ndarray,
+    phi: float,
+    *,
+    tree: SpanningTree | None = None,
+) -> OrientationResult:
+    """Dispatch the best k = 1 algorithm for the spread budget ``phi``."""
+    if phi < 0:
+        raise InvalidParameterError(f"phi must be >= 0, got {phi}")
+    if phi >= _EIGHT_FIFTHS_PI - 1e-12:
+        return orient_theorem2(points, 1, phi=phi, tree=tree)
+    if phi >= np.pi - 1e-12:
+        return orient_k1_pairs(points, phi, tree=tree)
+    return orient_k1_tour(points, phi=phi, tree=tree)

@@ -1,0 +1,87 @@
+"""k = 2, spread 0, range ≤ 2·lmax (Table 1's ``φ₂ ≥ 0 → 2`` row).
+
+The paper attributes this row to [14] (bottleneck TSP).  With *two*
+zero-spread antennae per sensor a much simpler provable construction exists,
+which we use: the **leftmost-child / right-sibling** functional digraph of a
+rooted MST.
+
+Every vertex aims antenna A at its *successor* — its next sibling in the
+parent's child order, or its parent if it is the last sibling — and antenna
+B at its *first child* (if any).  Sibling edges join two points that are
+both within ``lmax`` of their common parent, hence have length ≤ 2·lmax by
+the triangle inequality; all other edges are tree edges (≤ lmax).
+
+Strong connectivity: following A-edges from any vertex walks sibling lists
+and climbs to the root (every vertex reaches the root); from the root,
+B-edges enter each child list and A-edges traverse it (the root reaches
+every vertex by induction on the tree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.antenna.model import AntennaAssignment
+from repro.core.bounds import BTSP_RANGE
+from repro.core.result import OrientationResult
+from repro.geometry.points import PointSet
+from repro.geometry.sectors import sector_toward
+from repro.spanning.emst import SpanningTree, euclidean_mst
+from repro.spanning.rooted import RootedTree
+
+__all__ = ["orient_k2_zero_spread"]
+
+
+def orient_k2_zero_spread(
+    points: PointSet | np.ndarray,
+    *,
+    phi: float = 0.0,
+    tree: SpanningTree | None = None,
+    root: int | None = None,
+) -> OrientationResult:
+    """Two zero-spread antennae per sensor, range ≤ 2·lmax."""
+    ps = points if isinstance(points, PointSet) else PointSet(points)
+    n = len(ps)
+    if tree is None:
+        tree = euclidean_mst(ps)
+    lmax = tree.lmax if n > 1 else 0.0
+    assignment = AntennaAssignment(n)
+    if n == 1:
+        return OrientationResult(
+            ps, assignment, np.empty((0, 2), dtype=np.int64), 2, phi,
+            BTSP_RANGE, lmax, "k2-zero-spread",
+        )
+
+    rooted = RootedTree(tree, int(root) if root is not None else 0)
+    radius = BTSP_RANGE * lmax
+    coords = ps.coords
+    intended: list[tuple[int, int]] = []
+    max_sibling_edge = 0.0
+
+    def aim(u: int, v: int) -> None:
+        assignment.add(u, sector_toward(coords[u], coords[v], radius=radius))
+        intended.append((u, v))
+
+    for u in rooted.preorder():
+        kids = rooted.children[u]
+        if kids:
+            aim(int(u), kids[0])  # antenna B: leftmost child
+            for a, b in zip(kids[:-1], kids[1:]):  # antenna A of each non-last child
+                aim(a, b)
+                max_sibling_edge = max(max_sibling_edge, ps.distance(a, b))
+            aim(kids[-1], int(u))  # antenna A of the last child: parent
+
+    return OrientationResult(
+        ps,
+        assignment,
+        np.asarray(intended, dtype=np.int64),
+        2,
+        phi,
+        BTSP_RANGE,
+        lmax,
+        "k2-zero-spread",
+        stats={
+            "max_sibling_edge": max_sibling_edge,
+            "max_sibling_edge_normalized": max_sibling_edge / lmax if lmax else 0.0,
+        },
+    )

@@ -1,0 +1,112 @@
+"""Table-1 planner: dispatch the best algorithm for ``(k, φ)``.
+
+:func:`orient_antennae` is the library's main entry point — it picks the
+algorithm achieving the smallest proven range for the requested number of
+antennae ``k`` and per-sensor angular budget ``φ``, runs it, and returns the
+:class:`~repro.core.result.OrientationResult`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bounds import best_achievable_bound, paper_range_bound, thm2_phi_threshold
+from repro.core.kone import orient_k1
+from repro.core.ktwo_zero import orient_k2_zero_spread
+from repro.core.theorem2 import orient_theorem2
+from repro.core.theorem3 import orient_theorem3
+from repro.core.theorem5 import orient_theorem5
+from repro.core.theorem6 import orient_theorem6
+from repro.core.result import OrientationResult
+from repro.errors import InvalidParameterError
+from repro.geometry.points import PointSet
+from repro.spanning.emst import SpanningTree
+
+__all__ = ["choose_algorithm", "orient_antennae"]
+
+_TWO_THIRDS_PI = 2.0 * np.pi / 3.0
+
+
+def _algorithm_for_exact_k(k: int, phi: float) -> str:
+    """The Table-1 algorithm when exactly ``k`` antennae must carry the row."""
+    if phi >= thm2_phi_threshold(k) - 1e-12:
+        return "theorem2"
+    if k == 1:
+        return "k1-pairs" if phi >= np.pi - 1e-12 else "k1-tour"
+    if k == 2:
+        if phi >= np.pi - 1e-12:
+            return "theorem3.part1"
+        if phi >= _TWO_THIRDS_PI - 1e-12:
+            return "theorem3.part2"
+        return "k2-zero-spread"
+    if k == 3:
+        return "theorem5"
+    return "theorem6"  # k == 4 (k == 5 is covered by theorem2 above)
+
+
+def choose_algorithm(k: int, phi: float) -> str:
+    """Name of the algorithm :func:`orient_antennae` will dispatch to.
+
+    Minimizes the proven range over all ``k' ≤ k`` — Table 1 alone is not
+    monotone in k (see :func:`repro.core.bounds.best_achievable_bound`), so
+    e.g. ``k = 3, φ = 2.4`` dispatches to Theorem 3 part 2 with two antennae
+    rather than the table's √3 row.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    if phi < 0 or phi > 2.0 * np.pi + 1e-12:
+        raise InvalidParameterError(f"phi must be in [0, 2pi], got {phi}")
+    _, k_used, _ = best_achievable_bound(min(int(k), 5), phi)
+    return _algorithm_for_exact_k(k_used, phi)
+
+
+def orient_antennae(
+    points: PointSet | np.ndarray,
+    k: int,
+    phi: float,
+    *,
+    tree: SpanningTree | None = None,
+) -> OrientationResult:
+    """Orient ``k`` antennae per sensor with spread sum ≤ ``phi``.
+
+    Guarantees the resulting transmission graph is strongly connected with
+    range at most ``paper_range_bound(k, phi)`` times the longest MST edge
+    (except the k = 1, φ < π regime, where the paper's own row is loose and
+    the result carries the measured bottleneck — see DESIGN.md).
+
+    Parameters
+    ----------
+    points:
+        Sensor coordinates, ``(n, 2)`` or a :class:`PointSet`.
+    k:
+        Antennae per sensor (≥ 1; > 5 behaves like 5).
+    phi:
+        Bound on the per-sensor sum of spreads, in radians.
+    tree:
+        Optional precomputed max-degree-5 spanning tree (reused across
+        calls by sweeps and benchmarks).
+    """
+    keff = min(int(k), 5)
+    _, k_used, _ = best_achievable_bound(keff, phi)
+    algo = _algorithm_for_exact_k(k_used, phi)
+    if algo == "theorem2":
+        result = orient_theorem2(points, k_used, phi=phi, tree=tree)
+    elif algo == "theorem3.part1":
+        result = orient_theorem3(points, phi, tree=tree, part=1)
+    elif algo == "theorem3.part2":
+        result = orient_theorem3(points, phi, tree=tree, part=2)
+    elif algo == "k2-zero-spread":
+        result = orient_k2_zero_spread(points, phi=phi, tree=tree)
+    elif algo == "theorem5":
+        result = orient_theorem5(points, phi=phi, tree=tree)
+    elif algo == "theorem6":
+        result = orient_theorem6(points, phi=phi, tree=tree)
+    else:  # k == 1 family
+        result = orient_k1(points, phi, tree=tree)
+    expected, source = paper_range_bound(keff, phi)
+    result.stats.setdefault("table1_bound", expected)
+    result.stats.setdefault("table1_source", source)
+    result.stats.setdefault("k_used", k_used)
+    # Report the caller's k budget even when fewer antennae are used.
+    result.k = keff
+    return result

@@ -1,0 +1,229 @@
+"""Theorem 3 — two antennae per sensor (the paper's main result).
+
+Part 1: ``φ₂ ≥ π``  →  range ``2·sin(2π/9) ≈ 1.2856·lmax``.
+Part 2: ``2π/3 ≤ φ₂ < π``  →  range ``2·sin(π/2 − φ₂/4)·lmax``.
+
+The construction is the paper's *Property 1* induction on a spanning tree of
+maximum degree 5 rooted at a leaf ``RT``: a subtree ``T_v`` satisfies
+Property 1 if for any point ``p`` with ``d(v, p) ≤ r`` the antennae inside
+``T_v`` can be oriented so the subtree's transmission graph is strongly
+connected *and* ``p`` is covered by an antenna at ``v``.  The induction is
+realized **top-down**: each vertex is processed knowing the point it must
+cover (its parent, or — in the sibling-delegation cases of degree-4/5
+vertices — one of its siblings), chooses sectors per the proof's case
+analysis (:mod:`repro.core.theorem3_cases`), and assigns each child the
+point *that child* must cover.
+
+Every case records its label in ``result.stats['cases']`` so the Figure-3/4
+benchmarks can report how often each branch of the proof fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.antenna.model import AntennaAssignment
+from repro.core.bounds import thm3_part1_bound, thm3_part2_bound
+from repro.core.result import OrientationResult
+from repro.errors import AlgorithmInvariantError, InvalidParameterError
+from repro.geometry.points import PointSet
+from repro.geometry.sectors import Sector, sector_toward
+from repro.spanning.emst import SpanningTree, euclidean_mst
+from repro.spanning.rooted import RootedTree
+
+__all__ = ["orient_theorem3", "Theorem3Engine"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class Theorem3Engine:
+    """Shared state for one run of the Theorem-3 construction."""
+
+    rooted: RootedTree
+    phi_budget: float  # per-node angular budget actually used (π for part 1)
+    part: int  # 1 or 2
+    radius: float  # absolute antenna radius (bound · lmax)
+    assignment: AntennaAssignment = field(init=False)
+    intended: list[tuple[int, int]] = field(init=False, default_factory=list)
+    stats: dict[str, Any] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.assignment = AntennaAssignment(self.rooted.n)
+        self.stats = {"cases": {}}
+
+    # -- bookkeeping helpers used by the case handlers ---------------------------
+    def note_case(self, label: str) -> None:
+        c = self.stats["cases"]
+        c[label] = c.get(label, 0) + 1
+
+    def add_sector(self, u: int, sector: Sector) -> None:
+        self.assignment.add(u, sector)
+
+    def add_edge(self, u: int, v: int) -> None:
+        self.intended.append((int(u), int(v)))
+
+    def check_delegation(self, donor: int, receiver: int) -> None:
+        """Assert the proof's promise that a sibling delegation is in range."""
+        d = self.rooted.points.distance(donor, receiver)
+        if d > self.radius * (1.0 + 1e-7) + 1e-12:
+            raise AlgorithmInvariantError(
+                f"delegation {donor}->{receiver} at distance {d:.6f} exceeds "
+                f"radius {self.radius:.6f} (part {self.part})"
+            )
+
+    def check_spread(self, u: int) -> None:
+        used = sum(s.spread for s in self.assignment[u])
+        if used > self.phi_budget + 1e-9:
+            raise AlgorithmInvariantError(
+                f"vertex {u} uses spread {used:.6f} > budget {self.phi_budget:.6f}"
+            )
+
+    # -- main loop -------------------------------------------------------------
+    def run(self, root_cover: np.ndarray | None = None) -> None:
+        """Process the whole tree top-down.
+
+        ``root_cover`` is an optional *imaginary point* the root must cover
+        (Property-1 testing); by default the root covers its child.
+        """
+        from repro.core import theorem3_cases as cases
+
+        rooted = self.rooted
+        root = rooted.root
+        if rooted.n == 1:
+            if root_cover is not None:
+                self.add_sector(
+                    root, sector_toward(rooted.points[root], root_cover, radius=self.radius)
+                )
+            return
+        if len(rooted.children[root]) != 1:
+            raise InvalidParameterError(
+                "Theorem 3 requires the tree to be rooted at a leaf (degree-1 vertex)"
+            )
+        child = rooted.children[root][0]
+        # Root RT: one zero-spread antenna per target (child, and the
+        # imaginary point if provided).  δ(RT)=1, so two antennae suffice.
+        self.add_sector(root, sector_toward(rooted.points[root], rooted.points[child], radius=self.radius))
+        self.add_edge(root, child)
+        if root_cover is not None:
+            self.add_sector(root, sector_toward(rooted.points[root], root_cover, radius=self.radius))
+        self.note_case("root")
+
+        # Stack of (vertex, index of the point it must cover).
+        stack: list[tuple[int, int]] = [(child, root)]
+        while stack:
+            u, p_idx = stack.pop()
+            ctx = cases.NodeCtx.build(self, u, p_idx)
+            n_children = len(ctx.children)
+            if n_children == 0:
+                cases.handle_leaf(ctx)
+            elif n_children == 1:
+                cases.handle_deg2(ctx)
+            elif n_children == 2:
+                cases.handle_deg3(ctx)
+            elif n_children == 3:
+                if self.part == 1:
+                    cases.handle_deg4_part1(ctx)
+                else:
+                    cases.handle_deg4_part2(ctx)
+            elif n_children == 4:
+                if self.part == 1:
+                    cases.handle_deg5_part1(ctx)
+                else:
+                    cases.handle_deg5_part2(ctx)
+            else:  # pragma: no cover - max degree 5 enforced upstream
+                raise AlgorithmInvariantError(
+                    f"vertex {u} has {n_children + 1} tree neighbours (> 5)"
+                )
+            self.check_spread(u)
+            pushed = {c for c, _ in ctx.pushes}
+            if pushed != set(ctx.children):
+                raise AlgorithmInvariantError(
+                    f"vertex {u}: children {set(ctx.children) - pushed} were never "
+                    f"scheduled (handler bug)"
+                )
+            stack.extend(ctx.pushes)
+
+
+def orient_theorem3(
+    points: PointSet | np.ndarray,
+    phi: float,
+    *,
+    tree: SpanningTree | None = None,
+    root: int | None = None,
+    part: int | str = "auto",
+) -> OrientationResult:
+    """Orient two antennae per sensor under angular-sum budget ``phi``.
+
+    Parameters
+    ----------
+    points:
+        Sensor locations.
+    phi:
+        Per-sensor sum of the two spreads, ``phi ≥ 2π/3``.
+    tree, root:
+        Optional precomputed max-degree-5 spanning tree and leaf root.
+    part:
+        ``"auto"`` (default) picks part 1 for ``phi ≥ π``; forcing ``2`` with
+        ``phi ≥ π`` runs part 2 clamped at ``φ_eff = π`` (used by ablations).
+
+    Returns
+    -------
+    OrientationResult with ``k = 2``.
+    """
+    two_thirds_pi = 2.0 * np.pi / 3.0
+    if phi < two_thirds_pi - 1e-12:
+        raise InvalidParameterError(
+            f"Theorem 3 needs phi >= 2pi/3 = {two_thirds_pi:.6f}, got {phi:.6f}"
+        )
+    if part not in ("auto", 1, 2):
+        raise InvalidParameterError(f"part must be 'auto', 1 or 2, got {part!r}")
+    use_part = (1 if phi >= np.pi - 1e-12 else 2) if part == "auto" else int(part)
+    if use_part == 1 and phi < np.pi - 1e-12:
+        raise InvalidParameterError("part 1 requires phi >= pi")
+
+    ps = points if isinstance(points, PointSet) else PointSet(points)
+    n = len(ps)
+    if tree is None:
+        tree = euclidean_mst(ps)
+    if tree.max_degree() > 5:
+        raise InvalidParameterError("Theorem 3 requires a spanning tree of max degree 5")
+    lmax = tree.lmax if n > 1 else 0.0
+
+    if use_part == 1:
+        bound = thm3_part1_bound()
+        phi_eff = float(np.pi)
+    else:
+        phi_eff = float(min(phi, np.pi))
+        bound = thm3_part2_bound(phi_eff)
+
+    if n == 1:
+        return OrientationResult(
+            ps, AntennaAssignment(1), np.empty((0, 2), dtype=np.int64),
+            2, float(phi), bound, lmax, f"theorem3.part{use_part}",
+        )
+
+    rooted = (
+        RootedTree(tree, root) if root is not None else RootedTree.rooted_at_leaf(tree)
+    )
+    if len(rooted.children[rooted.root]) != 1:
+        raise InvalidParameterError("root must be a leaf of the spanning tree")
+
+    engine = Theorem3Engine(rooted, phi_eff, use_part, bound * lmax)
+    engine.run()
+    engine.stats["part"] = use_part
+    engine.stats["phi_effective"] = phi_eff
+    return OrientationResult(
+        ps,
+        engine.assignment,
+        np.asarray(engine.intended, dtype=np.int64),
+        2,
+        float(phi),
+        bound,
+        lmax,
+        f"theorem3.part{use_part}",
+        stats=engine.stats,
+    )

@@ -1,0 +1,30 @@
+"""Theorem 6: four zero-spread antennae per sensor, range ≤ √2·lmax.
+
+Same chain-gadget induction as Theorem 5 with out-degree cap 3; the paper
+pairs children subtending angles ≤ π/2 (distance ≤ √2·lmax).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bounds import THM6_RANGE
+from repro.core.result import OrientationResult
+from repro.core.star_tree import orient_star_chain_tree
+from repro.geometry.points import PointSet
+from repro.spanning.emst import SpanningTree
+
+__all__ = ["orient_theorem6"]
+
+
+def orient_theorem6(
+    points: PointSet | np.ndarray,
+    *,
+    phi: float = 0.0,
+    tree: SpanningTree | None = None,
+    root: int | None = None,
+) -> OrientationResult:
+    """Orient four antennae of spread 0 per sensor (Theorem 6)."""
+    return orient_star_chain_tree(
+        points, 4, THM6_RANGE, "theorem6", phi=phi, tree=tree, root=root
+    )

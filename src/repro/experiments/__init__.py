@@ -1,0 +1,38 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each driver is importable and pure (returns row dicts); the ``benchmarks/``
+tree wraps them in pytest-benchmark targets, and
+``python -m repro.experiments.run_all`` regenerates the EXPERIMENTS.md data.
+"""
+
+from repro.experiments.workloads import (
+    uniform_points,
+    clustered_points,
+    grid_points,
+    annulus_points,
+    regular_polygon_star,
+    spider_points,
+    hexagonal_lattice,
+    perturbed_star,
+    caterpillar_points,
+    WORKLOADS,
+    make_workload,
+)
+from repro.experiments.harness import run_config, aggregate_rows, ExperimentRecord
+
+__all__ = [
+    "uniform_points",
+    "clustered_points",
+    "grid_points",
+    "annulus_points",
+    "regular_polygon_star",
+    "spider_points",
+    "hexagonal_lattice",
+    "perturbed_star",
+    "caterpillar_points",
+    "WORKLOADS",
+    "make_workload",
+    "run_config",
+    "aggregate_rows",
+    "ExperimentRecord",
+]

@@ -1,0 +1,100 @@
+"""Shared experiment harness: run configurations, aggregate, render rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import OrientationMetrics, orientation_metrics
+from repro.core.planner import orient_antennae
+from repro.geometry.points import PointSet
+from repro.spanning.emst import euclidean_mst
+from repro.utils.rng import stable_seed
+from repro.utils.tables import format_ascii_table, format_markdown_table
+
+__all__ = ["run_config", "aggregate_rows", "ExperimentRecord"]
+
+
+def run_config(
+    points: np.ndarray | PointSet,
+    k: int,
+    phi: float,
+    *,
+    compute_critical: bool = True,
+) -> OrientationMetrics:
+    """Plan antennae for one instance and measure the outcome."""
+    ps = points if isinstance(points, PointSet) else PointSet(points)
+    tree = euclidean_mst(ps)
+    result = orient_antennae(ps, k, phi, tree=tree)
+    return orientation_metrics(result, compute_critical=compute_critical)
+
+
+def aggregate_rows(metrics: Sequence[OrientationMetrics]) -> dict[str, Any]:
+    """Aggregate repeated runs of one configuration into a report row."""
+    if not metrics:
+        raise ValueError("no metrics to aggregate")
+    crit = np.asarray([m.critical_range for m in metrics], dtype=float)
+    realized = np.asarray([m.realized_range for m in metrics], dtype=float)
+    spread = np.asarray([m.max_spread_sum for m in metrics], dtype=float)
+    return {
+        "algorithm": metrics[0].algorithm,
+        "k": metrics[0].k,
+        "phi": metrics[0].phi,
+        "runs": len(metrics),
+        "bound": metrics[0].range_bound,
+        "critical_max": float(np.nanmax(crit)),
+        "critical_mean": float(np.nanmean(crit)),
+        "realized_max": float(realized.max()),
+        "spread_max": float(spread.max()),
+        "all_connected": all(m.strongly_connected for m in metrics),
+        "bound_ok": all(m.bound_satisfied() for m in metrics),
+    }
+
+
+@dataclass
+class ExperimentRecord:
+    """A titled table of result rows, renderable as ascii or markdown.
+
+    Every experiment driver returns one of these; ``run_all`` stitches them
+    into EXPERIMENTS.md and the benches print them under pytest -s.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *cells: Any) -> None:
+        self.rows.append(list(cells))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def to_ascii(self) -> str:
+        body = format_ascii_table(self.headers, self.rows,
+                                  title=f"[{self.experiment_id}] {self.title}")
+        if self.notes:
+            body += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return body
+
+    def to_markdown(self) -> str:
+        parts = [f"### {self.experiment_id} — {self.title}", ""]
+        parts.append(format_markdown_table(self.headers, self.rows))
+        if self.notes:
+            parts.append("")
+            parts.extend(f"> {n}" for n in self.notes)
+        return "\n".join(parts)
+
+
+def seeded_instances(
+    workload: Callable[[int, int], np.ndarray],
+    n: int,
+    seeds: int,
+    tag: str,
+) -> Iterable[np.ndarray]:
+    """Deterministic instances for (workload, n): seeds derived from the tag."""
+    for s in range(seeds):
+        yield workload(n, stable_seed(tag, n, s))

@@ -1,0 +1,75 @@
+"""Experiment X4 — interference and capacity proxies (intro's motivation).
+
+Directional orientations versus the omnidirectional baseline on identical
+instances: mean/max interference degree (how many transmitters cover each
+receiver) and the [19]-style beam-width capacity gain √(2π/θ).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.capacity import capacity_gain_yi_pei
+from repro.analysis.interference import compare_interference, interference_report
+from repro.baselines.omni import orient_omnidirectional
+from repro.core.planner import orient_antennae
+from repro.experiments.harness import ExperimentRecord
+from repro.experiments.workloads import make_workload
+from repro.geometry.points import PointSet
+from repro.spanning.emst import euclidean_mst
+from repro.utils.rng import stable_seed
+
+__all__ = ["run_interference"]
+
+
+def run_interference(*, n: int = 128, seeds: int = 3) -> ExperimentRecord:
+    rec = ExperimentRecord(
+        "X4",
+        "Interference degree: directional vs omnidirectional (and [19] gain)",
+        ["config", "mean interference", "max", "omni mean", "reduction x",
+         "capacity gain sqrt(2pi/theta)"],
+    )
+    configs = [
+        ("k=1 phi=1.2pi", 1, 1.2 * np.pi),
+        ("k=2 phi=pi", 2, np.pi),
+        ("k=2 phi=2pi/3", 2, 2 * np.pi / 3),
+        ("k=3 phi=0", 3, 0.0),
+        ("k=4 phi=0", 4, 0.0),
+    ]
+    for name, k, phi in configs:
+        means, maxes, omeans, redus = [], [], [], []
+        for s in range(seeds):
+            pts = make_workload("uniform", n, stable_seed("interf", n, s))
+            ps = PointSet(pts)
+            tree = euclidean_mst(ps)
+            directional = orient_antennae(ps, k, phi, tree=tree)
+            omni = orient_omnidirectional(ps, tree=tree)
+            cmpres = compare_interference(directional, omni)
+            means.append(cmpres["directional_mean"])
+            maxes.append(cmpres["directional_max"])
+            omeans.append(cmpres["omni_mean"])
+            redus.append(cmpres["mean_reduction_factor"])
+        theta = max(phi, 1e-3)
+        gain = capacity_gain_yi_pei(theta) if phi > 0 else float("inf")
+        rec.add(
+            name,
+            round(float(np.mean(means)), 3),
+            round(float(np.max(maxes)), 1),
+            round(float(np.mean(omeans)), 3),
+            round(float(np.mean(redus)), 2),
+            round(gain, 2) if np.isfinite(gain) else "inf (theta->0)",
+        )
+    rec.note(
+        "Reduction factors > 1 reproduce the introduction's claim that narrow "
+        "beams cut unwanted coverage; zero-spread rows interfere only along rays."
+    )
+    rec.note(
+        "Wide-spread k=1 rows can fall below 1x: their longer operating range "
+        "(e.g. 2sin(pi-phi/2) lmax) covers more area than omni at lmax — the "
+        "spread/range trade-off cuts both ways."
+    )
+    return rec
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_interference().to_ascii())

@@ -1,0 +1,42 @@
+"""Registry mapping experiment ids to their drivers (used by run_all)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.btsp_experiment import run_btsp
+from repro.experiments.fig1_lemma1 import run_fig1
+from repro.experiments.fig2_facts import run_fig2
+from repro.experiments.fig34_theorem3 import run_fig3, run_fig4
+from repro.experiments.fig56_chains import run_fig5, run_fig6
+from repro.experiments.harness import ExperimentRecord
+from repro.experiments.interference_experiment import run_interference
+from repro.experiments.robustness_experiment import run_robustness
+from repro.experiments.scaling import run_scaling
+from repro.experiments.table1 import run_table1
+from repro.experiments.tradeoff import run_tradeoff
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+#: id -> zero-argument driver returning an ExperimentRecord.
+EXPERIMENTS: dict[str, Callable[[], ExperimentRecord]] = {
+    "T1": run_table1,
+    "F1": run_fig1,
+    "F2": run_fig2,
+    "F3": run_fig3,
+    "F4": run_fig4,
+    "F5": run_fig5,
+    "F6": run_fig6,
+    "X1": run_tradeoff,
+    "X2": run_btsp,
+    "X3": run_robustness,
+    "X4": run_interference,
+    "X5": run_scaling,
+    "X6": run_ablations,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentRecord:
+    """Run one experiment by id (raises KeyError for unknown ids)."""
+    return EXPERIMENTS[experiment_id]()

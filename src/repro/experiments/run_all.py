@@ -1,0 +1,46 @@
+"""Regenerate all experiment tables: ``python -m repro.experiments.run_all``.
+
+Writes the markdown bodies consumed by EXPERIMENTS.md to stdout (or a file
+with ``--out``), and prints progress tables to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="write markdown to this file")
+    parser.add_argument(
+        "--only", nargs="*", default=None, help="experiment ids to run (default: all)"
+    )
+    args = parser.parse_args(argv)
+    ids = args.only if args.only else list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}")
+    sections: list[str] = []
+    for eid in ids:
+        t0 = time.perf_counter()
+        print(f"[run_all] running {eid} ...", file=sys.stderr, flush=True)
+        rec = EXPERIMENTS[eid]()
+        dt = time.perf_counter() - t0
+        print(rec.to_ascii(), file=sys.stderr, flush=True)
+        print(f"[run_all] {eid} done in {dt:.1f}s", file=sys.stderr, flush=True)
+        sections.append(rec.to_markdown())
+    body = "\n\n".join(sections) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf8") as fh:
+            fh.write(body)
+    else:
+        print(body)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""Experiment X5 — runtime scaling of the planner (engineering validation).
+
+The orientation algorithms are linear-time after the O(n log n) MST; the
+measured wall-clock over n confirms no accidental quadratic behaviour in
+the vectorized kernels (the HPC guide's "measure, don't guess").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.planner import orient_antennae
+from repro.experiments.harness import ExperimentRecord
+from repro.experiments.workloads import make_workload
+from repro.geometry.points import PointSet
+from repro.spanning.emst import euclidean_mst
+from repro.utils.rng import stable_seed
+from repro.utils.timing import measure
+
+__all__ = ["run_scaling"]
+
+
+def run_scaling(
+    *, sizes: tuple[int, ...] = (64, 256, 1024, 4096), k: int = 2, phi: float = np.pi
+) -> ExperimentRecord:
+    rec = ExperimentRecord(
+        "X5",
+        f"Planner runtime scaling (k={k}, phi={phi:.3f})",
+        ["n", "mst (s)", "orient (s)", "orient us/vertex"],
+    )
+    prev = None
+    for n in sizes:
+        pts = PointSet(make_workload("uniform", n, stable_seed("scaling", n)))
+        t_mst, tree = measure(euclidean_mst, pts)
+        t_orient, _ = measure(orient_antennae, pts, k, phi, tree=tree)
+        rec.add(n, round(t_mst, 4), round(t_orient, 4),
+                round(1e6 * t_orient / n, 2))
+        prev = t_orient
+    rec.note("orient us/vertex should stay near-constant (linear construction).")
+    return rec
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_scaling().to_ascii())

@@ -1,0 +1,209 @@
+"""Synthetic sensor deployments for the experiments.
+
+The paper evaluates nothing empirically (it is a theory paper), so the
+reproduction's workloads are chosen to (a) exercise every branch of every
+construction and (b) model the deployments the introduction motivates:
+uniform fields, clustered installations, corridor/grid plans, and the
+adversarial geometries from the proofs (regular polygons for Lemma 1's lower
+bound, spiders for the BTSP row, hexagonal lattices for degree ties).
+
+All generators take a ``seed`` (int / Generator / None) and return plain
+``(n, 2)`` float arrays; callers wrap them in :class:`PointSet`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.utils.rng import RngLike, as_rng
+
+__all__ = [
+    "uniform_points",
+    "clustered_points",
+    "grid_points",
+    "annulus_points",
+    "regular_polygon_star",
+    "spider_points",
+    "hexagonal_lattice",
+    "perturbed_star",
+    "caterpillar_points",
+    "WORKLOADS",
+    "make_workload",
+]
+
+
+def uniform_points(n: int, *, scale: float = 10.0, seed: RngLike = None) -> np.ndarray:
+    """``n`` points uniform in a ``scale × scale`` square."""
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    rng = as_rng(seed)
+    return rng.random((n, 2)) * scale
+
+
+def clustered_points(
+    n: int,
+    *,
+    clusters: int = 5,
+    cluster_std: float = 0.5,
+    scale: float = 10.0,
+    seed: RngLike = None,
+) -> np.ndarray:
+    """Gaussian-blob deployment (dense hubs produce high-degree MST vertices)."""
+    if n < 1 or clusters < 1:
+        raise InvalidParameterError("need n >= 1 and clusters >= 1")
+    rng = as_rng(seed)
+    centers = rng.random((clusters, 2)) * scale
+    assign = rng.integers(0, clusters, size=n)
+    return centers[assign] + rng.normal(scale=cluster_std, size=(n, 2))
+
+
+def grid_points(
+    n: int, *, spacing: float = 1.0, jitter: float = 0.15, seed: RngLike = None
+) -> np.ndarray:
+    """Near-square grid with jitter (a planned corridor/field installation)."""
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    rng = as_rng(seed)
+    side = int(np.ceil(np.sqrt(n)))
+    xs, ys = np.meshgrid(np.arange(side), np.arange(side))
+    pts = np.stack([xs.ravel(), ys.ravel()], axis=1)[:n].astype(float) * spacing
+    return pts + rng.normal(scale=jitter * spacing, size=pts.shape)
+
+
+def annulus_points(
+    n: int, *, r_inner: float = 4.0, r_outer: float = 6.0, seed: RngLike = None
+) -> np.ndarray:
+    """Ring deployment (perimeter surveillance); long thin MST paths."""
+    if n < 1 or not 0 <= r_inner < r_outer:
+        raise InvalidParameterError("need n >= 1 and 0 <= r_inner < r_outer")
+    rng = as_rng(seed)
+    theta = rng.uniform(0, 2 * np.pi, n)
+    # Area-uniform radius in the annulus.
+    r = np.sqrt(rng.uniform(r_inner**2, r_outer**2, n))
+    return np.stack([r * np.cos(theta), r * np.sin(theta)], axis=1)
+
+
+def regular_polygon_star(d: int, *, radius: float = 1.0) -> np.ndarray:
+    """Hub + regular ``d``-gon — Lemma 1's tight lower-bound configuration.
+
+    Point 0 is the hub; points 1..d sit on the circle.  (Figure 1.)
+    """
+    if d < 1:
+        raise InvalidParameterError(f"d must be >= 1, got {d}")
+    ang = np.linspace(0.0, 2 * np.pi, d, endpoint=False)
+    ring = np.stack([radius * np.cos(ang), radius * np.sin(ang)], axis=1)
+    return np.vstack([[0.0, 0.0], ring])
+
+
+def spider_points(
+    legs: int = 3, leg_len: int = 2, *, unit: float = 1.0, seed: RngLike = None
+) -> np.ndarray:
+    """Spider S(leg_len, …): hub with ``legs`` straight paths of ``leg_len`` hops.
+
+    The 3-leg, 2-hop spider is the witness that the k = 1 "range 2" row is
+    loose: any Hamiltonian cycle on it has an edge > 2·lmax.
+    A tiny deterministic jitter (seeded) keeps points in general position
+    without changing the MST topology.
+    """
+    if legs < 1 or leg_len < 1:
+        raise InvalidParameterError("need legs >= 1 and leg_len >= 1")
+    rng = as_rng(seed if seed is not None else 7)
+    pts = [(0.0, 0.0)]
+    for i in range(legs):
+        a = 2 * np.pi * i / legs
+        for step in range(1, leg_len + 1):
+            pts.append((step * unit * np.cos(a), step * unit * np.sin(a)))
+    arr = np.asarray(pts, dtype=float)
+    return arr + rng.normal(scale=1e-6 * unit, size=arr.shape)
+
+
+def hexagonal_lattice(rings: int = 2, *, unit: float = 1.0) -> np.ndarray:
+    """Triangular/hexagonal lattice — maximal distance ties (degree-6 MSTs).
+
+    ``rings`` hexagonal rings around a centre point; stresses the degree-5
+    repair machinery.
+    """
+    if rings < 1:
+        raise InvalidParameterError(f"rings must be >= 1, got {rings}")
+    pts = [(0.0, 0.0)]
+    for q in range(-rings, rings + 1):
+        for r in range(-rings, rings + 1):
+            s = -q - r
+            if (q, r) == (0, 0) or abs(s) > rings:
+                continue
+            x = unit * (q + r / 2.0)
+            y = unit * (np.sqrt(3) / 2.0) * r
+            pts.append((x, y))
+    return np.asarray(pts, dtype=float)
+
+
+def perturbed_star(
+    d: int, *, leg: int = 2, seed: RngLike = None, angle_jitter: float = 0.08
+) -> np.ndarray:
+    """Hub with ``d`` jittered spokes, each a path of ``leg`` hops.
+
+    Produces MSTs with a guaranteed degree-``d`` hub (for d ≤ 5 and small
+    jitter), exercising Theorem 3's degree-4/5 cases.
+    """
+    if not 1 <= d <= 6:
+        raise InvalidParameterError(f"d must be in [1, 6], got {d}")
+    rng = as_rng(seed)
+    jitter = min(angle_jitter, np.pi / d / 4)  # keep adjacent spokes separated
+    base = np.linspace(0, 2 * np.pi, d, endpoint=False) + rng.uniform(
+        -jitter, jitter, d
+    )
+    pts = [(0.0, 0.0)]
+    for a in base:
+        # First hop at exactly radius 1 so hub edges beat inter-spoke chords
+        # (chord >= 2 sin((2pi/d - 2*jitter)/2) > 1 for d <= 5); later hops
+        # hug the spoke.
+        for step in range(1, leg + 1):
+            r_ = 1.0 if step == 1 else step * float(rng.uniform(0.93, 0.99))
+            jit = 0.0 if step == 1 else float(rng.uniform(-0.03, 0.03))
+            pts.append((r_ * np.cos(a + jit), r_ * np.sin(a + jit)))
+    return np.asarray(pts, dtype=float)
+
+
+def caterpillar_points(
+    spine: int = 8, *, max_legs: int = 3, seed: RngLike = None
+) -> np.ndarray:
+    """A caterpillar-shaped deployment (spine path + short legs).
+
+    Caterpillar MSTs admit certified ≤ 2·lmax square tours
+    (:mod:`repro.btsp.square`).
+    """
+    if spine < 2:
+        raise InvalidParameterError(f"spine must be >= 2, got {spine}")
+    rng = as_rng(seed)
+    pts = []
+    for i in range(spine):
+        pts.append((float(i), float(rng.uniform(-0.02, 0.02))))
+    # Short legs (<= 0.45) against spine spacing 1.0 keep every leg's nearest
+    # neighbour its own spine vertex, so the MST is exactly spine + legs (a
+    # caterpillar).  At most one leg per side per vertex avoids leg-leg ties.
+    for i in range(spine):
+        n_legs = int(rng.integers(0, min(max_legs, 2) + 1))
+        for leg_i in range(n_legs):
+            side = 1.0 if leg_i == 0 else -1.0
+            pts.append((i + float(rng.uniform(-0.05, 0.05)),
+                        side * float(rng.uniform(0.35, 0.45))))
+    return np.asarray(pts, dtype=float)
+
+
+#: Named workload registry used by the benchmark harness.
+WORKLOADS = {
+    "uniform": lambda n, seed: uniform_points(n, seed=seed),
+    "clustered": lambda n, seed: clustered_points(n, seed=seed),
+    "grid": lambda n, seed: grid_points(n, seed=seed),
+    "annulus": lambda n, seed: annulus_points(n, seed=seed),
+}
+
+
+def make_workload(name: str, n: int, seed: RngLike = None) -> np.ndarray:
+    """Instantiate a registered workload by name."""
+    if name not in WORKLOADS:
+        raise InvalidParameterError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        )
+    return WORKLOADS[name](n, seed)

@@ -1,0 +1,51 @@
+"""Planar geometry primitives: angles, point sets, sectors, triangles.
+
+Conventions (matching the paper, §1.2):
+
+* angles are in radians, measured counterclockwise from the +x axis;
+* ``ccw_angle(a, b)`` is the counterclockwise sweep from direction ``a`` to
+  direction ``b`` in ``[0, 2π)``;
+* the paper's ``∠uvw`` (ccw angle between rays ``v→u`` and ``v→w``) is
+  :func:`repro.geometry.angles.angle_uvw`;
+* sectors are closed (boundary-inclusive) with a small epsilon tolerance.
+"""
+
+from repro.geometry.angles import (
+    TWO_PI,
+    angle_of,
+    angle_uvw,
+    ccw_angle,
+    ccw_gaps,
+    circular_windows_sum,
+    in_ccw_interval,
+    normalize_angle,
+    signed_angle_diff,
+)
+from repro.geometry.points import PointSet, pairwise_distances, chord_length
+from repro.geometry.sectors import Sector, sector_between, sector_toward
+from repro.geometry.triangles import (
+    triangle_is_empty,
+    law_of_cosines_side,
+    max_pair_distance_bound,
+)
+
+__all__ = [
+    "TWO_PI",
+    "angle_of",
+    "angle_uvw",
+    "ccw_angle",
+    "ccw_gaps",
+    "circular_windows_sum",
+    "in_ccw_interval",
+    "normalize_angle",
+    "signed_angle_diff",
+    "PointSet",
+    "pairwise_distances",
+    "chord_length",
+    "Sector",
+    "sector_between",
+    "sector_toward",
+    "triangle_is_empty",
+    "law_of_cosines_side",
+    "max_pair_distance_bound",
+]

@@ -1,0 +1,139 @@
+"""Angular arithmetic on the circle, scalar and vectorized.
+
+All functions accept floats or numpy arrays and broadcast like numpy ufuncs.
+Angles are radians.  ``normalize_angle`` maps to ``[0, 2π)``;
+``signed_angle_diff`` maps to ``(-π, π]``.
+
+These are the primitives every orientation algorithm in :mod:`repro.core`
+is built on, so they are deliberately small, pure, and vectorized (see the
+scientific-Python optimization guide: avoid Python-level loops in kernels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+TWO_PI = 2.0 * np.pi
+
+__all__ = [
+    "TWO_PI",
+    "normalize_angle",
+    "ccw_angle",
+    "signed_angle_diff",
+    "angle_of",
+    "angle_uvw",
+    "in_ccw_interval",
+    "ccw_gaps",
+    "circular_windows_sum",
+    "bisector",
+]
+
+
+def normalize_angle(theta):
+    """Map angle(s) into ``[0, 2π)``.
+
+    >>> normalize_angle(-np.pi / 2) == 3 * np.pi / 2
+    True
+    """
+    out = np.mod(theta, TWO_PI)
+    # np.mod can return TWO_PI itself for inputs like -1e-17 due to rounding.
+    return np.where(out >= TWO_PI, out - TWO_PI, out) if np.ndim(out) else (
+        out - TWO_PI if out >= TWO_PI else out
+    )
+
+
+def ccw_angle(frm, to):
+    """Counterclockwise sweep from direction ``frm`` to direction ``to``.
+
+    Returns values in ``[0, 2π)``.  ``ccw_angle(a, a) == 0``.
+    """
+    return normalize_angle(np.asarray(to, dtype=float) - np.asarray(frm, dtype=float))
+
+
+def signed_angle_diff(a, b):
+    """Smallest signed difference ``a - b`` mapped to ``(-π, π]``.
+
+    Useful for "is direction a within spread/2 of direction b" tests.
+    """
+    d = np.mod(np.asarray(a, dtype=float) - np.asarray(b, dtype=float), TWO_PI)
+    out = np.where(d > np.pi, d - TWO_PI, d)
+    return float(out) if np.ndim(out) == 0 else out
+
+
+def angle_of(vec) -> np.ndarray:
+    """Polar angle(s) of 2-D vector(s); shape (..., 2) -> shape (...)."""
+    v = np.asarray(vec, dtype=float)
+    return normalize_angle(np.arctan2(v[..., 1], v[..., 0]))
+
+
+def angle_uvw(u, v, w) -> float:
+    """The paper's ``∠uvw``: ccw angle between rays ``v→u`` and ``v→w``.
+
+    All arguments are 2-D points.  The result is in ``[0, 2π)``; note it is
+    *directional*: ``angle_uvw(u, v, w) + angle_uvw(w, v, u) ∈ {0, 2π}``.
+    """
+    u = np.asarray(u, dtype=float)
+    v = np.asarray(v, dtype=float)
+    w = np.asarray(w, dtype=float)
+    return float(ccw_angle(angle_of(u - v), angle_of(w - v)))
+
+
+def in_ccw_interval(theta, start, sweep, *, eps: float = 1e-9):
+    """Is direction ``theta`` inside the closed ccw interval ``[start, start+sweep]``?
+
+    ``sweep`` must be in ``[0, 2π]``.  Boundary-inclusive with absolute
+    tolerance ``eps`` (radians).  Vectorized over ``theta``.
+    """
+    sweep = float(sweep)
+    if sweep < 0 or sweep > TWO_PI + 1e-12:
+        raise ValueError(f"sweep must be within [0, 2*pi], got {sweep}")
+    if sweep >= TWO_PI - eps:
+        return np.full(np.shape(theta), True) if np.ndim(theta) else True
+    rel = ccw_angle(start, theta)
+    inside = rel <= sweep + eps
+    # Points an epsilon *before* start wrap to ~2π; accept those too.
+    near_start = rel >= TWO_PI - eps
+    return inside | near_start if np.ndim(rel) else bool(inside or near_start)
+
+
+def ccw_gaps(angles: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sort directions ccw and return ``(order, gaps)``.
+
+    ``order`` indexes the input so ``angles[order]`` is ascending in
+    ``[0, 2π)``; ``gaps[i]`` is the ccw gap from ``angles[order[i]]`` to the
+    next sorted direction (cyclically).  ``gaps.sum() == 2π`` for ``n >= 1``
+    (a single direction has one gap of 2π).
+    """
+    a = normalize_angle(np.asarray(angles, dtype=float))
+    if a.ndim != 1 or a.size == 0:
+        raise ValueError("ccw_gaps expects a non-empty 1-D array of angles")
+    order = np.argsort(a, kind="stable")
+    srt = a[order]
+    gaps = np.empty_like(srt)
+    if srt.size == 1:
+        gaps[0] = TWO_PI
+    else:
+        gaps[:-1] = np.diff(srt)
+        gaps[-1] = TWO_PI - (srt[-1] - srt[0])
+    return order, gaps
+
+
+def circular_windows_sum(gaps: np.ndarray, k: int) -> np.ndarray:
+    """Sums of all ``k`` consecutive gaps around the circle.
+
+    ``out[i] = gaps[i] + gaps[i+1] + ... + gaps[i+k-1]`` with cyclic indices.
+    Used by Lemma 1 to find the window of ``k`` consecutive angular gaps with
+    maximum total (the antennae then skip that window).
+    """
+    g = np.asarray(gaps, dtype=float)
+    n = g.size
+    if not 1 <= k <= n:
+        raise ValueError(f"window size k={k} must be in [1, {n}]")
+    doubled = np.concatenate([g, g[: k - 1]])
+    csum = np.concatenate([[0.0], np.cumsum(doubled)])
+    return csum[k : k + n] - csum[:n]
+
+
+def bisector(start: float, sweep: float) -> float:
+    """Center direction of the ccw interval ``[start, start + sweep]``."""
+    return float(normalize_angle(start + 0.5 * sweep))

@@ -1,0 +1,151 @@
+"""Validated planar point sets.
+
+:class:`PointSet` wraps an ``(n, 2)`` float64 array, validating finiteness
+and pairwise distinctness once so downstream algorithms can assume a clean
+input.  It exposes the vectorized kernels (distance rows, distance matrices,
+polar angles) every other module uses — keeping the n² work in numpy per the
+optimization guide.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidPointSetError
+from repro.geometry.angles import angle_of
+
+__all__ = ["PointSet", "pairwise_distances", "chord_length"]
+
+
+def pairwise_distances(coords: np.ndarray) -> np.ndarray:
+    """Dense Euclidean distance matrix, shape ``(n, n)``.
+
+    Uses the ``(a-b)² = a² + b² - 2ab`` expansion with a clip to guard the
+    tiny negative values rounding can introduce.
+    """
+    c = np.asarray(coords, dtype=float)
+    sq = np.einsum("ij,ij->i", c, c)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (c @ c.T)
+    np.clip(d2, 0.0, None, out=d2)
+    np.fill_diagonal(d2, 0.0)
+    return np.sqrt(d2)
+
+
+def chord_length(theta, radius: float = 1.0):
+    """Chord subtended by angle ``theta`` on a circle of ``radius``: 2r·sin(θ/2).
+
+    This is the paper's recurring bound: two points within distance ``r`` of
+    an apex, separated by angle θ at the apex, are at most ``2r·sin(θ/2)``
+    apart (for θ ≥ π/3; see Fact 1(2)).
+    """
+    return 2.0 * radius * np.sin(np.asarray(theta, dtype=float) / 2.0)
+
+
+class PointSet:
+    """Immutable set of ``n`` distinct, finite points in the plane.
+
+    Parameters
+    ----------
+    coords:
+        Array-like of shape ``(n, 2)``.
+    min_separation:
+        Two points closer than this (absolute) are considered duplicates.
+
+    Notes
+    -----
+    The coordinate array is copied and marked read-only: orientation results
+    keep references to their point set and must not be mutable from outside.
+    """
+
+    __slots__ = ("_coords",)
+
+    def __init__(self, coords, *, min_separation: float = 0.0):
+        arr = np.array(coords, dtype=float, copy=True)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise InvalidPointSetError(
+                f"expected an (n, 2) array of planar points, got shape {arr.shape}"
+            )
+        if arr.shape[0] == 0:
+            raise InvalidPointSetError("point set must contain at least one point")
+        if not np.all(np.isfinite(arr)):
+            raise InvalidPointSetError("point coordinates must be finite")
+        self._coords = arr
+        self._coords.setflags(write=False)
+        if arr.shape[0] > 1:
+            self._check_distinct(min_separation)
+
+    def _check_distinct(self, min_separation: float) -> None:
+        # Sort lexicographically; exact duplicates land adjacent, so a single
+        # O(n log n) pass catches them without the n² matrix.
+        order = np.lexsort((self._coords[:, 1], self._coords[:, 0]))
+        srt = self._coords[order]
+        same = np.all(np.abs(np.diff(srt, axis=0)) <= min_separation, axis=1)
+        if np.any(same):
+            i = int(np.argmax(same))
+            a, b = order[i], order[i + 1]
+            raise InvalidPointSetError(
+                f"points {a} and {b} coincide at {srt[i].tolist()}"
+            )
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._coords.shape[0])
+
+    def __getitem__(self, idx) -> np.ndarray:
+        return self._coords[idx]
+
+    def __iter__(self):
+        return iter(self._coords)
+
+    def __repr__(self) -> str:
+        return f"PointSet(n={len(self)})"
+
+    # -- accessors ------------------------------------------------------------------
+    @property
+    def coords(self) -> np.ndarray:
+        """The read-only ``(n, 2)`` coordinate array."""
+        return self._coords
+
+    @property
+    def n(self) -> int:
+        return len(self)
+
+    # -- kernels ----------------------------------------------------------------
+    def distance(self, i: int, j: int) -> float:
+        """Euclidean distance between points ``i`` and ``j``."""
+        return float(np.hypot(*(self._coords[i] - self._coords[j])))
+
+    def distances_from(self, i: int) -> np.ndarray:
+        """Vector of distances from point ``i`` to every point (0 at ``i``)."""
+        diff = self._coords - self._coords[i]
+        return np.hypot(diff[:, 0], diff[:, 1])
+
+    def distance_matrix(self) -> np.ndarray:
+        """Full ``(n, n)`` distance matrix (computed on demand, not cached)."""
+        return pairwise_distances(self._coords)
+
+    def angles_from(self, i: int, targets=None) -> np.ndarray:
+        """Polar angles of rays from point ``i`` toward ``targets``.
+
+        ``targets`` defaults to all points; the entry for ``i`` itself is 0
+        by ``arctan2(0, 0)`` convention and should be masked by callers.
+        """
+        idx = slice(None) if targets is None else np.asarray(targets, dtype=int)
+        diff = self._coords[idx] - self._coords[i]
+        return angle_of(diff)
+
+    def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(lower_left, upper_right)`` corners of the axis-aligned bbox."""
+        return self._coords.min(axis=0), self._coords.max(axis=0)
+
+    def translated(self, offset) -> "PointSet":
+        """A new PointSet shifted by ``offset`` (shape ``(2,)``)."""
+        return PointSet(self._coords + np.asarray(offset, dtype=float))
+
+    def scaled(self, factor: float) -> "PointSet":
+        """A new PointSet with coordinates multiplied by ``factor`` (> 0)."""
+        if factor <= 0:
+            raise InvalidPointSetError(f"scale factor must be positive, got {factor}")
+        return PointSet(self._coords * float(factor))

@@ -1,0 +1,136 @@
+"""Circular-sector model of a directional antenna beam.
+
+A :class:`Sector` is the closed region swept counterclockwise from direction
+``start`` through ``start + spread``, restricted to radius ``radius``, with
+apex at some point (the apex is *not* stored here — the antenna model in
+:mod:`repro.antenna.model` binds sectors to sensor indices; a bare Sector is
+apex-relative).
+
+Spread 0 is a single ray (the paper's "antennae of angle 0"): it covers
+exactly the points lying on the ray within range, up to epsilon tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.geometry.angles import (
+    TWO_PI,
+    angle_of,
+    bisector,
+    ccw_angle,
+    in_ccw_interval,
+    normalize_angle,
+)
+
+__all__ = ["Sector", "sector_between", "sector_toward", "DEFAULT_ANGLE_EPS"]
+
+#: Absolute angular tolerance (radians) for boundary-inclusive coverage.
+DEFAULT_ANGLE_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Sector:
+    """A closed circular sector: ccw from ``start`` spanning ``spread``.
+
+    Attributes
+    ----------
+    start:
+        Direction (radians) of the clockwise-most boundary ray.
+    spread:
+        Angular width in ``[0, 2π]``.  ``spread == 2π`` is omnidirectional.
+    radius:
+        Maximum reach; ``inf`` means unbounded (useful for pure angular
+        containment tests).
+    """
+
+    start: float
+    spread: float
+    radius: float = np.inf
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.spread) or not (0.0 <= self.spread <= TWO_PI + 1e-12):
+            raise InvalidParameterError(f"sector spread must be in [0, 2*pi], got {self.spread}")
+        if self.radius < 0:
+            raise InvalidParameterError(f"sector radius must be >= 0, got {self.radius}")
+        object.__setattr__(self, "start", float(normalize_angle(self.start)))
+        object.__setattr__(self, "spread", float(min(self.spread, TWO_PI)))
+
+    # -- derived geometry ------------------------------------------------------
+    @property
+    def end(self) -> float:
+        """Direction of the counterclockwise-most boundary ray."""
+        return float(normalize_angle(self.start + self.spread))
+
+    @property
+    def orientation(self) -> float:
+        """Bisector direction (the antenna's "boresight")."""
+        return bisector(self.start, self.spread)
+
+    # -- queries ------------------------------------------------------------------
+    def contains_direction(self, theta, *, eps: float = DEFAULT_ANGLE_EPS):
+        """Angular containment test; vectorized over ``theta``."""
+        return in_ccw_interval(theta, self.start, self.spread, eps=eps)
+
+    def covers_offsets(
+        self, offsets: np.ndarray, *, eps: float = DEFAULT_ANGLE_EPS
+    ) -> np.ndarray:
+        """Which apex-relative 2-D ``offsets`` does the sector cover?
+
+        The apex itself (offset ``(0, 0)``) is *not* covered: a sensor never
+        has an edge to itself.  Distance tolerance scales with the radius so
+        the test is robust at any instance scale.
+        """
+        off = np.asarray(offsets, dtype=float)
+        dist = np.hypot(off[..., 0], off[..., 1])
+        tol = eps * max(1.0, self.radius if np.isfinite(self.radius) else 1.0)
+        within = dist <= self.radius + tol
+        nonzero = dist > 0.0
+        ang = self.contains_direction(angle_of(off), eps=eps)
+        return within & nonzero & ang
+
+    def covers_point(self, apex, point, *, eps: float = DEFAULT_ANGLE_EPS) -> bool:
+        """Does a sector with the given ``apex`` cover ``point``?"""
+        off = np.asarray(point, dtype=float) - np.asarray(apex, dtype=float)
+        return bool(self.covers_offsets(off[None, :], eps=eps)[0])
+
+    def with_radius(self, radius: float) -> "Sector":
+        """Copy of this sector with a different radius."""
+        return Sector(self.start, self.spread, radius)
+
+    def rotated(self, delta: float) -> "Sector":
+        """Copy rotated ccw by ``delta`` radians."""
+        return Sector(self.start + delta, self.spread, self.radius)
+
+
+def sector_between(
+    apex, point_a, point_b, *, radius: float = np.inf, pad: float = 0.0
+) -> Sector:
+    """Smallest sector at ``apex`` sweeping ccw from ray→``point_a`` to ray→``point_b``.
+
+    This is the construction used throughout Theorem 3's proof: "one antenna
+    covers the sector between rays ``~ua`` and ``~ub``".  Both boundary rays
+    (hence both points, if within radius) are covered.  ``pad`` widens the
+    sector symmetrically by ``pad/2`` per side for numerical headroom.
+    """
+    apex = np.asarray(apex, dtype=float)
+    a = angle_of(np.asarray(point_a, dtype=float) - apex)
+    b = angle_of(np.asarray(point_b, dtype=float) - apex)
+    sweep = float(ccw_angle(a, b))
+    if pad:
+        return Sector(a - pad / 2.0, min(sweep + pad, TWO_PI), radius)
+    return Sector(a, sweep, radius)
+
+
+def sector_toward(apex, point, *, spread: float = 0.0, radius: float = np.inf) -> Sector:
+    """Sector centred on the ray from ``apex`` to ``point``.
+
+    With the default ``spread=0`` this is the paper's angle-0 antenna aimed
+    at a specific sensor.
+    """
+    apex = np.asarray(apex, dtype=float)
+    direction = angle_of(np.asarray(point, dtype=float) - apex)
+    return Sector(direction - spread / 2.0, spread, radius)

@@ -1,0 +1,74 @@
+"""Triangle utilities backing Fact 1 of the paper.
+
+Fact 1 (for ``u, w`` adjacent neighbours of ``v`` in an MST):
+
+1. ``∠uvw ≥ π/3``;
+2. ``d(u, w) ≤ 2·sin(∠uvw / 2)`` when edge lengths are ≤ 1;
+3. the triangle ``△uvw`` is empty (contains no other point of the set).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["law_of_cosines_side", "max_pair_distance_bound", "triangle_is_empty"]
+
+
+def law_of_cosines_side(a: float, b: float, gamma) -> np.ndarray:
+    """Third side of a triangle with sides ``a``, ``b`` and included angle γ."""
+    g = np.asarray(gamma, dtype=float)
+    c2 = a * a + b * b - 2.0 * a * b * np.cos(g)
+    return np.sqrt(np.clip(c2, 0.0, None))
+
+
+def max_pair_distance_bound(theta, r_a: float = 1.0, r_b: float = 1.0) -> np.ndarray:
+    """Max distance between two points at radii ≤ ``r_a``, ``r_b`` and angle θ apart.
+
+    The maximum of the law of cosines over radii in ``[0, r_a] × [0, r_b]``:
+    attained at the outer corner when ``cos θ ≤ min(r_a/ (2 r_b), r_b/(2 r_a))``-ish;
+    we simply evaluate the three candidate corners, which is exact.
+    """
+    theta = np.asarray(theta, dtype=float)
+    corner = law_of_cosines_side(r_a, r_b, theta)
+    return np.maximum.reduce([corner, np.full_like(corner, r_a), np.full_like(corner, r_b)])
+
+
+def triangle_is_empty(
+    tri: np.ndarray, points: np.ndarray, *, eps: float = 1e-12
+) -> bool:
+    """Is the closed triangle free of other points (vertices excluded)?
+
+    ``tri`` is ``(3, 2)``; ``points`` is ``(m, 2)``.  Points exactly equal to
+    a triangle vertex are ignored; points strictly inside or on an edge make
+    the triangle non-empty.  Uses barycentric sign tests, vectorized.
+    """
+    tri = np.asarray(tri, dtype=float)
+    pts = np.asarray(points, dtype=float)
+    if tri.shape != (3, 2):
+        raise ValueError(f"tri must have shape (3, 2), got {tri.shape}")
+    if pts.size == 0:
+        return True
+    a, b, c = tri
+    # Degenerate triangle: treat the (zero-area) region as empty of interior.
+    area2 = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+    if abs(area2) <= eps:
+        return True
+
+    def side(p0, p1, q):
+        return (p1[0] - p0[0]) * (q[:, 1] - p0[1]) - (p1[1] - p0[1]) * (q[:, 0] - p0[0])
+
+    s1 = side(a, b, pts)
+    s2 = side(b, c, pts)
+    s3 = side(c, a, pts)
+    if area2 < 0:
+        s1, s2, s3 = -s1, -s2, -s3
+    scale = abs(area2)
+    tol = eps * max(scale, 1.0)
+    inside = (s1 >= -tol) & (s2 >= -tol) & (s3 >= -tol)
+    if not np.any(inside):
+        return True
+    # Exclude the triangle's own vertices.
+    cand = pts[inside]
+    for v in (a, b, c):
+        cand = cand[~np.all(np.abs(cand - v) <= 1e-12, axis=1)]
+    return cand.shape[0] == 0

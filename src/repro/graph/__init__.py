@@ -1,0 +1,20 @@
+"""Directed-graph substrate: adjacency, SCC, strong/vertex connectivity."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import strongly_connected_components, condensation
+from repro.graph.connectivity import (
+    is_strongly_connected,
+    strong_connectivity_certificate,
+    directed_vertex_connectivity,
+    is_strongly_c_connected,
+)
+
+__all__ = [
+    "DiGraph",
+    "strongly_connected_components",
+    "condensation",
+    "is_strongly_connected",
+    "strong_connectivity_certificate",
+    "directed_vertex_connectivity",
+    "is_strongly_c_connected",
+]

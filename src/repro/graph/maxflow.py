@@ -1,0 +1,93 @@
+"""Dinic's maximum-flow on unit-ish capacities.
+
+Backs :func:`repro.graph.connectivity.directed_vertex_connectivity` via the
+standard vertex-splitting reduction.  Capacities are small integers, graphs
+are sparse, so plain adjacency lists of edge structs are plenty fast.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["Dinic"]
+
+
+class Dinic:
+    """Max-flow solver; build with ``add_edge``, then call :meth:`max_flow`."""
+
+    def __init__(self, n: int):
+        self.n = int(n)
+        self.head: list[list[int]] = [[] for _ in range(n)]
+        # Parallel arrays: to[e], cap[e]; reverse edge is e ^ 1.
+        self.to: list[int] = []
+        self.cap: list[int] = []
+
+    def add_edge(self, u: int, v: int, capacity: int) -> int:
+        """Add directed edge u→v; returns its edge id."""
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        eid = len(self.to)
+        self.to.append(int(v))
+        self.cap.append(int(capacity))
+        self.head[u].append(eid)
+        self.to.append(int(u))
+        self.cap.append(0)
+        self.head[v].append(eid + 1)
+        return eid
+
+    def _bfs(self, s: int, t: int, level: np.ndarray) -> bool:
+        level.fill(-1)
+        level[s] = 0
+        dq = deque([s])
+        while dq:
+            u = dq.popleft()
+            for eid in self.head[u]:
+                v = self.to[eid]
+                if self.cap[eid] > 0 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    dq.append(v)
+        return level[t] >= 0
+
+    def _dfs(self, u: int, t: int, pushed: int, level: np.ndarray, it: list[int]) -> int:
+        if u == t:
+            return pushed
+        while it[u] < len(self.head[u]):
+            eid = self.head[u][it[u]]
+            v = self.to[eid]
+            if self.cap[eid] > 0 and level[v] == level[u] + 1:
+                d = self._dfs(v, t, min(pushed, self.cap[eid]), level, it)
+                if d > 0:
+                    self.cap[eid] -= d
+                    self.cap[eid ^ 1] += d
+                    return d
+            it[u] += 1
+        return 0
+
+    def max_flow(self, s: int, t: int, *, limit: int | None = None) -> int:
+        """Max flow from ``s`` to ``t``; stops early once ``limit`` reached."""
+        if s == t:
+            raise ValueError("source and sink must differ")
+        import sys
+
+        # Vertex-split graphs can chain ~2n deep; lift the recursion cap for
+        # the DFS phase (restored afterwards).
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 4 * self.n + 100))
+        try:
+            flow = 0
+            level = np.empty(self.n, dtype=np.int64)
+            inf = float("inf")
+            while self._bfs(s, t, level):
+                it = [0] * self.n
+                while True:
+                    pushed = self._dfs(s, t, 10**18, level, it)
+                    if pushed == 0:
+                        break
+                    flow += pushed
+                    if limit is not None and flow >= limit:
+                        return flow
+            return flow
+        finally:
+            sys.setrecursionlimit(old_limit)

@@ -1,0 +1,147 @@
+"""Serialization of orientation results (JSON) and point sets (CSV).
+
+An orientation is field-deployable data — per-sensor beam boresights,
+spreads and ranges — so round-tripping it to JSON is a first-class feature,
+not an afterthought.  The schema is versioned and validated on load.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.antenna.model import AntennaAssignment
+from repro.core.result import OrientationResult
+from repro.errors import ValidationError
+from repro.geometry.points import PointSet
+from repro.geometry.sectors import Sector
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+    "points_to_csv",
+    "points_from_csv",
+]
+
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: OrientationResult) -> dict[str, Any]:
+    """JSON-serializable representation of an orientation result."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "algorithm": result.algorithm,
+        "k": int(result.k),
+        "phi": float(result.phi),
+        "range_bound": float(result.range_bound),
+        "lmax": float(result.lmax),
+        "points": result.points.coords.tolist(),
+        "sectors": [
+            {
+                "sensor": int(i),
+                "start": float(s.start),
+                "spread": float(s.spread),
+                "radius": None if not np.isfinite(s.radius) else float(s.radius),
+            }
+            for i, s in result.assignment
+        ],
+        "intended_edges": result.intended_edges.tolist(),
+        "stats": _jsonable(result.stats),
+    }
+
+
+def _jsonable(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return obj
+
+
+def result_from_dict(data: dict[str, Any]) -> OrientationResult:
+    """Inverse of :func:`result_to_dict`, with schema validation."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValidationError(
+            f"unsupported orientation schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    for key in ("points", "sectors", "intended_edges", "k", "phi",
+                "range_bound", "lmax", "algorithm"):
+        if key not in data:
+            raise ValidationError(f"orientation JSON missing field {key!r}")
+    points = PointSet(np.asarray(data["points"], dtype=float))
+    assignment = AntennaAssignment(len(points))
+    for rec in data["sectors"]:
+        radius = rec.get("radius")
+        assignment.add(
+            int(rec["sensor"]),
+            Sector(float(rec["start"]), float(rec["spread"]),
+                   np.inf if radius is None else float(radius)),
+        )
+    edges = np.asarray(data["intended_edges"], dtype=np.int64).reshape(-1, 2)
+    return OrientationResult(
+        points=points,
+        assignment=assignment,
+        intended_edges=edges,
+        k=int(data["k"]),
+        phi=float(data["phi"]),
+        range_bound=float(data["range_bound"]),
+        lmax=float(data["lmax"]),
+        algorithm=str(data["algorithm"]),
+        stats=dict(data.get("stats", {})),
+    )
+
+
+def save_result(result: OrientationResult, path: str) -> None:
+    """Write an orientation result to ``path`` as JSON."""
+    with open(path, "w", encoding="utf8") as fh:
+        json.dump(result_to_dict(result), fh, indent=1)
+
+
+def load_result(path: str) -> OrientationResult:
+    """Read an orientation result written by :func:`save_result`."""
+    with open(path, "r", encoding="utf8") as fh:
+        return result_from_dict(json.load(fh))
+
+
+def points_to_csv(points: PointSet, path: str) -> None:
+    """Write sensor coordinates as ``x,y`` lines (with a header)."""
+    with open(path, "w", encoding="utf8") as fh:
+        fh.write("x,y\n")
+        for x, y in points.coords:
+            fh.write(f"{float(x)!r},{float(y)!r}\n")
+
+
+def points_from_csv(path: str) -> PointSet:
+    """Read sensor coordinates from a CSV written by :func:`points_to_csv`
+    (or any two-column x,y file with an optional header)."""
+    rows: list[tuple[float, float]] = []
+    with open(path, "r", encoding="utf8") as fh:
+        for line_no, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split(",")
+            if line_no == 0 and not _is_number(parts[0]):
+                continue  # header
+            rows.append((float(parts[0]), float(parts[1])))
+    return PointSet(np.asarray(rows, dtype=float))
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False

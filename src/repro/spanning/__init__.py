@@ -1,0 +1,22 @@
+"""Euclidean minimum spanning trees with the paper's degree-5 guarantee."""
+
+from repro.spanning.emst import SpanningTree, euclidean_mst
+from repro.spanning.rooted import RootedTree
+from repro.spanning.union_find import UnionFind
+from repro.spanning.facts import (
+    check_fact1,
+    check_fact2,
+    min_adjacent_angle,
+    adjacent_angle_report,
+)
+
+__all__ = [
+    "SpanningTree",
+    "euclidean_mst",
+    "RootedTree",
+    "UnionFind",
+    "check_fact1",
+    "check_fact2",
+    "min_adjacent_angle",
+    "adjacent_angle_report",
+]

@@ -1,0 +1,86 @@
+"""Reduce MST maximum degree to 5 by weight-preserving edge swaps.
+
+Geometry: if a vertex ``u`` has degree ≥ 6 in an MST, some pair of incident
+edges ``(u, v)``, ``(u, w)`` subtends an angle ≤ π/3, which forces
+``d(v, w) ≤ max(d(u, v), d(u, w))`` (law of cosines).  Strict inequality
+would contradict MST minimality (cycle property), so on a genuine MST the
+configuration is an exact tie and we may swap the longer incident edge for
+``(v, w)`` without changing total weight.  Each swap lowers the degree of
+``u``; a bounded number of passes handles the tie chains that arise in
+symmetric lattices.  If the cap is hit (adversarially constructed non-MST
+input), the caller falls back to jitter (see :func:`repro.spanning.emst.euclidean_mst`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.angles import ccw_gaps
+from repro.spanning.emst import SpanningTree
+
+__all__ = ["repair_degree", "find_tight_pair"]
+
+#: Angular slack under which two incident edges count as a ≤ π/3 tie.
+_ANGLE_TOL = 1e-7
+#: Relative length slack for "the swap does not increase weight".
+_LENGTH_TOL = 1e-9
+
+
+def find_tight_pair(
+    tree: SpanningTree, u: int
+) -> tuple[int, int] | None:
+    """Two neighbours of ``u`` with ccw gap ≤ π/3 (+tol), or None.
+
+    Returns the pair ``(v, w)`` adjacent in ccw order around ``u`` whose gap
+    is smallest, provided that gap is ≤ π/3 within tolerance.
+    """
+    nbrs = tree.adjacency()[u]
+    if len(nbrs) < 2:
+        return None
+    nbrs_arr = np.asarray(nbrs, dtype=np.int64)
+    ang = tree.points.angles_from(u, nbrs_arr)
+    order, gaps = ccw_gaps(ang)
+    i = int(np.argmin(gaps))
+    if gaps[i] > np.pi / 3.0 + _ANGLE_TOL:
+        return None
+    v = int(nbrs_arr[order[i]])
+    w = int(nbrs_arr[order[(i + 1) % len(order)]])
+    return v, w
+
+
+def repair_degree(
+    tree: SpanningTree, *, max_degree: int = 5, max_passes: int | None = None
+) -> SpanningTree:
+    """Swap tied edges until every vertex has degree ≤ ``max_degree``.
+
+    Swaps only when the replacement does not increase tree weight (within
+    relative tolerance), so on true MST inputs the result remains an MST.
+    Returns the (possibly unchanged) tree; never raises — the caller decides
+    what to do if the bound was not met.
+    """
+    if tree.n <= 2:
+        return tree
+    limit = max_passes if max_passes is not None else 4 * tree.n
+    current = tree
+    for _ in range(limit):
+        deg = current.degrees()
+        over = np.flatnonzero(deg > max_degree)
+        if over.size == 0:
+            return current
+        u = int(over[np.argmax(deg[over])])
+        pair = find_tight_pair(current, u)
+        if pair is None:
+            return current  # not a tie configuration; give up gracefully
+        v, w = pair
+        duv = current.points.distance(u, v)
+        duw = current.points.distance(u, w)
+        dvw = current.points.distance(v, w)
+        longer, other = (v, w) if duv >= duw else (w, v)
+        d_longer = max(duv, duw)
+        if dvw > d_longer * (1.0 + _LENGTH_TOL):
+            return current  # swap would increase weight: not a true tie
+        # Prefer to push the new degree onto the endpoint with smaller degree.
+        if deg[other] > deg[longer] and dvw <= min(duv, duw) * (1.0 + _LENGTH_TOL):
+            longer, other = other, longer
+        current = current.replace_edge((u, longer), (v, w))
+    return current

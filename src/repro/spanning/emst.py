@@ -1,0 +1,269 @@
+"""Euclidean minimum spanning trees with maximum degree ≤ 5.
+
+The paper relies on a well-known geometric fact: every planar point set has
+an MST of maximum degree at most 5 (two MST edges at a vertex subtend an
+angle ≥ π/3, with equality only under distance ties).  We realize this as:
+
+1. fast path: Kruskal restricted to Delaunay edges (the EMST is a subgraph
+   of the Delaunay triangulation), O(n log n);
+2. fallback for degenerate inputs (collinear, tiny n): dense Prim;
+3. tie repair (:mod:`repro.spanning.degree_repair`) if any vertex ends up
+   with degree 6 — only possible under exact distance ties — followed by a
+   deterministic-jitter rebuild as a last resort.
+
+A :class:`SpanningTree` stores edges, lengths, ``lmax`` (the paper's
+normalization unit) and an adjacency structure reused by all orientation
+algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import DegreeBoundError, InvalidPointSetError
+from repro.geometry.points import PointSet, pairwise_distances
+from repro.spanning.union_find import UnionFind
+
+__all__ = ["SpanningTree", "euclidean_mst", "prim_mst_edges", "kruskal_on_edges"]
+
+
+@dataclass
+class SpanningTree:
+    """A spanning tree over a :class:`PointSet`.
+
+    Attributes
+    ----------
+    points:
+        The underlying point set.
+    edges:
+        ``(n-1, 2)`` int array of undirected edges ``(u, v)`` with ``u < v``.
+    lengths:
+        Euclidean length of each edge.
+    """
+
+    points: PointSet
+    edges: np.ndarray
+    lengths: np.ndarray = field(default=None)  # type: ignore[assignment]
+    _adj: list[list[int]] = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.edges = np.asarray(self.edges, dtype=np.int64).reshape(-1, 2)
+        n = len(self.points)
+        if self.edges.shape[0] != max(n - 1, 0):
+            raise InvalidPointSetError(
+                f"a spanning tree over {n} points needs {n - 1} edges, "
+                f"got {self.edges.shape[0]}"
+            )
+        self.edges = np.sort(self.edges, axis=1)
+        if self.lengths is None:
+            diff = self.points.coords[self.edges[:, 0]] - self.points.coords[self.edges[:, 1]]
+            self.lengths = np.hypot(diff[:, 0], diff[:, 1])
+        self.lengths = np.asarray(self.lengths, dtype=float)
+        self._adj = None
+        self._validate_tree()
+
+    def _validate_tree(self) -> None:
+        n = len(self.points)
+        if n == 1:
+            return
+        uf = UnionFind(n)
+        for u, v in self.edges:
+            if not uf.union(int(u), int(v)):
+                raise InvalidPointSetError(f"edge ({u}, {v}) creates a cycle")
+        if uf.components != 1:
+            raise InvalidPointSetError("edges do not span all points")
+
+    # -- structure ----------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.points)
+
+    @property
+    def lmax(self) -> float:
+        """Longest edge length — the paper's normalization unit (lmax)."""
+        return float(self.lengths.max()) if self.lengths.size else 0.0
+
+    @property
+    def total_weight(self) -> float:
+        return float(self.lengths.sum())
+
+    def adjacency(self) -> list[list[int]]:
+        """Neighbour lists (cached); ``adjacency()[u]`` lists u's neighbours."""
+        if self._adj is None:
+            adj: list[list[int]] = [[] for _ in range(self.n)]
+            for u, v in self.edges:
+                adj[int(u)].append(int(v))
+                adj[int(v)].append(int(u))
+            self._adj = adj
+        return self._adj
+
+    def degrees(self) -> np.ndarray:
+        deg = np.zeros(self.n, dtype=np.int64)
+        np.add.at(deg, self.edges[:, 0], 1)
+        np.add.at(deg, self.edges[:, 1], 1)
+        return deg
+
+    def max_degree(self) -> int:
+        return int(self.degrees().max()) if self.n > 1 else 0
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        return {(int(u), int(v)) for u, v in self.edges}
+
+    def leaves(self) -> np.ndarray:
+        """Indices of degree-1 vertices (any leaf may serve as the root RT)."""
+        if self.n == 1:
+            return np.array([0], dtype=np.int64)
+        return np.flatnonzero(self.degrees() == 1)
+
+    def replace_edge(self, old: tuple[int, int], new: tuple[int, int]) -> "SpanningTree":
+        """Return a new tree with ``old`` swapped for ``new`` (must stay a tree)."""
+        old_s = tuple(sorted(old))
+        keep = [
+            i
+            for i in range(self.edges.shape[0])
+            if (int(self.edges[i, 0]), int(self.edges[i, 1])) != old_s
+        ]
+        if len(keep) == self.edges.shape[0]:
+            raise KeyError(f"edge {old} not in tree")
+        edges = np.vstack([self.edges[keep], np.sort(np.asarray(new, dtype=np.int64))])
+        return SpanningTree(self.points, edges)
+
+
+def kruskal_on_edges(
+    n: int, cand: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Kruskal over candidate edges; returns the chosen ``(n-1, 2)`` edges.
+
+    Ties are broken deterministically by (weight, u, v) so repeated runs give
+    identical trees.
+    """
+    cand = np.asarray(cand, dtype=np.int64).reshape(-1, 2)
+    cand = np.sort(cand, axis=1)
+    order = np.lexsort((cand[:, 1], cand[:, 0], weights))
+    uf = UnionFind(n)
+    out = []
+    for idx in order:
+        u, v = int(cand[idx, 0]), int(cand[idx, 1])
+        if uf.union(u, v):
+            out.append((u, v))
+            if len(out) == n - 1:
+                break
+    if len(out) != n - 1:
+        raise InvalidPointSetError("candidate edges do not connect the point set")
+    return np.asarray(out, dtype=np.int64)
+
+
+def prim_mst_edges(coords: np.ndarray) -> np.ndarray:
+    """Dense O(n²) Prim — robust fallback for degenerate configurations.
+
+    Vectorized: one distance row per extraction, no Python inner loop over
+    candidate edges.
+    """
+    c = np.asarray(coords, dtype=float)
+    n = c.shape[0]
+    if n <= 1:
+        return np.empty((0, 2), dtype=np.int64)
+    in_tree = np.zeros(n, dtype=bool)
+    best_dist = np.full(n, np.inf)
+    best_from = np.full(n, -1, dtype=np.int64)
+    in_tree[0] = True
+    diff = c - c[0]
+    best_dist = np.hypot(diff[:, 0], diff[:, 1])
+    best_from[:] = 0
+    best_dist[0] = np.inf
+    edges = []
+    for _ in range(n - 1):
+        nxt = int(np.argmin(np.where(in_tree, np.inf, best_dist)))
+        edges.append((int(best_from[nxt]), nxt))
+        in_tree[nxt] = True
+        diff = c - c[nxt]
+        d = np.hypot(diff[:, 0], diff[:, 1])
+        closer = (~in_tree) & (d < best_dist)
+        best_dist[closer] = d[closer]
+        best_from[closer] = nxt
+    return np.asarray(edges, dtype=np.int64)
+
+
+def _delaunay_candidate_edges(coords: np.ndarray) -> np.ndarray | None:
+    """Unique Delaunay edges, or None if qhull cannot triangulate."""
+    try:
+        from scipy.spatial import Delaunay
+        from scipy.spatial import QhullError
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        return None
+    try:
+        tri = Delaunay(coords)
+    except (QhullError, ValueError):
+        return None
+    simplices = tri.simplices
+    e = np.vstack(
+        [simplices[:, [0, 1]], simplices[:, [1, 2]], simplices[:, [0, 2]]]
+    )
+    e = np.sort(e, axis=1)
+    return np.unique(e, axis=0)
+
+
+def euclidean_mst(
+    points: PointSet | np.ndarray,
+    *,
+    max_degree: int | None = 5,
+    _jitter_attempts: int = 3,
+) -> SpanningTree:
+    """Compute a Euclidean MST, enforcing ``max_degree`` (default 5).
+
+    Parameters
+    ----------
+    points:
+        A :class:`PointSet` or raw ``(n, 2)`` coordinates.
+    max_degree:
+        If not None, repair distance ties so no vertex exceeds this degree
+        (5 always suffices for MSTs of distinct points; see DESIGN.md).
+
+    Returns
+    -------
+    SpanningTree
+    """
+    ps = points if isinstance(points, PointSet) else PointSet(points)
+    n = len(ps)
+    if n == 1:
+        return SpanningTree(ps, np.empty((0, 2), dtype=np.int64))
+
+    coords = ps.coords
+    cand = _delaunay_candidate_edges(coords) if n >= 4 else None
+    if cand is not None:
+        diff = coords[cand[:, 0]] - coords[cand[:, 1]]
+        w = np.hypot(diff[:, 0], diff[:, 1])
+        edges = kruskal_on_edges(n, cand, w)
+    else:
+        edges = prim_mst_edges(coords)
+    tree = SpanningTree(ps, edges)
+
+    if max_degree is None or tree.max_degree() <= max_degree:
+        return tree
+
+    from repro.spanning.degree_repair import repair_degree
+
+    tree = repair_degree(tree, max_degree=max_degree)
+    if tree.max_degree() <= max_degree:
+        return tree
+
+    # Exact-tie pathologies (e.g. perfect hexagonal lattices): deterministic
+    # tiny jitter breaks ties; the tree topology on the jittered points is a
+    # valid MST of the original points up to the jitter magnitude.
+    rng = np.random.default_rng(0xD15EA5E)
+    scale = float(np.max(np.abs(coords))) or 1.0
+    for attempt in range(_jitter_attempts):
+        jitter = rng.normal(scale=scale * 1e-9 * (10.0**attempt), size=coords.shape)
+        jittered = PointSet(coords + jitter)
+        jt = euclidean_mst(jittered, max_degree=None)
+        candidate = SpanningTree(ps, jt.edges)
+        candidate = repair_degree(candidate, max_degree=max_degree)
+        if candidate.max_degree() <= max_degree:
+            return candidate
+    raise DegreeBoundError(
+        f"could not reduce MST maximum degree to {max_degree} "
+        f"(stuck at {tree.max_degree()})"
+    )

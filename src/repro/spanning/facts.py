@@ -1,0 +1,160 @@
+"""Executable versions of the paper's Facts 1 and 2 (Figure 2).
+
+Fact 1 — for ``u, w`` adjacent neighbours (consecutive in ccw order) of
+``v`` in an MST:
+
+1. ``∠uvw ≥ π/3``;
+2. ``d(u, w) ≤ 2 sin(∠uvw / 2)`` (with edge lengths normalized ≤ 1);
+3. the triangle ``△uvw`` is empty.
+
+Fact 2 — for a degree-5 vertex ``v`` with ccw neighbours ``v1..v5``:
+
+1. consecutive angles ``∠v_i v v_{i+1} ∈ [π/3, 2π/3]``;
+2. two-apart angles ``∠v_i v v_{i+2} ∈ [2π/3, π]``.
+
+These checkers are used three ways: as test oracles, as runtime sanity
+assertions inside Theorem 3 (via lightweight condition checks), and as the
+benchmark reproducing Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.angles import ccw_gaps
+from repro.geometry.points import chord_length
+from repro.geometry.triangles import triangle_is_empty
+from repro.spanning.emst import SpanningTree
+
+__all__ = [
+    "FactReport",
+    "check_fact1",
+    "check_fact2",
+    "min_adjacent_angle",
+    "adjacent_angle_report",
+]
+
+_ANG_TOL = 1e-7
+
+
+@dataclass
+class FactReport:
+    """Outcome of a fact check over a whole tree."""
+
+    ok: bool
+    violations: list[str]
+    min_adjacent_angle: float
+    max_chord_ratio: float
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def _neighbor_gaps(tree: SpanningTree, v: int):
+    """ccw-sorted neighbours of ``v`` and the gaps between consecutive ones."""
+    nbrs = np.asarray(tree.adjacency()[v], dtype=np.int64)
+    ang = tree.points.angles_from(v, nbrs)
+    order, gaps = ccw_gaps(ang)
+    return nbrs[order], gaps
+
+
+def min_adjacent_angle(tree: SpanningTree) -> float:
+    """Smallest angle between consecutive MST edges over all vertices."""
+    best = np.inf
+    for v in range(tree.n):
+        if len(tree.adjacency()[v]) >= 2:
+            _, gaps = _neighbor_gaps(tree, v)
+            best = min(best, float(gaps.min()))
+    return float(best)
+
+
+def adjacent_angle_report(tree: SpanningTree) -> np.ndarray:
+    """All consecutive-neighbour angles in the tree (for histograms)."""
+    out: list[float] = []
+    for v in range(tree.n):
+        nbrs = tree.adjacency()[v]
+        if len(nbrs) >= 2:
+            _, gaps = _neighbor_gaps(tree, v)
+            out.extend(float(g) for g in gaps[: len(nbrs)])
+    return np.asarray(out, dtype=float)
+
+
+def check_fact1(
+    tree: SpanningTree, *, check_empty_triangles: bool = True
+) -> FactReport:
+    """Verify Fact 1 at every internal vertex of ``tree``.
+
+    The chord bound (part 2) is checked in normalized units: with
+    ``lmax`` the longest tree edge, consecutive neighbours ``u, w`` of ``v``
+    must satisfy ``d(u, w) ≤ 2·lmax·sin(∠uvw/2)`` whenever both incident
+    edges have length ≤ lmax (always true by definition).
+    """
+    violations: list[str] = []
+    min_ang = np.inf
+    max_ratio = 0.0
+    lmax = tree.lmax if tree.n > 1 else 1.0
+    coords = tree.points.coords
+    for v in range(tree.n):
+        nbrs_sorted, gaps = (None, None)
+        nbrs = tree.adjacency()[v]
+        if len(nbrs) < 2:
+            continue
+        nbrs_sorted, gaps = _neighbor_gaps(tree, v)
+        d = len(nbrs_sorted)
+        for i in range(d if d > 2 else 1):
+            u = int(nbrs_sorted[i])
+            w = int(nbrs_sorted[(i + 1) % d])
+            theta = float(gaps[i])
+            min_ang = min(min_ang, theta)
+            if theta < np.pi / 3.0 - _ANG_TOL:
+                violations.append(
+                    f"Fact1.1 at v={v}: angle {theta:.6f} < pi/3 between {u} and {w}"
+                )
+            duw = tree.points.distance(u, w)
+            bound = float(chord_length(min(theta, np.pi), radius=lmax))
+            if bound > 0:
+                max_ratio = max(max_ratio, duw / bound)
+            if theta <= np.pi and duw > bound * (1.0 + 1e-9):
+                violations.append(
+                    f"Fact1.2 at v={v}: d({u},{w})={duw:.6f} > 2 lmax sin(theta/2)={bound:.6f}"
+                )
+            if check_empty_triangles and not triangle_is_empty(
+                np.stack([coords[u], coords[v], coords[w]]), coords
+            ):
+                violations.append(f"Fact1.3 at v={v}: triangle ({u},{v},{w}) not empty")
+    return FactReport(
+        ok=not violations,
+        violations=violations,
+        min_adjacent_angle=float(min_ang) if np.isfinite(min_ang) else np.nan,
+        max_chord_ratio=float(max_ratio),
+    )
+
+
+def check_fact2(tree: SpanningTree) -> FactReport:
+    """Verify Fact 2 at every degree-5 vertex of ``tree``."""
+    violations: list[str] = []
+    min_ang = np.inf
+    for v in range(tree.n):
+        if len(tree.adjacency()[v]) != 5:
+            continue
+        _, gaps = _neighbor_gaps(tree, v)
+        min_ang = min(min_ang, float(gaps.min()))
+        for i in range(5):
+            g1 = float(gaps[i])
+            if not (np.pi / 3.0 - _ANG_TOL <= g1 <= 2.0 * np.pi / 3.0 + _ANG_TOL):
+                violations.append(
+                    f"Fact2.1 at v={v}: consecutive angle {g1:.6f} outside [pi/3, 2pi/3]"
+                )
+            g2 = g1 + float(gaps[(i + 1) % 5])
+            if not (2.0 * np.pi / 3.0 - _ANG_TOL <= g2 <= np.pi + _ANG_TOL):
+                violations.append(
+                    f"Fact2.2 at v={v}: two-apart angle {g2:.6f} outside [2pi/3, pi]"
+                )
+    return FactReport(
+        ok=not violations,
+        violations=violations,
+        min_adjacent_angle=float(min_ang) if np.isfinite(min_ang) else np.nan,
+        max_chord_ratio=np.nan,
+    )

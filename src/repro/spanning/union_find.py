@@ -1,0 +1,55 @@
+"""Disjoint-set union with path halving and union by size.
+
+Used by Kruskal's algorithm in :mod:`repro.spanning.emst` and by the
+bottleneck-threshold searches in :mod:`repro.btsp`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Classic disjoint-set forest over integers ``0..n-1``."""
+
+    __slots__ = ("parent", "size", "components")
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+        self.components = n
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s component (path-halving)."""
+        p = self.parent
+        while p[x] != x:
+            p[x] = p[p[x]]
+            x = p[x]
+        return int(x)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the components of ``a`` and ``b``; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def component_sizes(self) -> dict[int, int]:
+        """Map root -> component size (roots only)."""
+        out: dict[int, int] = {}
+        for x in range(len(self.parent)):
+            r = self.find(x)
+            out[r] = out.get(r, 0) + 1
+        return out

@@ -1,0 +1,13 @@
+"""Small shared utilities (RNG discipline, tables, timing, logging)."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.tables import format_markdown_table, format_ascii_table
+from repro.utils.timing import Timer
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "format_markdown_table",
+    "format_ascii_table",
+    "Timer",
+]

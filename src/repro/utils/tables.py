@@ -1,0 +1,73 @@
+"""Plain-text table rendering for benchmark and experiment reports.
+
+The benchmark harness prints paper-style rows; keeping the formatting here
+avoids every experiment re-implementing column alignment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_ascii_table", "format_markdown_table", "format_cell"]
+
+
+def format_cell(value: Any, float_fmt: str = "{:.4f}") -> str:
+    """Render one cell: floats through ``float_fmt``, others via ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def _normalize(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], float_fmt: str
+) -> tuple[list[str], list[list[str]]]:
+    head = [str(h) for h in headers]
+    body = [[format_cell(c, float_fmt) for c in row] for row in rows]
+    for row in body:
+        if len(row) != len(head):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(head)} headers: {row!r}"
+            )
+    return head, body
+
+
+def format_ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    float_fmt: str = "{:.4f}",
+    title: str | None = None,
+) -> str:
+    """Render an aligned, boxed ASCII table suitable for terminal output."""
+    head, body = _normalize(headers, rows, float_fmt)
+    widths = [len(h) for h in head]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([sep, fmt_row(head), sep])
+    lines.extend(fmt_row(r) for r in body)
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Render a GitHub-flavoured markdown table (used for EXPERIMENTS.md)."""
+    head, body = _normalize(headers, rows, float_fmt)
+    lines = ["| " + " | ".join(head) + " |", "|" + "|".join("---" for _ in head) + "|"]
+    lines.extend("| " + " | ".join(row) + " |" for row in body)
+    return "\n".join(lines)

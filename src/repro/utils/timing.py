@@ -1,0 +1,57 @@
+"""Lightweight wall-clock timing helpers.
+
+Following the HPC guide's "no optimization without measuring" rule, the
+experiment harness reports timings; :class:`Timer` is a tiny context manager
+so drivers do not depend on pytest-benchmark when run standalone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "measure"]
+
+
+@dataclass
+class Timer:
+    """Context manager recording elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def restart(self) -> None:
+        """Reset the start time (for reuse across loop iterations)."""
+        self._start = time.perf_counter()
+        self.elapsed = 0.0
+
+
+def measure(fn, *args, repeat: int = 1, **kwargs):
+    """Call ``fn`` ``repeat`` times; return ``(best_seconds, last_result)``.
+
+    A minimal stand-in for ``timeit`` usable inside experiment drivers.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best, result

@@ -1,0 +1,5 @@
+"""Zero-dependency SVG rendering of deployments and orientations."""
+
+from repro.viz.svg import render_orientation_svg, render_tree_svg
+
+__all__ = ["render_orientation_svg", "render_tree_svg"]

@@ -1,0 +1,151 @@
+"""Render orientations as standalone SVG (no plotting dependency).
+
+The paper's figures are geometric diagrams; these helpers produce the same
+kind of picture for *your* instances: sensors as dots, MST edges, antenna
+sectors as translucent wedges, and intended edges as arrows.  Output is a
+plain SVG string — writable to a file and viewable in any browser.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.result import OrientationResult
+from repro.geometry.points import PointSet
+from repro.spanning.emst import SpanningTree
+
+__all__ = ["render_orientation_svg", "render_tree_svg"]
+
+_SECTOR_FILL = "#3b82f6"
+_EDGE_COLOR = "#9ca3af"
+_INTENT_COLOR = "#dc2626"
+_NODE_COLOR = "#111827"
+
+
+class _Canvas:
+    """Maps instance coordinates into a padded SVG viewport."""
+
+    def __init__(self, points: PointSet, size: int, pad: float):
+        lo, hi = points.bounding_box()
+        span = float(max(hi[0] - lo[0], hi[1] - lo[1])) or 1.0
+        self.scale = (size - 2 * pad) / span
+        self.lo = lo
+        self.pad = pad
+        self.size = size
+
+    def xy(self, p) -> tuple[float, float]:
+        x = self.pad + (float(p[0]) - float(self.lo[0])) * self.scale
+        # SVG's y axis points down; flip so the picture matches the math.
+        y = self.size - self.pad - (float(p[1]) - float(self.lo[1])) * self.scale
+        return x, y
+
+    def r(self, length: float) -> float:
+        return float(length) * self.scale
+
+
+def _sector_path(cv: _Canvas, apex, start: float, spread: float, radius: float) -> str:
+    ax, ay = cv.xy(apex)
+    r = cv.r(radius)
+    if spread <= 1e-9:  # a ray
+        ex = ax + r * math.cos(start)
+        ey = ay - r * math.sin(start)
+        return (
+            f'<line x1="{ax:.2f}" y1="{ay:.2f}" x2="{ex:.2f}" y2="{ey:.2f}" '
+            f'stroke="{_SECTOR_FILL}" stroke-width="1" opacity="0.8"/>'
+        )
+    end = start + spread
+    sx = ax + r * math.cos(start)
+    sy = ay - r * math.sin(start)
+    ex = ax + r * math.cos(end)
+    ey = ay - r * math.sin(end)
+    large = 1 if spread > math.pi else 0
+    # sweep-flag 0 because the flipped y-axis mirrors orientation.
+    return (
+        f'<path d="M {ax:.2f} {ay:.2f} L {sx:.2f} {sy:.2f} '
+        f'A {r:.2f} {r:.2f} 0 {large} 0 {ex:.2f} {ey:.2f} Z" '
+        f'fill="{_SECTOR_FILL}" opacity="0.15" stroke="{_SECTOR_FILL}" '
+        f'stroke-width="0.5"/>'
+    )
+
+
+def _edges_svg(cv: _Canvas, points: PointSet, edges: Iterable, color: str,
+               width: float, opacity: float, arrows: bool = False) -> list[str]:
+    out = []
+    for u, v in edges:
+        x1, y1 = cv.xy(points[int(u)])
+        x2, y2 = cv.xy(points[int(v)])
+        marker = ' marker-end="url(#arrow)"' if arrows else ""
+        out.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{color}" stroke-width="{width}" opacity="{opacity}"{marker}/>'
+        )
+    return out
+
+
+def _document(size: int, body: list[str], title: str) -> str:
+    head = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" '
+        f'viewBox="0 0 {size} {size}">',
+        "<defs>"
+        '<marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" '
+        'markerWidth="5" markerHeight="5" orient="auto-start-reverse">'
+        f'<path d="M 0 0 L 10 5 L 0 10 z" fill="{_INTENT_COLOR}"/></marker>'
+        "</defs>",
+        f'<rect width="{size}" height="{size}" fill="white"/>',
+        f'<title>{title}</title>',
+    ]
+    return "\n".join(head + body + ["</svg>"])
+
+
+def render_tree_svg(tree: SpanningTree, *, size: int = 640, pad: float = 24.0) -> str:
+    """A deployment plus its max-degree-5 MST as an SVG string."""
+    cv = _Canvas(tree.points, size, pad)
+    body = _edges_svg(cv, tree.points, tree.edges, _EDGE_COLOR, 1.2, 0.9)
+    for p in tree.points:
+        x, y = cv.xy(p)
+        body.append(f'<circle cx="{x:.2f}" cy="{y:.2f}" r="3" fill="{_NODE_COLOR}"/>')
+    return _document(size, body, f"EMST (n={tree.n}, lmax={tree.lmax:.3f})")
+
+
+def render_orientation_svg(
+    result: OrientationResult,
+    *,
+    size: int = 640,
+    pad: float = 24.0,
+    show_sectors: bool = True,
+    show_intended: bool = True,
+    sector_radius_cap: float | None = None,
+) -> str:
+    """An orientation result as an SVG string.
+
+    ``sector_radius_cap`` (absolute units) trims very long sectors so dense
+    pictures stay readable; defaults to the result's guaranteed range.
+    """
+    points = result.points
+    cv = _Canvas(points, size, pad)
+    body: list[str] = []
+    cap = sector_radius_cap if sector_radius_cap is not None else (
+        result.range_bound_absolute or 1.0
+    )
+    if show_sectors:
+        for u, sector in result.assignment:
+            radius = min(sector.radius, cap) if np.isfinite(sector.radius) else cap
+            body.append(
+                _sector_path(cv, points[u], sector.start, sector.spread, radius)
+            )
+    if show_intended and result.intended_edges.size:
+        body.extend(
+            _edges_svg(cv, points, result.intended_edges, _INTENT_COLOR, 1.0, 0.7,
+                       arrows=True)
+        )
+    for p in points:
+        x, y = cv.xy(p)
+        body.append(f'<circle cx="{x:.2f}" cy="{y:.2f}" r="3" fill="{_NODE_COLOR}"/>')
+    title = (
+        f"{result.algorithm}: k={result.k}, phi={result.phi:.3f}, "
+        f"bound={result.range_bound:.3f} lmax"
+    )
+    return _document(size, body, title)

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import (
+    clustered_points,
+    perturbed_star,
+    uniform_points,
+)
+from repro.geometry.points import PointSet
+from repro.spanning.emst import euclidean_mst
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20260610)
+
+
+@pytest.fixture
+def uniform50(rng) -> PointSet:
+    """50 uniform points in a 10x10 square (generic position)."""
+    return PointSet(uniform_points(50, seed=rng))
+
+
+@pytest.fixture
+def clustered60(rng) -> PointSet:
+    """Clustered deployment producing high MST degrees."""
+    return PointSet(clustered_points(60, clusters=5, cluster_std=0.45, seed=rng))
+
+
+@pytest.fixture
+def star5(rng) -> PointSet:
+    """Degree-5 hub instance (Theorem 3 / Fact 2 territory)."""
+    return PointSet(perturbed_star(5, leg=2, seed=rng))
+
+
+@pytest.fixture
+def tree50(uniform50):
+    return euclidean_mst(uniform50)
+
+
+def assert_result_valid(result, *, check_transmission: bool = True) -> None:
+    """Shared assertion: the full orientation certificate holds."""
+    report = result.validate(check_transmission=check_transmission)
+    assert report.ok, report.summary()

@@ -1,0 +1,108 @@
+"""Unit tests for repro.analysis (robustness, interference, capacity, metrics)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.capacity import capacity_gain_yi_pei, transport_capacity_gupta_kumar
+from repro.analysis.interference import (
+    InterferenceReport,
+    compare_interference,
+    interference_report,
+)
+from repro.analysis.metrics import orientation_metrics
+from repro.analysis.robustness import failure_sweep, strong_connectivity_order
+from repro.baselines.omni import orient_omnidirectional
+from repro.core.planner import orient_antennae
+from repro.errors import InvalidParameterError
+from repro.graph.digraph import DiGraph
+
+PI = np.pi
+
+
+class TestRobustness:
+    def test_cycle_order_one(self):
+        g = DiGraph(5, [(i, (i + 1) % 5) for i in range(5)])
+        assert strong_connectivity_order(g) == 1
+
+    def test_disconnected_order_zero(self):
+        assert strong_connectivity_order(DiGraph(3, [(0, 1)])) == 0
+
+    def test_complete_order(self):
+        g = DiGraph(4, [(i, j) for i in range(4) for j in range(4) if i != j])
+        assert strong_connectivity_order(g) == 3
+
+    def test_failure_sweep_on_orientation(self, uniform50):
+        res = orient_antennae(uniform50, 2, PI)
+        rep = failure_sweep(res, max_failures=2, trials=20, seed=1)
+        assert rep.n == 50
+        assert rep.connectivity_order >= 1
+        assert 0.0 <= rep.survival(1) <= 1.0
+        assert math.isnan(rep.survival(9))
+
+    def test_invalid_max_failures(self, uniform50):
+        res = orient_antennae(uniform50, 2, PI)
+        with pytest.raises(InvalidParameterError):
+            failure_sweep(res, max_failures=-1)
+
+
+class TestInterference:
+    def test_directional_less_than_omni(self, uniform50):
+        directional = orient_antennae(uniform50, 3, 0.0)
+        omni = orient_omnidirectional(uniform50)
+        cmp = compare_interference(directional, omni)
+        assert cmp["directional_mean"] <= cmp["omni_mean"]
+        assert cmp["mean_reduction_factor"] >= 1.0
+
+    def test_report_fields(self, uniform50):
+        rep = interference_report(orient_antennae(uniform50, 2, PI))
+        assert rep.mean >= 0
+        assert rep.max >= rep.p95 - 1e-9
+        assert rep.total_covered_pairs >= 49  # at least a spanning structure
+
+    def test_from_matrix_empty(self):
+        rep = InterferenceReport.from_matrix(np.zeros((0, 0), dtype=bool))
+        assert rep.mean == 0.0 and rep.max == 0
+
+
+class TestCapacity:
+    def test_gupta_kumar_scaling(self):
+        assert transport_capacity_gupta_kumar(100) == pytest.approx(10.0)
+        assert transport_capacity_gupta_kumar(4, bandwidth_w=9.0) == pytest.approx(6.0)
+
+    def test_gupta_kumar_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            transport_capacity_gupta_kumar(0)
+        with pytest.raises(InvalidParameterError):
+            transport_capacity_gupta_kumar(4, bandwidth_w=0.0)
+
+    def test_yi_pei_gain(self):
+        assert capacity_gain_yi_pei(2 * PI) == pytest.approx(1.0)
+        assert capacity_gain_yi_pei(PI / 2) == pytest.approx(2.0)
+        assert capacity_gain_yi_pei(PI / 2, PI / 2) == pytest.approx(4.0)
+        assert capacity_gain_yi_pei(PI / 2, eta=2.0) == pytest.approx(1.0)
+
+    def test_yi_pei_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            capacity_gain_yi_pei(0.0)
+        with pytest.raises(InvalidParameterError):
+            capacity_gain_yi_pei(PI, 7.0)
+        with pytest.raises(InvalidParameterError):
+            capacity_gain_yi_pei(PI, eta=0.0)
+
+
+class TestMetrics:
+    def test_fields_consistent(self, uniform50):
+        res = orient_antennae(uniform50, 2, PI)
+        m = orientation_metrics(res)
+        assert m.strongly_connected
+        assert m.bound_satisfied()
+        assert m.critical_range <= m.realized_range + 1e-9
+        assert m.n == 50 and m.k == 2
+        assert m.as_dict()["algorithm"] == res.algorithm
+
+    def test_skip_critical(self, uniform50):
+        res = orient_antennae(uniform50, 3, 0.0)
+        m = orientation_metrics(res, compute_critical=False)
+        assert math.isnan(m.critical_range)

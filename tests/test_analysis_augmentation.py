@@ -1,0 +1,62 @@
+"""Unit tests for the 2-connectivity augmentation (§5 open problem)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.augmentation import augment_to_biconnectivity
+from repro.analysis.robustness import strong_connectivity_order
+from repro.core.planner import orient_antennae
+from repro.experiments.workloads import make_workload, spider_points
+from repro.geometry.points import PointSet
+
+PI = np.pi
+
+
+class TestAugmentation:
+    @pytest.mark.parametrize("k,phi", [(2, PI), (3, 0.0), (5, 0.0)])
+    def test_achieves_two_connectivity(self, k, phi):
+        pts = PointSet(make_workload("uniform", 24, seed=31))
+        base = orient_antennae(pts, k, phi)
+        augmented, report = augment_to_biconnectivity(base)
+        assert report.achieved
+        g = augmented.transmission_graph()
+        assert strong_connectivity_order(g) >= 2
+
+    def test_reports_extra_cost(self):
+        pts = PointSet(make_workload("uniform", 24, seed=31))
+        base = orient_antennae(pts, 2, PI)
+        augmented, report = augment_to_biconnectivity(base)
+        assert report.extra_antennae == len(report.extra_edges)
+        assert report.extra_antennae >= 1  # tree-backed nets are 1-connected
+        assert report.max_antennas_per_node >= 2
+        assert augmented.algorithm.endswith("+2conn")
+        assert augmented.stats["augmentation_extra"] == report.extra_antennae
+
+    def test_input_not_mutated(self):
+        pts = PointSet(make_workload("uniform", 20, seed=7))
+        base = orient_antennae(pts, 3, 0.0)
+        before = base.assignment.total_antennae()
+        augment_to_biconnectivity(base)
+        assert base.assignment.total_antennae() == before
+
+    def test_augmented_still_validates_connectivity(self):
+        pts = PointSet(make_workload("clustered", 28, seed=11))
+        base = orient_antennae(pts, 2, PI)
+        augmented, _ = augment_to_biconnectivity(base)
+        rep = augmented.validate()
+        assert rep.ok, rep.summary()
+
+    def test_spider_hub_requires_many_bypasses(self):
+        # Every leg of a spider hangs off the hub: bypassing it needs
+        # leg-to-leg edges, which are long. The report should say so.
+        pts = PointSet(spider_points(4, 2))
+        base = orient_antennae(pts, 3, 0.0)
+        augmented, report = augment_to_biconnectivity(base)
+        assert report.achieved
+        assert report.max_extra_edge_length > base.lmax  # bypass > tree edges
+
+    def test_tiny_instances(self):
+        pts = PointSet([[0.0, 0.0], [1.0, 0.0]])
+        base = orient_antennae(pts, 2, PI)
+        augmented, report = augment_to_biconnectivity(base)
+        assert report.extra_antennae == 0

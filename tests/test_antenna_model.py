@@ -1,0 +1,97 @@
+"""Unit tests for repro.antenna.model."""
+
+import numpy as np
+import pytest
+
+from repro.antenna.model import AntennaAssignment
+from repro.errors import InvalidParameterError
+from repro.geometry.sectors import Sector
+
+
+class TestConstruction:
+    def test_empty(self):
+        a = AntennaAssignment(3)
+        assert len(a) == 3
+        assert a.total_antennae() == 0
+
+    def test_from_sector_lists(self):
+        a = AntennaAssignment(2, [[Sector(0, 1)], [Sector(1, 0.5), Sector(2, 0.25)]])
+        assert list(a.counts()) == [1, 2]
+
+    def test_wrong_list_length_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AntennaAssignment(2, [[Sector(0, 1)]])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AntennaAssignment(-1)
+
+    def test_add_bounds_checked(self):
+        a = AntennaAssignment(2)
+        with pytest.raises(InvalidParameterError):
+            a.add(5, Sector(0, 1))
+
+    def test_non_sector_rejected(self):
+        a = AntennaAssignment(2)
+        with pytest.raises(InvalidParameterError):
+            a.add(0, "not a sector")  # type: ignore[arg-type]
+
+
+class TestAggregates:
+    def make(self) -> AntennaAssignment:
+        a = AntennaAssignment(3)
+        a.add(0, Sector(0.0, 1.0, 2.0))
+        a.add(0, Sector(1.0, 0.5, 3.0))
+        a.add(2, Sector(2.0, 0.0, 1.0))
+        return a
+
+    def test_counts(self):
+        assert list(self.make().counts()) == [2, 0, 1]
+
+    def test_spread_sums(self):
+        sums = self.make().spread_sums()
+        assert sums[0] == pytest.approx(1.5)
+        assert sums[1] == 0.0
+
+    def test_max_spread_sum(self):
+        assert self.make().max_spread_sum() == pytest.approx(1.5)
+
+    def test_max_radius(self):
+        assert self.make().max_radius() == pytest.approx(3.0)
+
+    def test_iteration_yields_pairs(self):
+        pairs = list(self.make())
+        assert len(pairs) == 3
+        assert all(isinstance(s, Sector) for _, s in pairs)
+
+    def test_getitem_copies(self):
+        a = self.make()
+        lst = a[0]
+        lst.append(Sector(0, 0))
+        assert len(a[0]) == 2
+
+    def test_extend(self):
+        a = AntennaAssignment(1)
+        a.extend(0, [Sector(0, 0), Sector(1, 0)])
+        assert a.total_antennae() == 2
+
+
+class TestTransforms:
+    def test_with_uniform_radius(self):
+        a = AntennaAssignment(2)
+        a.add(0, Sector(0.0, 1.0, 5.0))
+        a.add(1, Sector(1.0, 2.0, 7.0))
+        b = a.with_uniform_radius(3.0)
+        assert all(s.radius == 3.0 for _, s in b)
+        # original untouched
+        assert a.max_radius() == 7.0
+
+    def test_flattened(self):
+        a = AntennaAssignment(2)
+        a.add(1, Sector(0.5, 1.0, 2.0))
+        a.add(0, Sector(0.25, 0.0, 1.0))
+        idx, start, spread, radius = a.flattened()
+        assert list(idx) == [0, 1]
+        assert start[1] == pytest.approx(0.5)
+        assert spread[1] == pytest.approx(1.0)
+        assert radius[0] == pytest.approx(1.0)

@@ -1,0 +1,81 @@
+"""Unit tests for repro.antenna.validate."""
+
+import numpy as np
+import pytest
+
+from repro.antenna.model import AntennaAssignment
+from repro.antenna.validate import validate_assignment
+from repro.geometry.points import PointSet
+from repro.geometry.sectors import Sector, sector_toward
+
+
+def triangle() -> PointSet:
+    return PointSet([[0, 0], [1, 0], [0.5, 1.0]])
+
+
+def good_cycle(ps: PointSet) -> tuple[AntennaAssignment, np.ndarray]:
+    a = AntennaAssignment(3)
+    edges = []
+    for i in range(3):
+        j = (i + 1) % 3
+        a.add(i, sector_toward(ps[i], ps[j], radius=2.0))
+        edges.append((i, j))
+    return a, np.asarray(edges)
+
+
+class TestValidateAssignment:
+    def test_valid_cycle_passes(self):
+        ps = triangle()
+        a, edges = good_cycle(ps)
+        rep = validate_assignment(ps, a, edges, k=1, phi=0.0, range_bound=2.0)
+        assert rep.ok
+        assert rep.max_antennas == 1
+        assert "OK" in rep.summary()
+
+    def test_antenna_count_violation(self):
+        ps = triangle()
+        a, edges = good_cycle(ps)
+        a.add(0, Sector(0.0, 0.0, 1.0))
+        rep = validate_assignment(ps, a, edges, k=1)
+        assert not rep.ok
+        assert any(i.kind == "antenna-count" for i in rep.issues)
+
+    def test_spread_budget_violation(self):
+        ps = triangle()
+        a, edges = good_cycle(ps)
+        a.add(1, Sector(0.0, 1.0, 1.0))
+        rep = validate_assignment(ps, a, edges, phi=0.5)
+        assert any(i.kind == "spread-budget" for i in rep.issues)
+
+    def test_uncovered_intended_edge(self):
+        ps = triangle()
+        a, edges = good_cycle(ps)
+        bad_edges = np.vstack([edges, [[0, 2]]])  # 0 has no antenna at 2
+        rep = validate_assignment(ps, a, bad_edges)
+        assert any(i.kind == "uncovered-intended-edge" for i in rep.issues)
+
+    def test_range_bound_violation(self):
+        ps = triangle()
+        a, edges = good_cycle(ps)
+        rep = validate_assignment(ps, a, edges, range_bound=0.5)
+        assert any(i.kind == "range-bound" for i in rep.issues)
+
+    def test_intended_not_strongly_connected(self):
+        ps = triangle()
+        a, edges = good_cycle(ps)
+        rep = validate_assignment(ps, a, edges[:2])  # missing the closing edge
+        assert any(i.kind == "intended-connectivity" for i in rep.issues)
+
+    def test_transmission_check_can_be_skipped(self):
+        ps = triangle()
+        a, edges = good_cycle(ps)
+        rep = validate_assignment(ps, a, edges, check_transmission=False)
+        assert rep.ok
+
+    def test_multiple_issues_collected(self):
+        ps = triangle()
+        a, edges = good_cycle(ps)
+        a.add(0, Sector(0.0, 3.0, 1.0))
+        rep = validate_assignment(ps, a, edges, k=1, phi=0.1, range_bound=0.2)
+        kinds = {i.kind for i in rep.issues}
+        assert {"antenna-count", "spread-budget", "range-bound"} <= kinds

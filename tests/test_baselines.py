@@ -1,0 +1,82 @@
+"""Unit tests for repro.baselines (omni + exact tiny-instance search)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact_orientation import (
+    exact_min_range_single_antenna,
+    exact_min_spread_star,
+)
+from repro.baselines.omni import omnidirectional_critical_range, orient_omnidirectional
+from repro.core.kone import orient_k1_pairs
+from repro.core.lemma1 import optimal_star_spread
+from repro.errors import InvalidParameterError
+from repro.geometry.points import PointSet
+from repro.spanning.emst import euclidean_mst
+from tests.conftest import assert_result_valid
+
+PI = np.pi
+
+
+class TestOmni:
+    def test_critical_range_is_lmax(self, uniform50):
+        tree = euclidean_mst(uniform50, max_degree=None)
+        assert omnidirectional_critical_range(uniform50) == pytest.approx(tree.lmax)
+
+    def test_single_point(self):
+        assert omnidirectional_critical_range(PointSet([[0.0, 0.0]])) == 0.0
+
+    def test_orientation_valid(self, uniform50):
+        res = orient_omnidirectional(uniform50)
+        assert res.algorithm == "omnidirectional"
+        assert res.range_bound == 1.0
+        assert_result_valid(res)
+
+    def test_full_circle_sectors(self, uniform50):
+        res = orient_omnidirectional(uniform50)
+        assert all(s.spread == pytest.approx(2 * PI) for _, s in res.assignment)
+
+
+class TestExactMinSpreadStar:
+    def test_matches_closed_form(self, rng):
+        for _ in range(25):
+            d = int(rng.integers(2, 7))
+            k = int(rng.integers(1, d + 1))
+            ang = rng.uniform(0, 2 * PI, d)
+            assert exact_min_spread_star(ang, k) == pytest.approx(
+                optimal_star_spread(ang, k), abs=1e-9
+            )
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            exact_min_spread_star(np.array([0.0]), 0)
+
+
+class TestExactMinRangeSingleAntenna:
+    def test_triangle_full_spread(self):
+        ps = PointSet([[0, 0], [1, 0], [0.5, 0.9]])
+        # With spread 2pi the optimum equals the omnidirectional lmax.
+        r = exact_min_range_single_antenna(ps, 2 * PI - 1e-9)
+        tree = euclidean_mst(ps)
+        assert r == pytest.approx(tree.lmax)
+
+    def test_collinear_zero_spread(self):
+        # Three collinear points, spread 0: optimum is the middle-jump tour.
+        ps = PointSet([[0, 0], [1, 0], [2, 0]])
+        r = exact_min_range_single_antenna(ps, 0.0)
+        assert r == pytest.approx(2.0)
+
+    def test_upper_bounds_constructions(self, rng):
+        # The pair construction's range is never better than the optimum.
+        for seed in range(3):
+            pts = PointSet(np.random.default_rng(seed).random((6, 2)) * 3)
+            opt = exact_min_range_single_antenna(pts, PI)
+            res = orient_k1_pairs(pts, PI)
+            assert opt <= res.realized_range() + 1e-9
+
+    def test_size_guard(self, rng):
+        with pytest.raises(InvalidParameterError):
+            exact_min_range_single_antenna(PointSet(rng.random((10, 2))), PI)
+
+    def test_single_point(self):
+        assert exact_min_range_single_antenna(PointSet([[0.0, 0.0]]), PI) == 0.0

@@ -1,0 +1,58 @@
+"""Unit tests for repro.btsp.exact (Held–Karp bottleneck DP)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.btsp.exact import held_karp_bottleneck
+from repro.errors import InvalidParameterError
+from repro.geometry.points import PointSet, pairwise_distances
+
+
+def brute_force_bottleneck(coords: np.ndarray) -> float:
+    n = coords.shape[0]
+    d = pairwise_distances(coords)
+    best = np.inf
+    for perm in itertools.permutations(range(1, n)):
+        tour = (0, *perm, 0)
+        bn = max(d[a, b] for a, b in zip(tour[:-1], tour[1:]))
+        best = min(best, bn)
+    return best
+
+
+class TestHeldKarp:
+    def test_trivial_sizes(self):
+        assert held_karp_bottleneck(np.array([[0.0, 0.0]]))[1] == 0.0
+        order, bn = held_karp_bottleneck(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert bn == pytest.approx(5.0)
+        assert sorted(order) == [0, 1]
+
+    def test_square(self):
+        pts = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        order, bn = held_karp_bottleneck(pts)
+        assert bn == pytest.approx(1.0)
+        assert sorted(order) == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_matches_brute_force(self, n, rng):
+        coords = rng.random((n, 2)) * 5
+        _, bn = held_karp_bottleneck(coords)
+        assert bn == pytest.approx(brute_force_bottleneck(coords))
+
+    def test_order_is_valid_tour(self, rng):
+        coords = rng.random((8, 2))
+        order, bn = held_karp_bottleneck(coords)
+        assert sorted(order) == list(range(8))
+        d = pairwise_distances(coords)
+        idx = np.asarray(order + [order[0]])
+        assert d[idx[:-1], idx[1:]].max() == pytest.approx(bn)
+
+    def test_accepts_pointset(self, rng):
+        ps = PointSet(rng.random((6, 2)))
+        order, bn = held_karp_bottleneck(ps)
+        assert len(order) == 6
+
+    def test_size_guard(self, rng):
+        with pytest.raises(InvalidParameterError):
+            held_karp_bottleneck(rng.random((20, 2)))

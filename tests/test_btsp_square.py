@@ -1,0 +1,104 @@
+"""Unit tests for repro.btsp.square."""
+
+import numpy as np
+import pytest
+
+from repro.btsp.square import (
+    caterpillar_spine,
+    caterpillar_square_tour,
+    is_caterpillar,
+    tree_square_edges,
+)
+from repro.errors import InvalidParameterError
+from repro.experiments.workloads import caterpillar_points, spider_points
+from repro.geometry.points import PointSet
+from repro.spanning.emst import SpanningTree, euclidean_mst
+
+
+def path_tree(n: int) -> SpanningTree:
+    ps = PointSet([[float(i), 0.0] for i in range(n)])
+    return SpanningTree(ps, np.array([[i, i + 1] for i in range(n - 1)]))
+
+
+def star_tree(d: int) -> SpanningTree:
+    ang = np.linspace(0, 2 * np.pi, d, endpoint=False)
+    pts = np.vstack([[0, 0], np.stack([np.cos(ang), np.sin(ang)], axis=1)])
+    return SpanningTree(PointSet(pts), np.array([[0, i] for i in range(1, d + 1)]))
+
+
+class TestTreeSquare:
+    def test_path_square(self):
+        t = path_tree(5)
+        sq = {tuple(e) for e in tree_square_edges(t)}
+        assert (0, 1) in sq and (0, 2) in sq
+        assert (0, 3) not in sq
+
+    def test_star_square_is_complete(self):
+        t = star_tree(4)
+        sq = tree_square_edges(t)
+        assert sq.shape[0] == 5 * 4 // 2
+
+
+class TestCaterpillarDetection:
+    def test_paths_are_caterpillars(self):
+        assert is_caterpillar(path_tree(6))
+
+    def test_stars_are_caterpillars(self):
+        assert is_caterpillar(star_tree(5))
+
+    def test_spider_is_not(self):
+        tree = euclidean_mst(PointSet(spider_points(3, 2)))
+        assert not is_caterpillar(tree)
+
+    def test_generated_caterpillars(self):
+        for s in range(5):
+            tree = euclidean_mst(PointSet(caterpillar_points(7, seed=s)))
+            assert is_caterpillar(tree)
+
+    def test_spine_of_path(self):
+        spine = caterpillar_spine(path_tree(6))
+        assert spine is not None
+        assert len(spine) == 4  # internal vertices only
+
+
+class TestSquareTour:
+    def _assert_square_tour(self, tree: SpanningTree, tour: list[int]) -> None:
+        assert sorted(tour) == list(range(tree.n))
+        adj = [set(a) for a in tree.adjacency()]
+        for i in range(len(tour)):
+            a, b = tour[i], tour[(i + 1) % len(tour)]
+            assert b in adj[a] or (adj[a] & adj[b]), f"hop ({a},{b}) too long"
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 8, 13])
+    def test_path_tours(self, n):
+        tree = path_tree(n)
+        self._assert_square_tour(tree, caterpillar_square_tour(tree))
+
+    @pytest.mark.parametrize("d", [3, 4, 5])
+    def test_star_tours(self, d):
+        tree = star_tree(d)
+        self._assert_square_tour(tree, caterpillar_square_tour(tree))
+
+    def test_random_caterpillars(self):
+        for s in range(8):
+            tree = euclidean_mst(PointSet(caterpillar_points(6, seed=100 + s)))
+            self._assert_square_tour(tree, caterpillar_square_tour(tree))
+
+    def test_bottleneck_within_two_lmax(self):
+        for s in range(5):
+            ps = PointSet(caterpillar_points(7, seed=200 + s))
+            tree = euclidean_mst(ps)
+            tour = caterpillar_square_tour(tree)
+            coords = ps.coords
+            idx = np.asarray(tour + [tour[0]])
+            diffs = coords[idx[:-1]] - coords[idx[1:]]
+            bottleneck = float(np.hypot(diffs[:, 0], diffs[:, 1]).max())
+            assert bottleneck <= 2 * tree.lmax + 1e-9
+
+    def test_non_caterpillar_rejected(self):
+        tree = euclidean_mst(PointSet(spider_points(3, 2)))
+        with pytest.raises(InvalidParameterError):
+            caterpillar_square_tour(tree)
+
+    def test_tiny(self):
+        assert caterpillar_square_tour(path_tree(2)) == [0, 1]

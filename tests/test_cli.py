@@ -1,0 +1,84 @@
+"""Unit tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import _parse_phi, main
+from repro.experiments.workloads import uniform_points
+from repro.geometry.points import PointSet
+from repro.io import points_to_csv
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = str(tmp_path / "sensors.csv")
+    points_to_csv(PointSet(uniform_points(25, seed=9)), path)
+    return path
+
+
+class TestParsePhi:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("pi", np.pi),
+            ("2pi/3", 2 * np.pi / 3),
+            ("1.2pi", 1.2 * np.pi),
+            ("pi/2", np.pi / 2),
+            ("3.14", 3.14),
+            ("0", 0.0),
+        ],
+    )
+    def test_values(self, text, expected):
+        assert _parse_phi(text) == pytest.approx(expected)
+
+    def test_garbage_rejected(self):
+        import argparse
+
+        with pytest.raises((argparse.ArgumentTypeError, ValueError)):
+            _parse_phi("pie2")
+
+
+class TestPlanCommand:
+    def test_plan_and_save(self, csv_path, tmp_path, capsys):
+        out = str(tmp_path / "plan.json")
+        rc = main(["plan", "--input", csv_path, "--k", "2", "--phi", "pi",
+                   "--output", out])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "theorem3.part1" in stdout
+        data = json.loads(open(out).read())
+        assert data["k"] == 2
+
+    def test_plan_without_output(self, csv_path, capsys):
+        rc = main(["plan", "--input", csv_path, "--k", "3", "--phi", "0"])
+        assert rc == 0
+        assert "theorem5" in capsys.readouterr().out
+
+
+class TestBoundsCommand:
+    def test_table_printed(self, capsys):
+        assert main(["bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "Paper Table 1" in out
+        assert "Theorem 3" in out
+
+    def test_with_phi(self, capsys):
+        assert main(["bounds", "--phi", "pi"]) == 0
+        out = capsys.readouterr().out
+        assert "k=2" in out and "1.2856" in out
+
+
+class TestRenderAndValidate:
+    def test_full_workflow(self, csv_path, tmp_path, capsys):
+        plan = str(tmp_path / "plan.json")
+        svg = str(tmp_path / "plan.svg")
+        assert main(["plan", "--input", csv_path, "--k", "2", "--phi", "pi",
+                     "--output", plan]) == 0
+        assert main(["render", "--input", plan, "--output", svg]) == 0
+        content = open(svg).read()
+        assert content.startswith("<svg")
+        assert main(["validate", "--input", plan]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out

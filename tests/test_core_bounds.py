@@ -1,0 +1,148 @@
+"""Unit tests for repro.core.bounds (Table 1 formulas)."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    BTSP_RANGE,
+    THM3_PART1_RANGE,
+    THM5_RANGE,
+    THM6_RANGE,
+    kone_pair_bound,
+    paper_range_bound,
+    table1_rows,
+    thm2_phi_threshold,
+    thm3_part1_bound,
+    thm3_part2_bound,
+)
+from repro.errors import InvalidParameterError
+
+PI = math.pi
+
+
+class TestThresholds:
+    @pytest.mark.parametrize(
+        "k,expected",
+        [(1, 8 * PI / 5), (2, 6 * PI / 5), (3, 4 * PI / 5), (4, 2 * PI / 5), (5, 0.0), (7, 0.0)],
+    )
+    def test_thm2_threshold(self, k, expected):
+        assert thm2_phi_threshold(k) == pytest.approx(expected)
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            thm2_phi_threshold(0)
+
+
+class TestFormulas:
+    def test_part1_constant(self):
+        assert thm3_part1_bound() == pytest.approx(2 * math.sin(2 * PI / 9))
+        assert THM3_PART1_RANGE == pytest.approx(1.2855752194, rel=1e-9)
+
+    def test_part2_endpoints(self):
+        assert thm3_part2_bound(2 * PI / 3) == pytest.approx(math.sqrt(3.0))
+        assert thm3_part2_bound(PI) == pytest.approx(math.sqrt(2.0))
+
+    def test_part2_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            thm3_part2_bound(0.5)
+
+    def test_kone_pair_endpoints(self):
+        assert kone_pair_bound(PI) == pytest.approx(2.0)
+        assert kone_pair_bound(8 * PI / 5) == pytest.approx(
+            max(1.0, 2 * math.sin(PI / 5))
+        )
+
+    def test_kone_pair_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            kone_pair_bound(0.5)
+
+    def test_constants(self):
+        assert THM5_RANGE == pytest.approx(math.sqrt(3))
+        assert THM6_RANGE == pytest.approx(math.sqrt(2))
+        assert BTSP_RANGE == 2.0
+
+
+class TestTable1Rows:
+    def test_twelve_rows(self):
+        assert len(table1_rows()) == 12
+
+    def test_every_k_has_base_row(self):
+        rows = table1_rows()
+        for k in range(1, 6):
+            assert any(r.k == k and r.phi_lo == 0.0 for r in rows)
+
+    def test_row_evaluation(self):
+        rows = {(r.k, r.phi_description): r for r in table1_rows()}
+        assert rows[(2, "phi >= pi")].bound_at(PI) == pytest.approx(THM3_PART1_RANGE)
+        assert rows[(3, "phi >= 0")].bound_at(0.0) == pytest.approx(THM5_RANGE)
+
+
+class TestPaperRangeBound:
+    @pytest.mark.parametrize(
+        "k,phi,expected",
+        [
+            (1, 0.0, 2.0),
+            (1, PI, 2.0),  # 2 sin(pi - pi/2) = 2
+            (1, 1.4 * PI, 2 * math.sin(PI - 0.7 * PI)),
+            (1, 8 * PI / 5, 1.0),
+            (2, 0.0, 2.0),
+            (2, 2 * PI / 3, math.sqrt(3.0)),
+            (2, PI, THM3_PART1_RANGE),
+            (2, 6 * PI / 5, 1.0),
+            (3, 0.0, THM5_RANGE),
+            (3, 4 * PI / 5, 1.0),
+            (4, 0.0, THM6_RANGE),
+            (4, 2 * PI / 5, 1.0),
+            (5, 0.0, 1.0),
+        ],
+    )
+    def test_values(self, k, phi, expected):
+        bound, _ = paper_range_bound(k, phi)
+        assert bound == pytest.approx(expected)
+
+    def test_k_above_five_clamped(self):
+        assert paper_range_bound(9, 0.0)[0] == 1.0
+
+    def test_monotone_in_phi(self):
+        for k in range(1, 6):
+            prev = math.inf
+            for i in range(60):
+                phi = 2 * PI * i / 59
+                bound, _ = paper_range_bound(k, phi)
+                assert bound <= prev + 1e-12
+                prev = bound
+
+    def test_table1_not_monotone_in_k(self):
+        # Table 1 literally is NOT monotone in k: at phi = 2.4 the k = 2
+        # Theorem-3 row beats the k = 3 sqrt(3) row.
+        assert paper_range_bound(2, 2.4)[0] < paper_range_bound(3, 2.4)[0]
+
+    def test_best_achievable_monotone_in_k(self):
+        from repro.core.bounds import best_achievable_bound
+
+        for i in range(30):
+            phi = 2 * PI * i / 29
+            bounds = [best_achievable_bound(k, phi)[0] for k in range(1, 6)]
+            assert all(b1 >= b2 - 1e-12 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_best_achievable_uses_fewer_antennae(self):
+        from repro.core.bounds import best_achievable_bound
+
+        bound, k_used, _ = best_achievable_bound(3, 2.4)
+        assert k_used == 2
+        assert bound == pytest.approx(paper_range_bound(2, 2.4)[0])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            paper_range_bound(0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            paper_range_bound(2, -0.5)
+        with pytest.raises(InvalidParameterError):
+            paper_range_bound(2, 7.0)
+
+    def test_source_attribution(self):
+        _, src = paper_range_bound(2, PI)
+        assert "Theorem 3" in src
+        _, src = paper_range_bound(5, 0.0)
+        assert "folklore" in src

@@ -1,0 +1,121 @@
+"""Unit tests for the k = 1 algorithm family (repro.core.kone)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import kone_pair_bound
+from repro.core.kone import (
+    orient_k1,
+    orient_k1_pairs,
+    orient_k1_tour,
+    saturating_matching,
+)
+from repro.errors import InvalidParameterError
+from repro.experiments.workloads import spider_points, uniform_points
+from repro.geometry.points import PointSet
+from repro.spanning.emst import euclidean_mst
+from tests.conftest import assert_result_valid
+
+PI = np.pi
+
+
+class TestSaturatingMatching:
+    def test_matching_is_symmetric_and_on_edges(self, tree50):
+        m = saturating_matching(tree50)
+        edge_set = tree50.edge_set()
+        for u, v in m.items():
+            assert m[v] == u
+            assert (min(u, v), max(u, v)) in edge_set
+
+    def test_all_internal_saturated(self):
+        for seed in range(30):
+            tree = euclidean_mst(PointSet(uniform_points(40, seed=seed)))
+            m = saturating_matching(tree)
+            deg = tree.degrees()
+            for v in range(tree.n):
+                if deg[v] >= 2:
+                    assert v in m, f"internal vertex {v} unmatched (seed {seed})"
+
+    def test_spider_center_saturated(self):
+        tree = euclidean_mst(PointSet(spider_points(3, 2)))
+        m = saturating_matching(tree)
+        center = int(np.argmax(tree.degrees()))
+        assert center in m
+
+    def test_two_vertices(self):
+        tree = euclidean_mst(PointSet([[0, 0], [1, 0]]))
+        m = saturating_matching(tree)
+        # Both are leaves: empty matching is acceptable.
+        for u, v in m.items():
+            assert m[v] == u
+
+    def test_single_vertex(self):
+        assert saturating_matching(euclidean_mst(PointSet([[0, 0]]))) == {}
+
+
+class TestOrientK1Pairs:
+    @pytest.mark.parametrize("phi", [PI, 1.2 * PI, 1.5 * PI])
+    def test_valid_and_bounded(self, phi, uniform50):
+        res = orient_k1_pairs(uniform50, phi)
+        assert res.range_bound == pytest.approx(kone_pair_bound(phi))
+        assert int(res.assignment.counts().max()) == 1
+        assert_result_valid(res)
+
+    def test_spread_is_phi(self, uniform50):
+        res = orient_k1_pairs(uniform50, 1.3 * PI)
+        assert res.max_spread_sum() <= 1.3 * PI + 1e-9
+
+    def test_phi_below_pi_rejected(self, uniform50):
+        with pytest.raises(InvalidParameterError):
+            orient_k1_pairs(uniform50, 0.9 * PI)
+
+    def test_spider_instance(self):
+        ps = PointSet(spider_points(3, 2))
+        res = orient_k1_pairs(ps, PI)
+        assert_result_valid(res)
+
+    def test_range_tightens_with_phi(self, uniform50):
+        r1 = orient_k1_pairs(uniform50, PI)
+        r2 = orient_k1_pairs(uniform50, 1.5 * PI)
+        assert r2.range_bound < r1.range_bound
+
+
+class TestOrientK1Tour:
+    def test_hamiltonian_structure(self, uniform50):
+        res = orient_k1_tour(uniform50)
+        n = len(uniform50)
+        assert res.intended_edges.shape == (n, 2)
+        out = np.bincount(res.intended_edges[:, 0], minlength=n)
+        inn = np.bincount(res.intended_edges[:, 1], minlength=n)
+        assert np.all(out == 1) and np.all(inn == 1)
+        assert_result_valid(res)
+
+    def test_zero_spread(self, uniform50):
+        res = orient_k1_tour(uniform50)
+        assert res.max_spread_sum() == 0.0
+
+    def test_stats_include_lower_bound(self, uniform50):
+        res = orient_k1_tour(uniform50)
+        assert res.stats["paper_row_bound"] == 2.0
+        assert res.stats["approx_ratio"] >= 1.0 - 1e-12
+
+    def test_spider_exceeds_two(self):
+        ps = PointSet(spider_points(3, 2))
+        res = orient_k1_tour(ps)
+        # The optimal bottleneck on the 3-leg spider is > 2 lmax.
+        assert res.range_bound > 2.0
+
+
+class TestOrientK1Dispatch:
+    def test_regimes(self, uniform50):
+        assert orient_k1(uniform50, 0.5).algorithm == "k1-tour"
+        assert orient_k1(uniform50, 1.1 * PI).algorithm == "k1-pairs"
+        assert orient_k1(uniform50, 1.7 * PI).algorithm == "theorem2"
+
+    def test_negative_phi_rejected(self, uniform50):
+        with pytest.raises(InvalidParameterError):
+            orient_k1(uniform50, -0.1)
+
+    def test_all_regimes_valid(self, clustered60):
+        for phi in (0.0, PI, 1.3 * PI, 1.7 * PI):
+            assert_result_valid(orient_k1(clustered60, phi))

@@ -1,0 +1,48 @@
+"""Unit tests for repro.core.ktwo_zero (LCRS construction)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ktwo_zero import orient_k2_zero_spread
+from repro.experiments.workloads import spider_points
+from repro.geometry.points import PointSet
+from tests.conftest import assert_result_valid
+
+
+class TestK2ZeroSpread:
+    def test_valid_on_uniform(self, uniform50):
+        res = orient_k2_zero_spread(uniform50)
+        assert res.range_bound == 2.0
+        assert_result_valid(res)
+
+    def test_range_within_two_lmax(self, clustered60):
+        res = orient_k2_zero_spread(clustered60)
+        assert res.realized_range_normalized() <= 2.0 + 1e-9
+
+    def test_zero_spread_everywhere(self, uniform50):
+        res = orient_k2_zero_spread(uniform50)
+        assert res.max_spread_sum() == 0.0
+
+    def test_at_most_two_antennas(self, clustered60):
+        res = orient_k2_zero_spread(clustered60)
+        assert int(res.assignment.counts().max()) <= 2
+
+    def test_spider_works_where_k1_cannot(self):
+        # The spider defeats k=1 range-2 tours; k=2 handles it within 2 lmax.
+        ps = PointSet(spider_points(3, 2))
+        res = orient_k2_zero_spread(ps)
+        assert res.realized_range_normalized() <= 2.0 + 1e-9
+        assert_result_valid(res)
+
+    def test_sibling_edge_stat(self, clustered60):
+        res = orient_k2_zero_spread(clustered60)
+        assert res.stats["max_sibling_edge_normalized"] <= 2.0 + 1e-9
+
+    def test_small_instances(self):
+        assert_result_valid(orient_k2_zero_spread(PointSet([[0, 0], [1, 0]])))
+        res = orient_k2_zero_spread(PointSet([[0.0, 0.0]]))
+        assert res.intended_edges.size == 0
+
+    def test_custom_root(self, uniform50, tree50):
+        res = orient_k2_zero_spread(uniform50, tree=tree50, root=3)
+        assert_result_valid(res)

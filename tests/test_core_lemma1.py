@@ -1,0 +1,123 @@
+"""Unit tests for repro.core.lemma1."""
+
+import numpy as np
+import pytest
+
+from repro.core.lemma1 import (
+    lemma1_orientation,
+    lemma1_required_spread,
+    optimal_star_cover,
+    optimal_star_spread,
+)
+from repro.errors import InvalidParameterError
+from repro.experiments.workloads import regular_polygon_star
+
+TWO_PI = 2 * np.pi
+
+
+def ring_points(angles: np.ndarray, radius: float = 1.0) -> np.ndarray:
+    return np.stack([radius * np.cos(angles), radius * np.sin(angles)], axis=1)
+
+
+def total_spread(sectors) -> float:
+    return sum(s.spread for s in sectors)
+
+
+def all_covered(sectors, apex, neighbors) -> bool:
+    return all(any(s.covers_point(apex, p) for s in sectors) for p in neighbors)
+
+
+class TestRequiredSpread:
+    @pytest.mark.parametrize("d,k,expected", [
+        (5, 1, TWO_PI * 4 / 5), (5, 2, TWO_PI * 3 / 5), (5, 5, 0.0),
+        (3, 2, TWO_PI / 3), (4, 2, np.pi), (2, 1, np.pi),
+    ])
+    def test_formula(self, d, k, expected):
+        assert lemma1_required_spread(d, k) == pytest.approx(expected)
+
+    def test_k_at_least_d_is_zero(self):
+        assert lemma1_required_spread(3, 7) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            lemma1_required_spread(3, 0)
+
+
+class TestOptimalStarSpread:
+    def test_regular_polygon_is_tight(self):
+        for d in range(2, 7):
+            ang = np.linspace(0, TWO_PI, d, endpoint=False)
+            for k in range(1, d):
+                assert optimal_star_spread(ang, k) == pytest.approx(
+                    lemma1_required_spread(d, k)
+                )
+
+    def test_k_ge_d_zero(self):
+        assert optimal_star_spread(np.array([0.0, 1.0]), 2) == 0.0
+
+    def test_irregular_less_than_bound(self, rng):
+        ang = np.sort(rng.uniform(0, TWO_PI, 5))
+        for k in range(1, 5):
+            assert optimal_star_spread(ang, k) <= lemma1_required_spread(5, k) + 1e-9
+
+
+class TestLemma1Orientation:
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_covers_all_within_budget(self, d, k, rng):
+        for _ in range(30):
+            ang = np.sort(rng.uniform(0, TWO_PI, d))
+            nbrs = ring_points(ang, radius=rng.uniform(0.5, 1.0))
+            sectors = lemma1_orientation((0.0, 0.0), nbrs, k)
+            assert len(sectors) <= k
+            assert all_covered(sectors, (0.0, 0.0), nbrs)
+            assert total_spread(sectors) <= lemma1_required_spread(d, k) + 1e-9
+
+    def test_k_ge_d_uses_rays(self):
+        nbrs = ring_points(np.array([0.0, 2.0, 4.0]))
+        sectors = lemma1_orientation((0.0, 0.0), nbrs, 5)
+        assert len(sectors) == 3
+        assert all(s.spread == 0.0 for s in sectors)
+
+    def test_zero_neighbors(self):
+        assert lemma1_orientation((0.0, 0.0), np.empty((0, 2)), 2) == []
+
+    def test_neighbor_at_apex_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            lemma1_orientation((0.0, 0.0), np.array([[0.0, 0.0]]), 1)
+
+    def test_radius_applied(self):
+        nbrs = ring_points(np.array([0.0, 3.0]))
+        sectors = lemma1_orientation((0.0, 0.0), nbrs, 1, radius=2.5)
+        assert all(s.radius == 2.5 for s in sectors)
+
+
+class TestOptimalStarCover:
+    @pytest.mark.parametrize("d,k", [(3, 1), (4, 2), (5, 2), (5, 3), (5, 4)])
+    def test_covers_all_with_optimal_spread(self, d, k, rng):
+        for _ in range(30):
+            ang = np.sort(rng.uniform(0, TWO_PI, d))
+            nbrs = ring_points(ang)
+            sectors = optimal_star_cover((0.0, 0.0), nbrs, k)
+            assert len(sectors) <= k
+            assert all_covered(sectors, (0.0, 0.0), nbrs)
+            assert total_spread(sectors) == pytest.approx(
+                optimal_star_spread(ang, k), abs=1e-9
+            )
+
+    def test_never_worse_than_lemma1(self, rng):
+        for _ in range(40):
+            d = int(rng.integers(2, 6))
+            k = int(rng.integers(1, d + 1))
+            ang = np.sort(rng.uniform(0, TWO_PI, d))
+            nbrs = ring_points(ang)
+            opt = total_spread(optimal_star_cover((0.0, 0.0), nbrs, k))
+            lem = total_spread(lemma1_orientation((0.0, 0.0), nbrs, k))
+            assert opt <= lem + 1e-9
+
+    def test_regular_polygon_star_workload(self):
+        pts = regular_polygon_star(5)
+        hub, ring = pts[0], pts[1:]
+        sectors = optimal_star_cover(hub, ring, 2)
+        assert all_covered(sectors, hub, ring)
+        assert total_spread(sectors) == pytest.approx(TWO_PI * 3 / 5)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.core.planner (Table-1 dispatch)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import paper_range_bound
+from repro.core.planner import choose_algorithm, orient_antennae
+from repro.errors import InvalidParameterError
+from tests.conftest import assert_result_valid
+
+PI = np.pi
+
+
+class TestChooseAlgorithm:
+    @pytest.mark.parametrize(
+        "k,phi,expected",
+        [
+            (1, 0.0, "k1-tour"),
+            (1, PI, "k1-pairs"),
+            (1, 8 * PI / 5, "theorem2"),
+            (2, 0.0, "k2-zero-spread"),
+            (2, 2 * PI / 3, "theorem3.part2"),
+            (2, PI, "theorem3.part1"),
+            (2, 6 * PI / 5, "theorem2"),
+            (3, 0.0, "theorem5"),
+            (3, 4 * PI / 5, "theorem2"),
+            (4, 0.0, "theorem6"),
+            (4, 2 * PI / 5, "theorem2"),
+            (5, 0.0, "theorem2"),
+            (9, 0.0, "theorem2"),
+            # Smart dispatch: fewer antennae when Table 1 is non-monotone
+            # (phi in [2pi/3, 4pi/5): two antennae beat the sqrt(3) row).
+            (3, 2.4, "theorem3.part2"),
+            (3, PI, "theorem2"),
+            (4, 1.3, "theorem2"),
+        ],
+    )
+    def test_dispatch_table(self, k, phi, expected):
+        assert choose_algorithm(k, phi) == expected
+
+    def test_k_used_recorded(self, uniform50):
+        res = orient_antennae(uniform50, 3, 2.4)
+        assert res.stats["k_used"] == 2
+        assert res.k == 3
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            choose_algorithm(0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            choose_algorithm(2, -1.0)
+
+
+class TestOrientAntennae:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_bound_matches_table1(self, k, uniform50):
+        for phi in (0.0, 0.8 * PI, 1.25 * PI):
+            res = orient_antennae(uniform50, k, phi)
+            expected, _ = paper_range_bound(k, phi)
+            if not (k == 1 and phi < PI):  # BTSP row reports measured range
+                assert res.range_bound <= expected + 1e-9
+            assert_result_valid(res)
+
+    def test_stats_carry_table1_reference(self, uniform50):
+        res = orient_antennae(uniform50, 2, PI)
+        assert res.stats["table1_bound"] == pytest.approx(
+            paper_range_bound(2, PI)[0]
+        )
+        assert "Theorem 3" in res.stats["table1_source"]
+
+    def test_tree_reuse(self, uniform50, tree50):
+        res1 = orient_antennae(uniform50, 2, PI, tree=tree50)
+        res2 = orient_antennae(uniform50, 2, PI, tree=tree50)
+        assert np.array_equal(res1.intended_edges, res2.intended_edges)
+
+    def test_raw_array_input(self, rng):
+        res = orient_antennae(rng.random((20, 2)), 3, 0.0)
+        assert_result_valid(res)
+
+    def test_result_summary_is_string(self, uniform50):
+        res = orient_antennae(uniform50, 2, PI)
+        text = res.summary()
+        assert "theorem3.part1" in text and "k=2" in text

@@ -1,0 +1,73 @@
+"""Unit tests for repro.core.theorem2."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import thm2_phi_threshold
+from repro.core.theorem2 import orient_theorem2
+from repro.errors import InvalidParameterError
+from repro.geometry.points import PointSet
+from repro.graph.connectivity import is_strongly_connected
+from tests.conftest import assert_result_valid
+
+
+class TestOrientTheorem2:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_all_k_valid(self, k, uniform50):
+        res = orient_theorem2(uniform50, k)
+        assert res.range_bound == 1.0
+        assert res.realized_range_normalized() <= 1.0 + 1e-9
+        assert_result_valid(res)
+
+    def test_bidirected_mst_edges(self, uniform50, tree50):
+        res = orient_theorem2(uniform50, 2, tree=tree50)
+        intended = {(int(u), int(v)) for u, v in res.intended_edges}
+        for u, v in tree50.edges:
+            assert (int(u), int(v)) in intended
+            assert (int(v), int(u)) in intended
+
+    def test_phi_below_threshold_rejected(self, uniform50):
+        with pytest.raises(InvalidParameterError):
+            orient_theorem2(uniform50, 2, phi=1.0)
+
+    def test_phi_defaults_to_threshold(self, uniform50):
+        res = orient_theorem2(uniform50, 3)
+        assert res.phi == pytest.approx(thm2_phi_threshold(3))
+
+    def test_spread_within_threshold(self, clustered60):
+        for k in (1, 2, 3):
+            res = orient_theorem2(clustered60, k)
+            assert res.max_spread_sum() <= thm2_phi_threshold(k) + 1e-9
+
+    def test_lemma1_construction_variant(self, clustered60):
+        res = orient_theorem2(clustered60, 2, construction="lemma1")
+        assert_result_valid(res)
+        opt = orient_theorem2(clustered60, 2, construction="optimal")
+        assert opt.max_spread_sum() <= res.max_spread_sum() + 1e-9
+
+    def test_unknown_construction(self, uniform50):
+        with pytest.raises(InvalidParameterError):
+            orient_theorem2(uniform50, 2, construction="magic")
+
+    def test_invalid_k(self, uniform50):
+        with pytest.raises(InvalidParameterError):
+            orient_theorem2(uniform50, 0)
+
+    def test_single_point(self):
+        res = orient_theorem2(PointSet([[0.0, 0.0]]), 2)
+        assert is_strongly_connected(res.transmission_graph())
+
+    def test_two_points(self):
+        res = orient_theorem2(PointSet([[0.0, 0.0], [2.0, 0.0]]), 1)
+        assert_result_valid(res)
+        assert res.realized_range() == pytest.approx(2.0)
+
+    def test_k_above_five(self, uniform50):
+        res = orient_theorem2(uniform50, 8)
+        assert_result_valid(res)
+
+    def test_star5_instance(self, star5):
+        # Degree-5 hub with k=1: the hub needs spread <= 8pi/5.
+        res = orient_theorem2(star5, 1)
+        assert_result_valid(res)
+        assert res.max_spread_sum() <= thm2_phi_threshold(1) + 1e-9

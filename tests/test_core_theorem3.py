@@ -1,0 +1,155 @@
+"""Unit tests for repro.core.theorem3 (the main k = 2 result)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import thm3_part1_bound, thm3_part2_bound
+from repro.core.theorem3 import Theorem3Engine, orient_theorem3
+from repro.errors import InvalidParameterError
+from repro.experiments.workloads import clustered_points, perturbed_star
+from repro.geometry.points import PointSet
+from repro.spanning.emst import euclidean_mst
+from repro.spanning.rooted import RootedTree
+from tests.conftest import assert_result_valid
+
+PI = np.pi
+
+
+class TestDispatchAndValidation:
+    def test_part1_bound(self, uniform50):
+        res = orient_theorem3(uniform50, PI)
+        assert res.algorithm == "theorem3.part1"
+        assert res.range_bound == pytest.approx(thm3_part1_bound())
+        assert_result_valid(res)
+
+    @pytest.mark.parametrize("phi", [2 * PI / 3, 0.75 * PI, 0.9 * PI])
+    def test_part2_bound(self, phi, uniform50):
+        res = orient_theorem3(uniform50, phi)
+        assert res.algorithm == "theorem3.part2"
+        assert res.range_bound == pytest.approx(thm3_part2_bound(phi))
+        assert_result_valid(res)
+
+    def test_phi_too_small_rejected(self, uniform50):
+        with pytest.raises(InvalidParameterError):
+            orient_theorem3(uniform50, 1.0)
+
+    def test_two_antennas_max(self, clustered60):
+        res = orient_theorem3(clustered60, PI)
+        assert int(res.assignment.counts().max()) <= 2
+
+    def test_spread_budget_pi(self, clustered60):
+        res = orient_theorem3(clustered60, PI)
+        assert res.max_spread_sum() <= PI + 1e-9
+
+    def test_spread_budget_part2(self, clustered60):
+        phi = 0.8 * PI
+        res = orient_theorem3(clustered60, phi)
+        assert res.max_spread_sum() <= phi + 1e-9
+
+    def test_forced_part2_at_pi(self, uniform50):
+        res = orient_theorem3(uniform50, PI, part=2)
+        assert res.range_bound == pytest.approx(np.sqrt(2.0))
+        assert_result_valid(res)
+
+    def test_part1_below_pi_rejected(self, uniform50):
+        with pytest.raises(InvalidParameterError):
+            orient_theorem3(uniform50, 0.9 * PI, part=1)
+
+    def test_bad_part_value(self, uniform50):
+        with pytest.raises(InvalidParameterError):
+            orient_theorem3(uniform50, PI, part=3)
+
+    def test_root_must_be_leaf(self, uniform50, tree50):
+        internal = int(np.flatnonzero(tree50.degrees() >= 2)[0])
+        with pytest.raises(InvalidParameterError):
+            orient_theorem3(uniform50, PI, tree=tree50, root=internal)
+
+    def test_explicit_leaf_root(self, uniform50, tree50):
+        leaf = int(tree50.leaves()[-1])
+        res = orient_theorem3(uniform50, PI, tree=tree50, root=leaf)
+        assert_result_valid(res)
+
+    def test_single_point(self):
+        res = orient_theorem3(PointSet([[0.0, 0.0]]), PI)
+        assert res.intended_edges.size == 0
+
+    def test_two_points(self):
+        res = orient_theorem3(PointSet([[0, 0], [1, 0]]), PI)
+        assert_result_valid(res)
+
+    def test_case_stats_recorded(self, clustered60):
+        res = orient_theorem3(clustered60, PI)
+        assert res.stats["part"] == 1
+        assert res.stats["cases"]["root"] == 1
+        assert sum(res.stats["cases"].values()) >= len(clustered60)
+
+
+class TestHighDegreeInstances:
+    @pytest.mark.parametrize("d", [4, 5])
+    @pytest.mark.parametrize("phi", [PI, 0.7 * PI, 2 * PI / 3])
+    def test_star_families(self, d, phi):
+        for s in range(10):
+            pts = PointSet(perturbed_star(d, leg=2, seed=1000 * d + s))
+            res = orient_theorem3(pts, phi)
+            assert_result_valid(res)
+
+    def test_deg5_cases_fire(self):
+        seen = set()
+        for s in range(25):
+            pts = PointSet(perturbed_star(5, leg=2, seed=s))
+            res = orient_theorem3(pts, PI)
+            seen.update(res.stats["cases"])
+        assert any(c.startswith("deg5") for c in seen)
+
+
+class TestBoundTightness:
+    """A witness instance where part 1's realized range EQUALS the bound.
+
+    Hub with parent on the zero ray and four unit children whose inner gaps
+    are all exactly 4π/9: the big-gap case must delegate across a 4π/9 gap,
+    whose chord at unit radii is exactly 2·sin(2π/9) — the theorem's range.
+    """
+
+    def test_part1_bound_attained(self):
+        g = 4 * PI / 9
+        base = 2 * PI / 3 / 2  # p-gap is 2pi/3, split evenly around the parent
+        pos = np.array([base, base + g, base + 2 * g, base + 3 * g])
+        pts = [(1.0, 0.0), (0.0, 0.0)]  # parent (root leaf), hub
+        pts += [(np.cos(a), np.sin(a)) for a in pos]
+        ps = PointSet(np.asarray(pts))
+        from repro.spanning.emst import SpanningTree
+
+        tree = SpanningTree(ps, np.asarray([[0, 1], [1, 2], [1, 3], [1, 4], [1, 5]]))
+        res = orient_theorem3(ps, PI, tree=tree, root=0)
+        assert_result_valid(res)
+        bound = 2 * np.sin(2 * PI / 9)
+        assert res.realized_range_normalized() == pytest.approx(bound, rel=1e-9)
+        assert any(c.startswith("deg5.biggap") for c in res.stats["cases"])
+
+
+class TestProperty1Engine:
+    """Direct Property-1 checks: the root also covers an imaginary point."""
+
+    @pytest.mark.parametrize("angle_i", range(8))
+    def test_imaginary_point_covered(self, angle_i, clustered60):
+        tree = euclidean_mst(clustered60)
+        rooted = RootedTree.rooted_at_leaf(tree)
+        bound = thm3_part1_bound()
+        radius = bound * tree.lmax
+        theta = 2 * PI * angle_i / 8
+        p = clustered60[rooted.root] + 0.9 * radius * np.array(
+            [np.cos(theta), np.sin(theta)]
+        )
+        engine = Theorem3Engine(rooted, PI, 1, radius)
+        engine.run(root_cover=p)
+        covered = any(
+            s.covers_point(clustered60[rooted.root], p)
+            for s in engine.assignment[rooted.root]
+        )
+        assert covered
+        # The intended edges still strongly connect the tree.
+        from repro.graph.connectivity import is_strongly_connected
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph(tree.n, np.asarray(engine.intended))
+        assert is_strongly_connected(g)

@@ -1,0 +1,134 @@
+"""Targeted geometry tests for individual Theorem-3 case handlers.
+
+Each test builds a specific point configuration known to route the root's
+child through a particular branch of the case analysis and asserts the
+resulting orientation is valid and the expected case label was recorded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.theorem3 import orient_theorem3
+from repro.geometry.points import PointSet
+from repro.spanning.emst import SpanningTree, euclidean_mst
+from tests.conftest import assert_result_valid
+
+PI = np.pi
+
+
+def hub_with_spokes(spoke_angles, spoke_r=1.0, leg2=()):
+    """Hub at origin; unit spokes at given angles; optional 2nd-hop points.
+
+    Returns points with the hub at index 1 and a guaranteed leaf at index 0
+    (the root anchor placed far along the first spoke's opposite side).
+    """
+    pts = [(2.0 * np.cos(spoke_angles[0] + PI), 2.0 * np.sin(spoke_angles[0] + PI))]
+    # ^ anchor leaf at distance 2 opposite the first spoke — wait: we instead
+    # anchor through a dedicated angle passed by callers as spoke_angles[0].
+    pts = []
+    pts.append((0.0, 0.0))  # hub
+    for a in spoke_angles:
+        pts.append((spoke_r * np.cos(a), spoke_r * np.sin(a)))
+    for (a, r) in leg2:
+        pts.append((r * np.cos(a), r * np.sin(a)))
+    return np.asarray(pts)
+
+
+class TestDegreeCases:
+    def test_deg3_all_gap_choices(self):
+        # Hub (deg 3 incl. parent): parent at angle 0; children placed so the
+        # smallest gap rotates through the three possibilities.
+        for child_angles, expect in [
+            ((0.7, 2.8), "deg3.gap0"),   # smallest gap parent->c1
+            ((1.5, 2.2), "deg3.gap1"),   # smallest gap c1->c2
+            ((2.0, 5.6), "deg3.gap2"),   # smallest gap c2->parent
+        ]:
+            pts = hub_with_spokes((0.0, *child_angles))
+            ps = PointSet(pts)
+            tree = SpanningTree(ps, np.array([[0, 1], [0, 2], [0, 3]]))
+            res = orient_theorem3(ps, PI, tree=tree, root=1)
+            assert expect in res.stats["cases"], res.stats["cases"]
+            assert_result_valid(res)
+
+    def test_deg4_part1_forward_and_backward(self):
+        # Children packed ccw close after the parent ray -> forward sweep.
+        pts = hub_with_spokes((0.0, 1.2, 2.3, 3.4))
+        ps = PointSet(pts)
+        tree = SpanningTree(ps, np.array([[0, 1], [0, 2], [0, 3], [0, 4]]))
+        res = orient_theorem3(ps, PI, tree=tree, root=1)
+        assert any(c.startswith("deg4.p1") for c in res.stats["cases"])
+        assert_result_valid(res)
+
+    def test_deg4_part2_direct_cases(self):
+        # Children clustered tightly: one phi-sector reaches all three.
+        pts = hub_with_spokes((0.0, 2.2, 3.3, 4.4))
+        ps = PointSet(pts)
+        tree = SpanningTree(ps, np.array([[0, 1], [0, 2], [0, 3], [0, 4]]))
+        res = orient_theorem3(ps, 0.8 * PI, tree=tree, root=1)
+        cases = res.stats["cases"]
+        assert any(c.startswith("deg4.p2") for c in cases)
+        assert_result_valid(res)
+
+    def test_deg4_part2_delegation(self):
+        # Spread children so both outer sweeps exceed phi = 2pi/3 + 0.01:
+        # angles chosen so c3->c1 (through p) and c1->c3 both > phi.
+        phi = 2 * PI / 3 + 0.01
+        pts = hub_with_spokes((0.0, 1.25, 2.85, 4.6))
+        ps = PointSet(pts)
+        tree = SpanningTree(ps, np.array([[0, 1], [0, 2], [0, 3], [0, 4]]))
+        res = orient_theorem3(ps, phi, tree=tree, root=1)
+        assert_result_valid(res)
+
+    def test_deg5_part1_second_case(self):
+        # Parent in the p-gap (normal rooting): big-gap construction fires.
+        angles = (0.0, 1.3, 2.5, 3.7, 4.9)
+        pts = hub_with_spokes(angles)
+        ps = PointSet(pts)
+        tree = SpanningTree(ps, np.array([[0, i] for i in range(1, 6)]))
+        res = orient_theorem3(ps, PI, tree=tree, root=1)
+        assert any(c.startswith("deg5.biggap") for c in res.stats["cases"])
+        assert_result_valid(res)
+
+    def test_deg5_part2_paths(self):
+        for phi in (2 * PI / 3 + 0.02, 0.75 * PI, 0.95 * PI):
+            angles = (0.0, 1.1, 2.4, 3.6, 5.0)
+            pts = hub_with_spokes(angles)
+            ps = PointSet(pts)
+            tree = SpanningTree(ps, np.array([[0, i] for i in range(1, 6)]))
+            res = orient_theorem3(ps, phi, tree=tree, root=1)
+            assert_result_valid(res)
+
+    def test_range_bound_honored_on_many_stars(self):
+        # Sweep dozens of random 5-spoke hubs; realized range stays in bound.
+        rng = np.random.default_rng(99)
+        for _ in range(40):
+            base = np.sort(rng.uniform(0, 2 * PI, 5))
+            gaps = np.diff(np.concatenate([base, [base[0] + 2 * PI]]))
+            if gaps.min() < PI / 3 + 0.02:
+                continue
+            pts = hub_with_spokes(tuple(base))
+            ps = PointSet(pts)
+            tree = SpanningTree(ps, np.array([[0, i] for i in range(1, 6)]))
+            for phi, part in ((PI, 1), (0.8 * PI, 2)):
+                res = orient_theorem3(ps, phi, tree=tree, root=1)
+                assert res.realized_range() <= res.range_bound_absolute * (1 + 1e-7)
+
+
+class TestSiblingDelegationDepth:
+    """Delegation chains recurse: a delegated child may itself be deg-5."""
+
+    def test_two_level_star(self):
+        # Level-1 hub with 5 spokes; one spoke continues into its own hub.
+        rng = np.random.default_rng(5)
+        base = np.array([0.0, 1.26, 2.51, 3.77, 5.03])
+        pts = [(0.0, 0.0)]
+        for a in base:
+            pts.append((np.cos(a), np.sin(a)))
+        # extend spoke 2 with a secondary 4-spoke hub
+        hub2 = np.array(pts[2])
+        for da in (0.6, 1.9, 3.2, 4.5):
+            pts.append(tuple(hub2 + 0.95 * np.array([np.cos(da), np.sin(da)])))
+        ps = PointSet(np.asarray(pts))
+        tree = euclidean_mst(ps)
+        res = orient_theorem3(ps, PI)
+        assert_result_valid(res)

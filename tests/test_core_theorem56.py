@@ -1,0 +1,95 @@
+"""Unit tests for Theorems 5 and 6 (and the shared star-chain engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core.star_tree import orient_star_chain_tree
+from repro.core.theorem5 import orient_theorem5
+from repro.core.theorem6 import orient_theorem6
+from repro.errors import InvalidParameterError
+from repro.experiments.workloads import perturbed_star
+from repro.geometry.points import PointSet
+from tests.conftest import assert_result_valid
+
+
+class TestTheorem5:
+    def test_valid_on_uniform(self, uniform50):
+        res = orient_theorem5(uniform50)
+        assert res.range_bound == pytest.approx(np.sqrt(3.0))
+        assert_result_valid(res)
+
+    def test_three_antennas_max(self, clustered60):
+        res = orient_theorem5(clustered60)
+        assert int(res.assignment.counts().max()) <= 3
+
+    def test_all_zero_spread(self, uniform50):
+        res = orient_theorem5(uniform50)
+        assert res.max_spread_sum() == 0.0
+
+    def test_out_degree_invariant(self, clustered60):
+        # Every vertex's intended out-degree is at most 3 (k antennae), and
+        # the *root gadget* out-degree (chain heads) is at most 2.
+        res = orient_theorem5(clustered60)
+        out = {}
+        for u, v in res.intended_edges:
+            out[int(u)] = out.get(int(u), 0) + 1
+        assert max(out.values()) <= 3
+
+    def test_chain_edges_within_sqrt3(self, star5):
+        res = orient_theorem5(star5)
+        assert res.stats["max_chain_edge_normalized"] <= np.sqrt(3.0) + 1e-9
+        assert_result_valid(res)
+
+    def test_root_parameter(self, uniform50, tree50):
+        res = orient_theorem5(uniform50, tree=tree50, root=7)
+        assert_result_valid(res)
+
+    def test_single_and_two_points(self):
+        assert orient_theorem5(PointSet([[0, 0]])).intended_edges.size == 0
+        res = orient_theorem5(PointSet([[0, 0], [1, 0]]))
+        assert_result_valid(res)
+
+
+class TestTheorem6:
+    def test_valid_on_uniform(self, uniform50):
+        res = orient_theorem6(uniform50)
+        assert res.range_bound == pytest.approx(np.sqrt(2.0))
+        assert_result_valid(res)
+
+    def test_four_antennas_max(self, clustered60):
+        res = orient_theorem6(clustered60)
+        assert int(res.assignment.counts().max()) <= 4
+
+    def test_chain_edges_within_sqrt2(self):
+        for s in range(10):
+            ps = PointSet(perturbed_star(5, leg=1, seed=s))
+            res = orient_theorem6(ps)
+            assert res.stats["max_chain_edge_normalized"] <= np.sqrt(2.0) + 1e-9
+            assert_result_valid(res)
+
+    def test_tighter_than_theorem5(self, star5):
+        r5 = orient_theorem5(star5)
+        r6 = orient_theorem6(star5)
+        assert r6.range_bound < r5.range_bound
+
+
+class TestStarChainEngine:
+    def test_k5_behaves_like_folklore(self, uniform50):
+        res = orient_star_chain_tree(uniform50, 5, 1.0, "k5")
+        assert res.realized_range_normalized() <= 1.0 + 1e-9
+        assert_result_valid(res)
+
+    def test_k2_single_chains(self, uniform50):
+        res = orient_star_chain_tree(uniform50, 2, 2.0, "k2-chains")
+        assert_result_valid(res)
+        assert int(res.assignment.counts().max()) <= 2
+
+    def test_k1_rejected(self, uniform50):
+        with pytest.raises(InvalidParameterError):
+            orient_star_chain_tree(uniform50, 1, 2.0, "bad")
+
+    def test_stats_histogram(self, clustered60):
+        res = orient_theorem5(clustered60)
+        hist = res.stats["chains_per_vertex"]
+        assert all(1 <= c <= 2 for c in hist)
+        assert sum(hist.values()) >= 1

@@ -1,0 +1,67 @@
+"""Unit tests for the experiment harness and record rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentRecord,
+    aggregate_rows,
+    run_config,
+    seeded_instances,
+)
+from repro.experiments.workloads import uniform_points
+
+
+class TestRunConfig:
+    def test_basic_run(self):
+        m = run_config(uniform_points(25, seed=0), 2, np.pi)
+        assert m.strongly_connected
+        assert m.bound_satisfied()
+
+    def test_skip_critical(self):
+        m = run_config(uniform_points(25, seed=0), 3, 0.0, compute_critical=False)
+        assert np.isnan(m.critical_range)
+
+
+class TestAggregateRows:
+    def test_aggregates(self):
+        ms = [run_config(uniform_points(20, seed=s), 2, np.pi) for s in range(3)]
+        agg = aggregate_rows(ms)
+        assert agg["runs"] == 3
+        assert agg["all_connected"]
+        assert agg["bound_ok"]
+        assert agg["critical_max"] >= agg["critical_mean"] - 1e-12
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_rows([])
+
+
+class TestExperimentRecord:
+    def make(self) -> ExperimentRecord:
+        rec = ExperimentRecord("T9", "demo", ["a", "b"])
+        rec.add(1, 2.5)
+        rec.add("x", True)
+        rec.note("hello")
+        return rec
+
+    def test_ascii_contains_title_and_note(self):
+        text = self.make().to_ascii()
+        assert "[T9] demo" in text
+        assert "note: hello" in text
+
+    def test_markdown_structure(self):
+        md = self.make().to_markdown()
+        assert md.startswith("### T9")
+        assert "| a | b |" in md
+        assert "> hello" in md
+
+
+class TestSeededInstances:
+    def test_deterministic(self):
+        gen = lambda n, seed: uniform_points(n, seed=seed)
+        a = list(seeded_instances(gen, 10, 3, "tag"))
+        b = list(seeded_instances(gen, 10, 3, "tag"))
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+        c = list(seeded_instances(gen, 10, 3, "other"))
+        assert not np.array_equal(a[0], c[0])

@@ -1,0 +1,100 @@
+"""Unit tests for repro.experiments.workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.workloads import (
+    WORKLOADS,
+    annulus_points,
+    caterpillar_points,
+    clustered_points,
+    grid_points,
+    hexagonal_lattice,
+    make_workload,
+    perturbed_star,
+    regular_polygon_star,
+    spider_points,
+    uniform_points,
+)
+from repro.geometry.points import PointSet
+from repro.spanning.emst import euclidean_mst
+
+
+class TestGenerators:
+    def test_uniform_shape_and_determinism(self):
+        a = uniform_points(30, seed=5)
+        b = uniform_points(30, seed=5)
+        assert a.shape == (30, 2)
+        assert np.array_equal(a, b)
+
+    def test_clustered_shape(self):
+        pts = clustered_points(40, clusters=3, seed=1)
+        assert pts.shape == (40, 2)
+
+    def test_grid_count(self):
+        assert grid_points(17, seed=0).shape == (17, 2)
+
+    def test_annulus_radii(self):
+        pts = annulus_points(200, r_inner=3.0, r_outer=5.0, seed=2)
+        r = np.hypot(pts[:, 0], pts[:, 1])
+        assert r.min() >= 3.0 - 1e-9
+        assert r.max() <= 5.0 + 1e-9
+
+    def test_regular_polygon_star(self):
+        pts = regular_polygon_star(5, radius=2.0)
+        assert pts.shape == (6, 2)
+        r = np.hypot(pts[1:, 0], pts[1:, 1])
+        assert np.allclose(r, 2.0)
+
+    def test_spider_structure(self):
+        pts = spider_points(3, 2)
+        assert pts.shape == (7, 2)
+        tree = euclidean_mst(PointSet(pts))
+        assert int(tree.degrees().max()) == 3
+
+    def test_hexagonal_lattice_counts(self):
+        pts = hexagonal_lattice(1)
+        assert pts.shape == (7, 2)
+        pts2 = hexagonal_lattice(2)
+        assert pts2.shape == (19, 2)
+
+    def test_perturbed_star_degree(self):
+        for s in range(5):
+            pts = perturbed_star(5, leg=2, seed=s)
+            tree = euclidean_mst(PointSet(pts))
+            assert int(tree.degrees().max()) == 5
+
+    def test_caterpillar_spine(self):
+        pts = caterpillar_points(6, seed=3)
+        assert pts.shape[0] >= 6
+
+    @pytest.mark.parametrize(
+        "fn,kwargs",
+        [
+            (uniform_points, {"n": 0}),
+            (clustered_points, {"n": 5, "clusters": 0}),
+            (grid_points, {"n": 0}),
+            (annulus_points, {"n": 5, "r_inner": 5.0, "r_outer": 3.0}),
+            (regular_polygon_star, {"d": 0}),
+            (spider_points, {"legs": 0}),
+            (hexagonal_lattice, {"rings": 0}),
+            (perturbed_star, {"d": 7}),
+            (caterpillar_points, {"spine": 1}),
+        ],
+    )
+    def test_invalid_params(self, fn, kwargs):
+        with pytest.raises(InvalidParameterError):
+            fn(**kwargs)
+
+
+class TestRegistry:
+    def test_all_registered_work(self):
+        for name in WORKLOADS:
+            pts = make_workload(name, 25, seed=0)
+            assert pts.shape == (25, 2)
+            PointSet(pts)  # validity (distinct, finite)
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            make_workload("nope", 10)

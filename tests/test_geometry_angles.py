@@ -1,0 +1,186 @@
+"""Unit tests for repro.geometry.angles."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.angles import (
+    TWO_PI,
+    angle_of,
+    angle_uvw,
+    bisector,
+    ccw_angle,
+    ccw_gaps,
+    circular_windows_sum,
+    in_ccw_interval,
+    normalize_angle,
+    signed_angle_diff,
+)
+
+
+class TestNormalizeAngle:
+    def test_identity_in_range(self):
+        assert normalize_angle(1.0) == pytest.approx(1.0)
+
+    def test_negative_wraps(self):
+        assert normalize_angle(-np.pi / 2) == pytest.approx(3 * np.pi / 2)
+
+    def test_large_wraps(self):
+        assert normalize_angle(5 * np.pi) == pytest.approx(np.pi)
+
+    def test_vectorized(self):
+        out = normalize_angle(np.array([-0.1, 0.0, TWO_PI + 0.1]))
+        assert out.shape == (3,)
+        assert np.all((out >= 0) & (out < TWO_PI))
+
+    def test_near_two_pi_rounding(self):
+        # -1e-17 mod 2pi can round to 2pi itself; must stay inside [0, 2pi).
+        assert 0.0 <= float(normalize_angle(-1e-17)) < TWO_PI
+
+
+class TestCcwAngle:
+    def test_zero(self):
+        assert ccw_angle(1.2, 1.2) == pytest.approx(0.0)
+
+    def test_quarter(self):
+        assert ccw_angle(0.0, np.pi / 2) == pytest.approx(np.pi / 2)
+
+    def test_wrapping(self):
+        assert ccw_angle(3 * np.pi / 2, 0.0) == pytest.approx(np.pi / 2)
+
+    def test_asymmetry(self):
+        a, b = 0.3, 2.1
+        total = ccw_angle(a, b) + ccw_angle(b, a)
+        assert total == pytest.approx(TWO_PI)
+
+
+class TestSignedAngleDiff:
+    def test_small_positive(self):
+        assert signed_angle_diff(0.2, 0.1) == pytest.approx(0.1)
+
+    def test_wraps_to_negative(self):
+        assert signed_angle_diff(0.1, TWO_PI - 0.1) == pytest.approx(0.2)
+
+    def test_pi_maps_to_pi(self):
+        assert signed_angle_diff(np.pi, 0.0) == pytest.approx(np.pi)
+
+
+class TestAngleOf:
+    def test_cardinal_directions(self):
+        assert angle_of(np.array([1.0, 0.0])) == pytest.approx(0.0)
+        assert angle_of(np.array([0.0, 1.0])) == pytest.approx(np.pi / 2)
+        assert angle_of(np.array([-1.0, 0.0])) == pytest.approx(np.pi)
+
+    def test_batch(self):
+        vecs = np.array([[1.0, 0.0], [0.0, -1.0]])
+        out = angle_of(vecs)
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(3 * np.pi / 2)
+
+
+class TestAngleUvw:
+    def test_right_angle(self):
+        v = np.array([0.0, 0.0])
+        u = np.array([1.0, 0.0])
+        w = np.array([0.0, 1.0])
+        assert angle_uvw(u, v, w) == pytest.approx(np.pi / 2)
+
+    def test_directional(self):
+        v = np.array([0.0, 0.0])
+        u = np.array([1.0, 0.0])
+        w = np.array([0.0, 1.0])
+        assert angle_uvw(w, v, u) == pytest.approx(3 * np.pi / 2)
+
+
+class TestInCcwInterval:
+    def test_inside(self):
+        assert in_ccw_interval(0.5, 0.0, 1.0)
+
+    def test_boundary_inclusive(self):
+        assert in_ccw_interval(1.0, 0.0, 1.0)
+        assert in_ccw_interval(0.0, 0.0, 1.0)
+
+    def test_outside(self):
+        assert not in_ccw_interval(1.5, 0.0, 1.0)
+
+    def test_epsilon_before_start(self):
+        assert in_ccw_interval(-1e-12, 0.0, 1.0)
+
+    def test_wrapping_interval(self):
+        # interval [3pi/2, 3pi/2 + pi] wraps through 0
+        assert in_ccw_interval(0.1, 3 * np.pi / 2, np.pi)
+        assert not in_ccw_interval(np.pi, 3 * np.pi / 2, np.pi - 0.2)
+
+    def test_full_circle(self):
+        assert in_ccw_interval(2.0, 0.7, TWO_PI)
+
+    def test_zero_spread_is_ray(self):
+        assert in_ccw_interval(0.7, 0.7, 0.0)
+        assert not in_ccw_interval(0.71, 0.7, 0.0)
+
+    def test_invalid_sweep_raises(self):
+        with pytest.raises(ValueError):
+            in_ccw_interval(0.0, 0.0, -0.5)
+
+    def test_vectorized(self):
+        out = in_ccw_interval(np.array([0.1, 2.0]), 0.0, 1.0)
+        assert list(out) == [True, False]
+
+
+class TestCcwGaps:
+    def test_gaps_sum_to_two_pi(self):
+        angles = np.array([0.1, 1.0, 2.5, 4.0])
+        _, gaps = ccw_gaps(angles)
+        assert gaps.sum() == pytest.approx(TWO_PI)
+
+    def test_single_angle(self):
+        _, gaps = ccw_gaps(np.array([1.0]))
+        assert gaps[0] == pytest.approx(TWO_PI)
+
+    def test_order_is_sorted(self):
+        angles = np.array([3.0, 1.0, 2.0])
+        order, _ = ccw_gaps(angles)
+        assert list(angles[order]) == sorted(angles)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ccw_gaps(np.array([]))
+
+    def test_regular_polygon(self):
+        d = 5
+        angles = np.linspace(0, TWO_PI, d, endpoint=False)
+        _, gaps = ccw_gaps(angles)
+        assert np.allclose(gaps, TWO_PI / d)
+
+
+class TestCircularWindowsSum:
+    def test_window_of_one_is_identity(self):
+        g = np.array([0.5, 1.0, 2.0])
+        assert np.allclose(circular_windows_sum(g, 1), g)
+
+    def test_window_of_all_is_total(self):
+        g = np.array([0.5, 1.0, 2.0])
+        assert np.allclose(circular_windows_sum(g, 3), g.sum())
+
+    def test_wraparound_window(self):
+        g = np.array([1.0, 2.0, 3.0, 4.0])
+        out = circular_windows_sum(g, 2)
+        assert out[3] == pytest.approx(4.0 + 1.0)
+
+    def test_bad_k_raises(self):
+        with pytest.raises(ValueError):
+            circular_windows_sum(np.array([1.0]), 2)
+
+    def test_max_window_at_least_average(self):
+        rng = np.random.default_rng(3)
+        g = rng.random(7)
+        g = g / g.sum() * TWO_PI
+        for k in range(1, 8):
+            assert circular_windows_sum(g, k).max() >= TWO_PI * k / 7 - 1e-12
+
+
+class TestBisector:
+    def test_simple(self):
+        assert bisector(0.0, np.pi) == pytest.approx(np.pi / 2)
+
+    def test_wraps(self):
+        assert bisector(3 * np.pi / 2, np.pi) == pytest.approx(0.0, abs=1e-12)

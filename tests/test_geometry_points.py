@@ -1,0 +1,110 @@
+"""Unit tests for repro.geometry.points."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidPointSetError
+from repro.geometry.points import PointSet, chord_length, pairwise_distances
+
+
+class TestPointSetValidation:
+    def test_basic_construction(self):
+        ps = PointSet([[0.0, 0.0], [1.0, 1.0]])
+        assert len(ps) == 2
+        assert ps.n == 2
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(InvalidPointSetError):
+            PointSet([[0.0, 0.0, 0.0]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidPointSetError):
+            PointSet(np.empty((0, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidPointSetError):
+            PointSet([[0.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidPointSetError):
+            PointSet([[np.inf, 0.0]])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(InvalidPointSetError) as ei:
+            PointSet([[1.0, 2.0], [0.0, 0.0], [1.0, 2.0]])
+        assert "coincide" in str(ei.value)
+
+    def test_coords_read_only(self):
+        ps = PointSet([[0.0, 0.0], [1.0, 0.0]])
+        with pytest.raises(ValueError):
+            ps.coords[0, 0] = 5.0
+
+    def test_input_not_aliased(self):
+        arr = np.array([[0.0, 0.0], [1.0, 0.0]])
+        ps = PointSet(arr)
+        arr[0, 0] = 99.0
+        assert ps[0][0] == 0.0
+
+
+class TestPointSetKernels:
+    def test_distance(self):
+        ps = PointSet([[0.0, 0.0], [3.0, 4.0]])
+        assert ps.distance(0, 1) == pytest.approx(5.0)
+
+    def test_distances_from(self):
+        ps = PointSet([[0.0, 0.0], [3.0, 4.0], [1.0, 0.0]])
+        d = ps.distances_from(0)
+        assert d[0] == 0.0
+        assert d[1] == pytest.approx(5.0)
+        assert d[2] == pytest.approx(1.0)
+
+    def test_distance_matrix_symmetric(self, rng):
+        ps = PointSet(rng.random((20, 2)))
+        m = ps.distance_matrix()
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 0.0)
+
+    def test_distance_matrix_matches_pairwise(self, rng):
+        coords = rng.random((15, 2)) * 5
+        brute = np.sqrt(
+            ((coords[:, None, :] - coords[None, :, :]) ** 2).sum(-1)
+        )
+        assert np.allclose(pairwise_distances(coords), brute)
+
+    def test_angles_from(self):
+        ps = PointSet([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]])
+        ang = ps.angles_from(0, [1, 2])
+        assert ang[0] == pytest.approx(0.0)
+        assert ang[1] == pytest.approx(np.pi / 2)
+
+    def test_bounding_box(self):
+        ps = PointSet([[0.0, -1.0], [2.0, 3.0], [1.0, 1.0]])
+        lo, hi = ps.bounding_box()
+        assert list(lo) == [0.0, -1.0]
+        assert list(hi) == [2.0, 3.0]
+
+    def test_translated_and_scaled(self):
+        ps = PointSet([[0.0, 0.0], [1.0, 0.0]])
+        moved = ps.translated([2.0, 2.0])
+        assert moved[0][0] == pytest.approx(2.0)
+        scaled = ps.scaled(3.0)
+        assert scaled.distance(0, 1) == pytest.approx(3.0)
+        with pytest.raises(InvalidPointSetError):
+            ps.scaled(0.0)
+
+    def test_iteration(self):
+        ps = PointSet([[0.0, 0.0], [1.0, 0.0]])
+        assert len(list(ps)) == 2
+
+
+class TestChordLength:
+    def test_diameter(self):
+        assert chord_length(np.pi, radius=1.0) == pytest.approx(2.0)
+
+    def test_sixty_degrees_unit(self):
+        assert chord_length(np.pi / 3, radius=1.0) == pytest.approx(1.0)
+
+    def test_scales_with_radius(self):
+        assert chord_length(np.pi / 2, radius=2.0) == pytest.approx(
+            2 * chord_length(np.pi / 2, radius=1.0)
+        )

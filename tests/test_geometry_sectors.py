@@ -1,0 +1,125 @@
+"""Unit tests for repro.geometry.sectors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry.angles import TWO_PI
+from repro.geometry.sectors import Sector, sector_between, sector_toward
+
+
+class TestSectorConstruction:
+    def test_normalizes_start(self):
+        s = Sector(-np.pi / 2, 1.0)
+        assert s.start == pytest.approx(3 * np.pi / 2)
+
+    def test_rejects_negative_spread(self):
+        with pytest.raises(InvalidParameterError):
+            Sector(0.0, -0.1)
+
+    def test_rejects_excess_spread(self):
+        with pytest.raises(InvalidParameterError):
+            Sector(0.0, TWO_PI + 0.1)
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(InvalidParameterError):
+            Sector(0.0, 1.0, -1.0)
+
+    def test_end_and_orientation(self):
+        s = Sector(0.0, np.pi)
+        assert s.end == pytest.approx(np.pi)
+        assert s.orientation == pytest.approx(np.pi / 2)
+
+    def test_frozen(self):
+        s = Sector(0.0, 1.0)
+        with pytest.raises(AttributeError):
+            s.start = 2.0  # type: ignore[misc]
+
+
+class TestContainsDirection:
+    def test_inside(self):
+        s = Sector(0.0, np.pi / 2)
+        assert s.contains_direction(np.pi / 4)
+
+    def test_boundaries(self):
+        s = Sector(0.1, 1.0)
+        assert s.contains_direction(0.1)
+        assert s.contains_direction(1.1)
+
+    def test_outside(self):
+        s = Sector(0.0, np.pi / 2)
+        assert not s.contains_direction(np.pi)
+
+
+class TestCoversOffsets:
+    def test_within_range_and_angle(self):
+        s = Sector(0.0, np.pi / 2, radius=2.0)
+        offsets = np.array([[1.0, 0.5], [3.0, 0.0], [-1.0, 0.0], [0.0, 0.0]])
+        out = s.covers_offsets(offsets)
+        assert list(out) == [True, False, False, False]
+
+    def test_apex_never_covered(self):
+        s = Sector(0.0, TWO_PI, radius=10.0)
+        assert not s.covers_offsets(np.array([[0.0, 0.0]]))[0]
+
+    def test_zero_spread_ray(self):
+        s = Sector(0.0, 0.0, radius=5.0)
+        assert s.covers_offsets(np.array([[3.0, 0.0]]))[0]
+        assert not s.covers_offsets(np.array([[3.0, 0.3]]))[0]
+
+    def test_radius_boundary_inclusive(self):
+        s = Sector(0.0, 1.0, radius=1.0)
+        assert s.covers_point((0.0, 0.0), (1.0, 0.0))
+
+    def test_infinite_radius(self):
+        s = Sector(0.0, np.pi)
+        assert s.covers_point((0.0, 0.0), (1e9, 1e3))
+
+
+class TestTransforms:
+    def test_with_radius(self):
+        s = Sector(1.0, 2.0, 3.0).with_radius(7.0)
+        assert s.radius == 7.0
+        assert s.start == pytest.approx(1.0)
+
+    def test_rotated(self):
+        s = Sector(0.0, 1.0).rotated(np.pi)
+        assert s.start == pytest.approx(np.pi)
+
+
+class TestSectorBetween:
+    def test_covers_both_endpoints(self):
+        apex = np.array([0.0, 0.0])
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        s = sector_between(apex, a, b, radius=2.0)
+        assert s.spread == pytest.approx(np.pi / 2)
+        assert s.covers_point(apex, a)
+        assert s.covers_point(apex, b)
+
+    def test_ccw_not_cw(self):
+        apex = np.array([0.0, 0.0])
+        a = np.array([0.0, 1.0])
+        b = np.array([1.0, 0.0])
+        s = sector_between(apex, a, b)
+        assert s.spread == pytest.approx(3 * np.pi / 2)
+
+    def test_pad_widens(self):
+        apex = np.array([0.0, 0.0])
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        s = sector_between(apex, a, b, pad=0.2)
+        assert s.spread == pytest.approx(np.pi / 2 + 0.2)
+
+
+class TestSectorToward:
+    def test_zero_spread_hits_target(self):
+        s = sector_toward((0.0, 0.0), (2.0, 2.0), radius=5.0)
+        assert s.spread == 0.0
+        assert s.covers_point((0.0, 0.0), (2.0, 2.0))
+
+    def test_with_spread_centred(self):
+        s = sector_toward((0.0, 0.0), (1.0, 0.0), spread=np.pi / 2)
+        assert s.orientation == pytest.approx(0.0, abs=1e-12)
+        assert s.covers_point((0.0, 0.0), (1.0, 0.9))
+        assert not s.covers_point((0.0, 0.0), (-1.0, 0.1))

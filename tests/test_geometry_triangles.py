@@ -1,0 +1,76 @@
+"""Unit tests for repro.geometry.triangles."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.triangles import (
+    law_of_cosines_side,
+    max_pair_distance_bound,
+    triangle_is_empty,
+)
+
+
+class TestLawOfCosines:
+    def test_right_angle(self):
+        assert law_of_cosines_side(3.0, 4.0, np.pi / 2) == pytest.approx(5.0)
+
+    def test_degenerate_zero_angle(self):
+        assert law_of_cosines_side(2.0, 5.0, 0.0) == pytest.approx(3.0)
+
+    def test_straight_angle(self):
+        assert law_of_cosines_side(2.0, 5.0, np.pi) == pytest.approx(7.0)
+
+    def test_vectorized(self):
+        out = law_of_cosines_side(1.0, 1.0, np.array([np.pi / 3, np.pi]))
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(2.0)
+
+
+class TestMaxPairDistanceBound:
+    def test_unit_radii_large_angle_is_chord(self):
+        assert max_pair_distance_bound(np.pi) == pytest.approx(2.0)
+
+    def test_small_angle_floor_is_radius(self):
+        # With theta -> 0 the farthest configuration is one point at full
+        # radius, the other at the apex.
+        assert max_pair_distance_bound(0.01) == pytest.approx(1.0)
+
+    def test_monte_carlo_dominates(self, rng):
+        for _ in range(200):
+            theta = rng.uniform(0, np.pi)
+            r1, r2 = rng.uniform(0, 1.0, 2)
+            d = law_of_cosines_side(r1, r2, theta)
+            assert d <= max_pair_distance_bound(theta) + 1e-12
+
+
+class TestTriangleIsEmpty:
+    TRI = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 2.0]])
+
+    def test_empty_when_no_other_points(self):
+        assert triangle_is_empty(self.TRI, np.empty((0, 2)))
+
+    def test_vertices_do_not_count(self):
+        assert triangle_is_empty(self.TRI, self.TRI)
+
+    def test_interior_point_detected(self):
+        assert not triangle_is_empty(self.TRI, np.array([[0.5, 0.5]]))
+
+    def test_edge_point_detected(self):
+        assert not triangle_is_empty(self.TRI, np.array([[1.0, 0.0]]))
+
+    def test_outside_points_ignored(self):
+        pts = np.array([[5.0, 5.0], [-1.0, -1.0], [3.0, 0.1]])
+        assert triangle_is_empty(self.TRI, pts)
+
+    def test_clockwise_triangle(self):
+        tri = self.TRI[::-1]
+        assert not triangle_is_empty(tri, np.array([[0.5, 0.5]]))
+        assert triangle_is_empty(tri, np.array([[5.0, 5.0]]))
+
+    def test_degenerate_triangle_is_empty(self):
+        tri = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        assert triangle_is_empty(tri, np.array([[0.5, 0.0]]))
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            triangle_is_empty(np.zeros((2, 2)), np.empty((0, 2)))

@@ -1,0 +1,127 @@
+"""Unit tests for repro.graph.connectivity (vertex connectivity vs networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph.connectivity import (
+    directed_vertex_connectivity,
+    is_strongly_c_connected,
+    is_strongly_connected,
+    strong_connectivity_certificate,
+)
+from repro.graph.digraph import DiGraph
+
+
+def cycle(n: int) -> DiGraph:
+    return DiGraph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def complete(n: int) -> DiGraph:
+    return DiGraph(n, [(i, j) for i in range(n) for j in range(n) if i != j])
+
+
+class TestIsStronglyConnected:
+    def test_cycle(self):
+        assert is_strongly_connected(cycle(6))
+
+    def test_path_is_not(self):
+        g = DiGraph(3, [(0, 1), (1, 2)])
+        assert not is_strongly_connected(g)
+
+    def test_trivial(self):
+        assert is_strongly_connected(DiGraph(1))
+        assert is_strongly_connected(DiGraph(0))
+
+    def test_two_cycles_joined_one_way(self):
+        g = DiGraph(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)])
+        assert not is_strongly_connected(g)
+
+    def test_isolated_vertex(self):
+        g = DiGraph(3, [(0, 1), (1, 0)])
+        assert not is_strongly_connected(g)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = 25
+        edges = rng.integers(0, n, size=(60, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        g = DiGraph(n, edges)
+        assert is_strongly_connected(g) == nx.is_strongly_connected(g.to_networkx())
+
+
+class TestCertificate:
+    def test_connected_certificate(self):
+        cert = strong_connectivity_certificate(cycle(4))
+        assert cert.strongly_connected
+        assert cert.n_components == 1
+        assert not cert.unreachable_from_0
+
+    def test_diagnoses_unreachable(self):
+        g = DiGraph(3, [(0, 1)])
+        cert = strong_connectivity_certificate(g)
+        assert not cert
+        assert 2 in cert.unreachable_from_0
+        assert set(cert.not_reaching_0) == {1, 2}
+
+
+class TestVertexConnectivity:
+    def test_cycle_is_one(self):
+        assert directed_vertex_connectivity(cycle(5)) == 1
+
+    def test_complete_is_n_minus_one(self):
+        assert directed_vertex_connectivity(complete(4)) == 3
+
+    def test_not_strong_is_zero(self):
+        g = DiGraph(3, [(0, 1), (1, 2)])
+        assert directed_vertex_connectivity(g) == 0
+
+    def test_bidirected_cycle_is_two(self):
+        n = 6
+        edges = [(i, (i + 1) % n) for i in range(n)] + [((i + 1) % n, i) for i in range(n)]
+        assert directed_vertex_connectivity(DiGraph(n, edges)) == 2
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        rng = np.random.default_rng(900 + seed)
+        n = 12
+        # Dense-ish random strongly connected graphs.
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        extra = rng.integers(0, n, size=(40, 2))
+        edges += [tuple(e) for e in extra[extra[:, 0] != extra[:, 1]]]
+        g = DiGraph(n, np.asarray(edges))
+        expected = nx.algorithms.connectivity.node_connectivity(g.to_networkx())
+        assert directed_vertex_connectivity(g) == expected
+
+
+class TestCConnectivity:
+    def test_c1_is_strong_connectivity(self):
+        assert is_strongly_c_connected(cycle(5), 1)
+
+    def test_cycle_not_2connected(self):
+        assert not is_strongly_c_connected(cycle(5), 2)
+
+    def test_bidirected_cycle_2connected(self):
+        n = 6
+        edges = [(i, (i + 1) % n) for i in range(n)] + [((i + 1) % n, i) for i in range(n)]
+        g = DiGraph(n, edges)
+        assert is_strongly_c_connected(g, 2)
+        assert not is_strongly_c_connected(g, 3)
+
+    def test_exhaustive_and_flow_agree(self):
+        rng = np.random.default_rng(5)
+        n = 10
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        extra = rng.integers(0, n, size=(30, 2))
+        edges += [tuple(e) for e in extra[extra[:, 0] != extra[:, 1]]]
+        g = DiGraph(n, np.asarray(edges))
+        for c in (1, 2, 3):
+            exhaustive = is_strongly_c_connected(g, c, exhaustive_limit=10**6)
+            flow = is_strongly_c_connected(g, c, exhaustive_limit=0)
+            assert exhaustive == flow
+
+    def test_invalid_c(self):
+        with pytest.raises(InvalidParameterError):
+            is_strongly_c_connected(cycle(3), 0)

@@ -1,0 +1,78 @@
+"""Unit tests for repro.graph.digraph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = DiGraph(3)
+        assert g.n == 3 and g.m == 0
+
+    def test_duplicates_dropped(self):
+        g = DiGraph(3, [(0, 1), (0, 1), (1, 2)])
+        assert g.m == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DiGraph(2, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DiGraph(2, [(0, 5)])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DiGraph(-1)
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DiGraph(3, np.array([[0, 1, 2]]))
+
+
+class TestQueries:
+    def test_successors_sorted(self):
+        g = DiGraph(4, [(0, 3), (0, 1), (0, 2)])
+        assert list(g.successors(0)) == [1, 2, 3]
+        assert list(g.successors(1)) == []
+
+    def test_degrees(self):
+        g = DiGraph(3, [(0, 1), (0, 2), (1, 2)])
+        assert list(g.out_degrees()) == [2, 1, 0]
+        assert list(g.in_degrees()) == [0, 1, 2]
+        assert g.out_degree(0) == 2
+
+    def test_has_edge(self):
+        g = DiGraph(3, [(0, 1)])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_reversed(self):
+        g = DiGraph(3, [(0, 1), (1, 2)])
+        r = g.reversed()
+        assert r.has_edge(1, 0) and r.has_edge(2, 1)
+        assert r.m == 2
+
+    def test_reversed_empty(self):
+        assert DiGraph(3).reversed().m == 0
+
+
+class TestReachability:
+    def test_chain(self):
+        g = DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.reachable_from(0).all()
+        assert list(g.reachable_from(2)) == [False, False, True, True]
+
+    def test_cycle(self):
+        g = DiGraph(3, [(0, 1), (1, 2), (2, 0)])
+        for v in range(3):
+            assert g.reachable_from(v).all()
+
+    def test_to_networkx_roundtrip(self):
+        g = DiGraph(3, [(0, 1), (2, 1)])
+        nxg = g.to_networkx()
+        assert set(nxg.edges()) == {(0, 1), (2, 1)}
+        assert nxg.number_of_nodes() == 3

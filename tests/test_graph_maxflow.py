@@ -1,0 +1,62 @@
+"""Unit tests for repro.graph.maxflow (Dinic)."""
+
+import pytest
+
+from repro.graph.maxflow import Dinic
+
+
+class TestDinic:
+    def test_single_edge(self):
+        d = Dinic(2)
+        d.add_edge(0, 1, 5)
+        assert d.max_flow(0, 1) == 5
+
+    def test_series_bottleneck(self):
+        d = Dinic(3)
+        d.add_edge(0, 1, 5)
+        d.add_edge(1, 2, 3)
+        assert d.max_flow(0, 2) == 3
+
+    def test_parallel_paths(self):
+        d = Dinic(4)
+        d.add_edge(0, 1, 2)
+        d.add_edge(1, 3, 2)
+        d.add_edge(0, 2, 3)
+        d.add_edge(2, 3, 3)
+        assert d.max_flow(0, 3) == 5
+
+    def test_classic_diamond(self):
+        d = Dinic(4)
+        d.add_edge(0, 1, 10)
+        d.add_edge(0, 2, 10)
+        d.add_edge(1, 2, 1)
+        d.add_edge(1, 3, 10)
+        d.add_edge(2, 3, 10)
+        assert d.max_flow(0, 3) == 20
+
+    def test_no_path(self):
+        d = Dinic(3)
+        d.add_edge(0, 1, 4)
+        assert d.max_flow(0, 2) == 0
+
+    def test_limit_short_circuits(self):
+        d = Dinic(2)
+        d.add_edge(0, 1, 100)
+        assert d.max_flow(0, 1, limit=7) >= 7
+
+    def test_same_source_sink_raises(self):
+        d = Dinic(2)
+        with pytest.raises(ValueError):
+            d.max_flow(1, 1)
+
+    def test_negative_capacity_raises(self):
+        d = Dinic(2)
+        with pytest.raises(ValueError):
+            d.add_edge(0, 1, -1)
+
+    def test_long_chain(self):
+        n = 3000
+        d = Dinic(n)
+        for i in range(n - 1):
+            d.add_edge(i, i + 1, 2)
+        assert d.max_flow(0, n - 1) == 2

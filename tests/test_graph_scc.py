@@ -1,0 +1,83 @@
+"""Unit tests for repro.graph.scc (with networkx as oracle)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condensation, strongly_connected_components
+
+
+def comps_as_sets(comp: np.ndarray) -> set[frozenset[int]]:
+    out: dict[int, set[int]] = {}
+    for v, c in enumerate(comp):
+        out.setdefault(int(c), set()).add(v)
+    return {frozenset(s) for s in out.values()}
+
+
+class TestTarjan:
+    def test_single_cycle(self):
+        g = DiGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        comp = strongly_connected_components(g)
+        assert len(set(comp)) == 1
+
+    def test_dag_all_singletons(self):
+        g = DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+        comp = strongly_connected_components(g)
+        assert len(set(comp)) == 4
+
+    def test_two_components(self):
+        g = DiGraph(5, [(0, 1), (1, 0), (2, 3), (3, 4), (4, 2), (1, 2)])
+        comp = strongly_connected_components(g)
+        assert comps_as_sets(comp) == {frozenset({0, 1}), frozenset({2, 3, 4})}
+
+    def test_reverse_topological_ids(self):
+        # Tarjan assigns ids in reverse topological order: sinks first.
+        g = DiGraph(3, [(0, 1), (1, 2)])
+        comp = strongly_connected_components(g)
+        assert comp[2] < comp[1] < comp[0]
+
+    def test_empty_graph(self):
+        comp = strongly_connected_components(DiGraph(0))
+        assert comp.size == 0
+
+    def test_deep_path_no_recursion(self):
+        n = 30000
+        edges = np.stack([np.arange(n - 1), np.arange(1, n)], axis=1)
+        comp = strongly_connected_components(DiGraph(n, edges))
+        assert len(set(comp.tolist())) == n
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 40
+        m = 120
+        edges = rng.integers(0, n, size=(m, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        g = DiGraph(n, edges)
+        ours = comps_as_sets(strongly_connected_components(g))
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(g.to_networkx())}
+        assert ours == theirs
+
+
+class TestCondensation:
+    def test_dag_property(self):
+        rng = np.random.default_rng(7)
+        edges = rng.integers(0, 30, size=(90, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        g = DiGraph(30, edges)
+        dag, comp = condensation(g)
+        # A DAG has no nontrivial SCCs.
+        inner = strongly_connected_components(dag)
+        assert len(set(inner.tolist())) == dag.n
+
+    def test_no_self_edges(self):
+        g = DiGraph(3, [(0, 1), (1, 0), (1, 2)])
+        dag, comp = condensation(g)
+        assert dag.n == 2
+        e = dag.edges()
+        assert np.all(e[:, 0] != e[:, 1])
+
+    def test_empty(self):
+        dag, comp = condensation(DiGraph(0))
+        assert dag.n == 0

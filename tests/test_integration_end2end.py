@@ -1,0 +1,120 @@
+"""End-to-end integration tests across the whole stack.
+
+Exercises the realistic user journey: generate a deployment, plan antennae,
+inspect the transmission graph, measure robustness/interference, and verify
+everything against the paper's bounds — plus cross-checks between
+independent implementations (critical range vs realized range, exact tiny
+optima vs constructions).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    PointSet,
+    critical_range,
+    euclidean_mst,
+    is_strongly_connected,
+    orient_antennae,
+    paper_range_bound,
+    transmission_graph,
+)
+from repro.analysis.interference import compare_interference
+from repro.analysis.robustness import failure_sweep
+from repro.baselines.exact_orientation import exact_min_range_single_antenna
+from repro.baselines.omni import orient_omnidirectional
+from repro.core.kone import orient_k1_pairs
+from repro.experiments.workloads import (
+    clustered_points,
+    hexagonal_lattice,
+    make_workload,
+    perturbed_star,
+    spider_points,
+)
+
+PI = np.pi
+
+ALL_CONFIGS = [
+    (1, 0.0), (1, 1.1 * PI), (1, 1.7 * PI),
+    (2, 0.0), (2, 2 * PI / 3), (2, PI), (2, 1.25 * PI),
+    (3, 0.0), (3, 0.85 * PI), (4, 0.0), (4, 0.45 * PI), (5, 0.0),
+]
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("workload", ["uniform", "clustered", "grid", "annulus"])
+    def test_all_configs_on_all_workloads(self, workload):
+        pts = PointSet(make_workload(workload, 48, seed=13))
+        tree = euclidean_mst(pts)
+        for k, phi in ALL_CONFIGS:
+            res = orient_antennae(pts, k, phi, tree=tree)
+            g = transmission_graph(pts, res.assignment)
+            assert is_strongly_connected(g), (workload, k, phi)
+            expected, _ = paper_range_bound(k, phi)
+            if not (k == 1 and phi < PI):
+                assert res.realized_range_normalized() <= expected * (1 + 1e-7)
+
+    def test_adversarial_families(self):
+        for pts_arr in (
+            perturbed_star(5, leg=2, seed=3),
+            perturbed_star(4, leg=3, seed=4),
+            spider_points(3, 2),
+            spider_points(5, 1),
+            hexagonal_lattice(2),
+        ):
+            pts = PointSet(pts_arr)
+            for k, phi in ((2, PI), (2, 0.8 * PI), (3, 0.0), (4, 0.0)):
+                res = orient_antennae(pts, k, phi)
+                assert res.validate().ok, (k, phi)
+
+    def test_critical_range_dominated_by_realized(self):
+        pts = PointSet(clustered_points(50, seed=21))
+        for k, phi in ((2, PI), (3, 0.0), (1, 1.2 * PI)):
+            res = orient_antennae(pts, k, phi)
+            crit = critical_range(pts, res.assignment)
+            assert crit <= res.realized_range() + 1e-9
+
+    def test_scale_and_translation_invariance(self):
+        base = clustered_points(40, seed=8)
+        res0 = orient_antennae(PointSet(base), 2, PI)
+        res1 = orient_antennae(PointSet(base * 37.0 + 1000.0), 2, PI)
+        assert res0.realized_range_normalized() == pytest.approx(
+            res1.realized_range_normalized(), rel=1e-9
+        )
+
+    def test_exact_optimum_brackets_construction(self):
+        # On tiny instances the k=1 pair construction is sandwiched between
+        # the exact optimum and its proven bound.
+        rng = np.random.default_rng(5)
+        for _ in range(3):
+            pts = PointSet(rng.random((6, 2)) * 2)
+            res = orient_k1_pairs(pts, 1.2 * PI)
+            opt = exact_min_range_single_antenna(pts, 1.2 * PI)
+            assert opt <= res.realized_range() + 1e-9
+            assert res.realized_range() <= res.range_bound_absolute * (1 + 1e-7)
+
+
+class TestAnalysisIntegration:
+    def test_robustness_pipeline(self):
+        pts = PointSet(make_workload("uniform", 36, seed=2))
+        res = orient_antennae(pts, 4, 0.0)
+        rep = failure_sweep(res, max_failures=2, trials=15, seed=3)
+        assert rep.connectivity_order >= 1
+
+    def test_interference_pipeline(self):
+        pts = PointSet(make_workload("uniform", 64, seed=6))
+        d = orient_antennae(pts, 2, 2 * PI / 3)
+        o = orient_omnidirectional(pts)
+        cmp = compare_interference(d, o)
+        assert cmp["mean_reduction_factor"] > 1.0
+
+
+class TestDeterminism:
+    def test_same_input_same_output(self):
+        pts = PointSet(make_workload("clustered", 40, seed=4))
+        a = orient_antennae(pts, 2, PI)
+        b = orient_antennae(pts, 2, PI)
+        assert np.array_equal(a.intended_edges, b.intended_edges)
+        sa = [(i, s.start, s.spread) for i, s in a.assignment]
+        sb = [(i, s.start, s.spread) for i, s in b.assignment]
+        assert sa == sb

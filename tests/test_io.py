@@ -1,0 +1,89 @@
+"""Unit tests for repro.io (serialization round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import orient_antennae
+from repro.errors import ValidationError
+from repro.geometry.points import PointSet
+from repro.io import (
+    load_result,
+    points_from_csv,
+    points_to_csv,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+
+
+class TestResultRoundTrip:
+    def test_json_file_round_trip(self, uniform50, tmp_path):
+        res = orient_antennae(uniform50, 2, np.pi)
+        path = str(tmp_path / "orientation.json")
+        save_result(res, path)
+        back = load_result(path)
+        assert back.algorithm == res.algorithm
+        assert back.k == res.k
+        assert back.range_bound == pytest.approx(res.range_bound)
+        assert np.allclose(back.points.coords, res.points.coords)
+        assert np.array_equal(back.intended_edges, res.intended_edges)
+        # Sectors identical.
+        a = [(i, s.start, s.spread, s.radius) for i, s in res.assignment]
+        b = [(i, s.start, s.spread, s.radius) for i, s in back.assignment]
+        assert a == pytest.approx(b)
+
+    def test_round_trip_still_validates(self, clustered60, tmp_path):
+        res = orient_antennae(clustered60, 3, 0.0)
+        path = str(tmp_path / "o.json")
+        save_result(res, path)
+        back = load_result(path)
+        assert back.validate().ok
+
+    def test_infinite_radius_round_trip(self):
+        from repro.antenna.model import AntennaAssignment
+        from repro.core.result import OrientationResult
+        from repro.geometry.sectors import Sector
+
+        ps = PointSet([[0, 0], [1, 0]])
+        a = AntennaAssignment(2)
+        a.add(0, Sector(0.0, 1.0))  # infinite radius
+        a.add(1, Sector(np.pi, 1.0))
+        res = OrientationResult(ps, a, np.array([[0, 1], [1, 0]]), 1, 1.0, 1.0,
+                                1.0, "manual")
+        back = result_from_dict(result_to_dict(res))
+        assert all(not np.isfinite(s.radius) for _, s in back.assignment)
+
+    def test_bad_schema_version(self, uniform50):
+        res = orient_antennae(uniform50, 2, np.pi)
+        data = result_to_dict(res)
+        data["schema_version"] = 99
+        with pytest.raises(ValidationError):
+            result_from_dict(data)
+
+    def test_missing_field(self, uniform50):
+        res = orient_antennae(uniform50, 2, np.pi)
+        data = result_to_dict(res)
+        del data["sectors"]
+        with pytest.raises(ValidationError):
+            result_from_dict(data)
+
+    def test_stats_jsonable(self, uniform50):
+        import json
+
+        res = orient_antennae(uniform50, 2, np.pi)
+        json.dumps(result_to_dict(res))  # must not raise
+
+
+class TestPointsCsv:
+    def test_round_trip(self, uniform50, tmp_path):
+        path = str(tmp_path / "pts.csv")
+        points_to_csv(uniform50, path)
+        back = points_from_csv(path)
+        assert np.allclose(back.coords, uniform50.coords)
+
+    def test_headerless_csv(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("1.5,2.5\n3.0,4.0\n")
+        ps = points_from_csv(str(path))
+        assert len(ps) == 2
+        assert ps[0][0] == 1.5

@@ -1,0 +1,75 @@
+"""Hypothesis property tests for the EMST substrate."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.points import PointSet, pairwise_distances
+from repro.spanning.emst import euclidean_mst
+from repro.spanning.facts import check_fact1
+
+coords_st = st.lists(
+    st.tuples(
+        st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+        st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=24,
+    unique=True,
+)
+
+
+def distinct(coords) -> bool:
+    arr = np.asarray(coords, dtype=float)
+    d = pairwise_distances(arr)
+    np.fill_diagonal(d, np.inf)
+    return bool(d.min() > 1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coords_st)
+def test_mst_weight_matches_networkx(coords):
+    if not distinct(coords):
+        return
+    arr = np.asarray(coords, dtype=float)
+    tree = euclidean_mst(PointSet(arr))
+    g = nx.Graph()
+    n = arr.shape[0]
+    d = pairwise_distances(arr)
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j, weight=float(d[i, j]))
+    expected = sum(dd["weight"] for _, _, dd in nx.minimum_spanning_tree(g).edges(data=True))
+    assert abs(tree.total_weight - expected) <= 1e-6 * max(1.0, expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coords_st)
+def test_mst_structural_invariants(coords):
+    if not distinct(coords):
+        return
+    arr = np.asarray(coords, dtype=float)
+    tree = euclidean_mst(PointSet(arr))
+    n = arr.shape[0]
+    # Tree shape.
+    assert tree.edges.shape == (n - 1, 2)
+    assert tree.max_degree() <= 5
+    # lmax is the bottleneck-connectivity threshold: removing every edge
+    # strictly longer than lmax - eps disconnects nothing (they're all <=).
+    assert tree.lengths.max() == tree.lmax
+    # Fact 1 holds (angles >= pi/3 up to tolerance, chords bounded).
+    rep = check_fact1(tree, check_empty_triangles=False)
+    assert rep.ok, rep.violations[:2]
+
+
+@settings(max_examples=40, deadline=None)
+@given(coords_st, st.floats(min_value=0.1, max_value=10.0))
+def test_mst_scale_invariance(coords, scale):
+    if not distinct(coords):
+        return
+    arr = np.asarray(coords, dtype=float)
+    t1 = euclidean_mst(PointSet(arr))
+    t2 = euclidean_mst(PointSet(arr * scale))
+    assert t1.edge_set() == t2.edge_set()
+    assert t2.lmax == np.float64(t1.lmax * scale) or abs(t2.lmax - t1.lmax * scale) < 1e-9

@@ -1,0 +1,97 @@
+"""Hypothesis property tests for the angular/sector primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.angles import (
+    TWO_PI,
+    ccw_angle,
+    ccw_gaps,
+    circular_windows_sum,
+    in_ccw_interval,
+    normalize_angle,
+    signed_angle_diff,
+)
+from repro.geometry.sectors import Sector
+
+angles_st = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+angle_arrays = arrays(
+    float,
+    st.integers(min_value=1, max_value=9),
+    elements=st.floats(min_value=0.0, max_value=TWO_PI - 1e-9),
+)
+
+
+class TestAngleProperties:
+    @given(angles_st)
+    def test_normalize_in_range(self, theta):
+        out = float(normalize_angle(theta))
+        assert 0.0 <= out < TWO_PI
+
+    @given(angles_st, angles_st)
+    def test_ccw_angle_range(self, a, b):
+        out = float(ccw_angle(a, b))
+        assert 0.0 <= out < TWO_PI
+
+    @given(angles_st, angles_st)
+    def test_ccw_antisymmetry(self, a, b):
+        fwd = float(ccw_angle(a, b))
+        bwd = float(ccw_angle(b, a))
+        if fwd > 1e-9 and bwd > 1e-9:
+            assert fwd + bwd == np.float64(TWO_PI) or abs(fwd + bwd - TWO_PI) < 1e-9
+
+    @given(angles_st, angles_st)
+    def test_signed_diff_range(self, a, b):
+        out = float(signed_angle_diff(a, b))
+        assert -np.pi - 1e-12 < out <= np.pi + 1e-12
+
+    @given(angle_arrays)
+    def test_gaps_partition_circle(self, arr):
+        _, gaps = ccw_gaps(arr)
+        assert abs(float(gaps.sum()) - TWO_PI) < 1e-9
+        assert np.all(gaps >= -1e-12)
+
+    @given(angle_arrays, st.integers(min_value=1, max_value=9))
+    def test_window_max_at_least_mean(self, arr, k):
+        _, gaps = ccw_gaps(arr)
+        n = gaps.size
+        if k > n:
+            return
+        wsum = circular_windows_sum(gaps, k)
+        assert float(wsum.max()) >= TWO_PI * k / n - 1e-9
+
+
+class TestSectorProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=TWO_PI),
+        st.floats(min_value=0.0, max_value=TWO_PI),
+        angles_st,
+    )
+    @settings(max_examples=200)
+    def test_containment_matches_interval(self, start, spread, theta):
+        s = Sector(start, spread)
+        assert bool(s.contains_direction(theta)) == bool(
+            in_ccw_interval(theta, s.start, s.spread)
+        )
+
+    @given(st.floats(min_value=0.0, max_value=TWO_PI - 1e-6))
+    def test_boundaries_always_contained(self, start):
+        s = Sector(start, 1.0)
+        assert s.contains_direction(s.start)
+        assert s.contains_direction(s.end)
+
+    @given(
+        st.floats(min_value=0.0, max_value=TWO_PI),
+        st.floats(min_value=0.1, max_value=TWO_PI - 0.1),
+    )
+    def test_complement_direction_excluded(self, start, spread):
+        s = Sector(start, spread)
+        # Midpoint of the uncovered wedge must not be contained (for
+        # spreads away from full circle).
+        gap_mid = normalize_angle(start + spread + (TWO_PI - spread) / 2.0)
+        if TWO_PI - spread > 1e-6:
+            assert not s.contains_direction(float(gap_mid), eps=1e-12)

@@ -1,0 +1,67 @@
+"""Hypothesis property tests for the graph substrate (vs networkx oracle)."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.connectivity import is_strongly_connected
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condensation, strongly_connected_components
+
+
+@st.composite
+def digraphs(draw, max_n: int = 20, max_m: int = 60):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = []
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.append((u, v))
+    return n, edges
+
+
+@settings(max_examples=80, deadline=None)
+@given(digraphs())
+def test_scc_matches_networkx(graph):
+    n, edges = graph
+    g = DiGraph(n, np.asarray(edges, dtype=np.int64) if edges else [])
+    comp = strongly_connected_components(g)
+    ours = {}
+    for v, c in enumerate(comp):
+        ours.setdefault(int(c), set()).add(v)
+    ours_sets = {frozenset(s) for s in ours.values()}
+    theirs = {frozenset(c) for c in nx.strongly_connected_components(g.to_networkx())}
+    assert ours_sets == theirs
+
+
+@settings(max_examples=80, deadline=None)
+@given(digraphs())
+def test_strong_connectivity_matches_networkx(graph):
+    n, edges = graph
+    g = DiGraph(n, np.asarray(edges, dtype=np.int64) if edges else [])
+    assert is_strongly_connected(g) == nx.is_strongly_connected(g.to_networkx())
+
+
+@settings(max_examples=60, deadline=None)
+@given(digraphs())
+def test_condensation_is_acyclic(graph):
+    n, edges = graph
+    g = DiGraph(n, np.asarray(edges, dtype=np.int64) if edges else [])
+    dag, comp = condensation(g)
+    assert nx.is_directed_acyclic_graph(dag.to_networkx())
+    # Component count consistency.
+    assert dag.n == len(set(comp.tolist()))
+
+
+@settings(max_examples=60, deadline=None)
+@given(digraphs())
+def test_reachability_closed_under_edges(graph):
+    n, edges = graph
+    g = DiGraph(n, np.asarray(edges, dtype=np.int64) if edges else [])
+    reach = g.reachable_from(0)
+    for u, v in g.edges():
+        if reach[u]:
+            assert reach[v]

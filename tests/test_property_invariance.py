@@ -1,0 +1,91 @@
+"""Invariance property tests: rigid motions and uniform scaling.
+
+The paper's quantities are all similarity-invariant: rotating, translating
+or uniformly scaling the sensor set must leave normalized ranges, spread
+usage and connectivity unchanged, and must rotate every sector's boresight
+by exactly the rotation angle.  Catching violations here flags hidden
+coordinate-frame assumptions anywhere in the stack.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.planner import orient_antennae
+from repro.geometry.angles import signed_angle_diff
+from repro.geometry.points import PointSet
+from repro.experiments.workloads import uniform_points
+
+PI = np.pi
+
+CONFIGS = [(2, PI), (2, 0.8 * PI), (3, 0.0), (1, 1.3 * PI)]
+
+
+def rotate(coords: np.ndarray, theta: float) -> np.ndarray:
+    """Rotate row-vector coordinates ccw by theta."""
+    c, s = np.cos(theta), np.sin(theta)
+    # [x', y'] = [x cos - y sin, x sin + y cos] for row vectors.
+    return coords @ np.array([[c, s], [-s, c]])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10**6),
+    st.floats(min_value=-2 * PI, max_value=2 * PI, allow_nan=False),
+    st.sampled_from(CONFIGS),
+)
+def test_rotation_invariance(seed, theta, config):
+    k, phi = config
+    base = uniform_points(18, seed=seed)
+    res0 = orient_antennae(PointSet(base), k, phi)
+    res1 = orient_antennae(PointSet(rotate(base, theta)), k, phi)
+    # Scalar measurements are identical.
+    assert res1.realized_range_normalized() == pytest.approx(
+        res0.realized_range_normalized(), rel=1e-9, abs=1e-9
+    )
+    assert res1.max_spread_sum() == pytest.approx(res0.max_spread_sum(), abs=1e-9)
+    assert np.array_equal(res0.intended_edges, res1.intended_edges)
+    # Every sector's boresight rotates by exactly theta (mod 2pi).
+    for (i0, s0), (i1, s1) in zip(res0.assignment, res1.assignment):
+        assert i0 == i1
+        assert s1.spread == pytest.approx(s0.spread, abs=1e-9)
+        delta = float(signed_angle_diff(s1.start, s0.start + theta))
+        assert abs(delta) < 1e-7
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10**6),
+    st.floats(min_value=0.01, max_value=500.0),
+    st.sampled_from(CONFIGS),
+)
+def test_scale_invariance(seed, factor, config):
+    k, phi = config
+    base = uniform_points(18, seed=seed)
+    res0 = orient_antennae(PointSet(base), k, phi)
+    res1 = orient_antennae(PointSet(base * factor), k, phi)
+    assert res1.realized_range_normalized() == pytest.approx(
+        res0.realized_range_normalized(), rel=1e-9
+    )
+    assert res1.lmax == pytest.approx(res0.lmax * factor, rel=1e-9)
+    assert np.array_equal(res0.intended_edges, res1.intended_edges)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10**6),
+    st.tuples(
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    ),
+)
+def test_translation_invariance(seed, offset):
+    base = uniform_points(18, seed=seed)
+    res0 = orient_antennae(PointSet(base), 2, PI)
+    res1 = orient_antennae(PointSet(base + np.asarray(offset)), 2, PI)
+    assert res1.realized_range() == pytest.approx(res0.realized_range(), rel=1e-6)
+    assert np.array_equal(res0.intended_edges, res1.intended_edges)
+    sectors0 = [(i, round(s.start, 7), round(s.spread, 7)) for i, s in res0.assignment]
+    sectors1 = [(i, round(s.start, 7), round(s.spread, 7)) for i, s in res1.assignment]
+    assert sectors0 == sectors1

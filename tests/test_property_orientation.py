@@ -1,0 +1,93 @@
+"""Hypothesis property tests for the orientation algorithms.
+
+The central invariant of the whole library: for any point set in general
+position and any Table-1 configuration, the planner's orientation is
+strongly connected, respects the antenna count and spread budget, and stays
+within the proven range bound.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import paper_range_bound
+from repro.core.planner import orient_antennae
+from repro.geometry.points import PointSet, pairwise_distances
+from repro.graph.connectivity import is_strongly_connected
+
+PI = np.pi
+
+coords_st = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=20,
+    unique=True,
+)
+
+config_st = st.sampled_from(
+    [
+        (1, 0.0), (1, PI), (1, 1.3 * PI), (1, 1.7 * PI),
+        (2, 0.0), (2, 2 * PI / 3), (2, 0.85 * PI), (2, PI), (2, 1.3 * PI),
+        (3, 0.0), (3, 0.9 * PI),
+        (4, 0.0), (4, 0.5 * PI),
+        (5, 0.0),
+    ]
+)
+
+
+def distinct(coords) -> bool:
+    arr = np.asarray(coords, dtype=float)
+    d = pairwise_distances(arr)
+    np.fill_diagonal(d, np.inf)
+    return bool(d.min() > 1e-6)
+
+
+@settings(max_examples=120, deadline=None)
+@given(coords_st, config_st)
+def test_planner_full_contract(coords, config):
+    if not distinct(coords):
+        return
+    k, phi = config
+    ps = PointSet(np.asarray(coords, dtype=float))
+    result = orient_antennae(ps, k, phi)
+
+    # 1. Antenna count and spread budget.
+    assert int(result.assignment.counts().max()) <= k
+    assert result.max_spread_sum() <= phi + 1e-9
+
+    # 2. Strong connectivity of the full transmission graph.
+    assert is_strongly_connected(result.transmission_graph())
+
+    # 3. Range guarantee (in lmax units), except the loose k=1 BTSP row.
+    expected, _ = paper_range_bound(k, phi)
+    if not (k == 1 and phi < PI):
+        assert result.realized_range_normalized() <= expected * (1 + 1e-7)
+
+    # 4. Certificate validation.
+    report = result.validate()
+    assert report.ok, report.summary()
+
+
+@settings(max_examples=40, deadline=None)
+@given(coords_st)
+def test_theorem3_realized_never_exceeds_part1_bound(coords):
+    if not distinct(coords):
+        return
+    ps = PointSet(np.asarray(coords, dtype=float))
+    result = orient_antennae(ps, 2, PI)
+    bound = 2 * np.sin(2 * PI / 9)
+    assert result.realized_range_normalized() <= bound * (1 + 1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(coords_st, st.floats(min_value=2 * PI / 3 + 1e-6, max_value=PI - 1e-6))
+def test_theorem3_part2_bound_scales_with_phi(coords, phi):
+    if not distinct(coords):
+        return
+    ps = PointSet(np.asarray(coords, dtype=float))
+    result = orient_antennae(ps, 2, phi)
+    bound = 2 * np.sin(PI / 2 - phi / 4)
+    assert result.realized_range_normalized() <= bound * (1 + 1e-7)

@@ -1,0 +1,32 @@
+"""Tests for the run_all entry point (``python -m repro.experiments.run_all``)."""
+
+import pytest
+
+from repro.experiments.run_all import main
+
+
+class TestRunAllCli:
+    def test_single_experiment_to_stdout(self, capsys):
+        assert main(["--only", "X5"]) == 0
+        out = capsys.readouterr().out
+        assert "### X5" in out
+        assert "| n |" in out
+
+    def test_write_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "body.md"
+        assert main(["--only", "F1", "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert text.startswith("### F1")
+        assert "necessity tight" in text
+        # Progress goes to stderr, body file only to --out.
+        assert "### F1" not in capsys.readouterr().out
+
+    def test_unknown_id_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--only", "NOPE"])
+
+    def test_multiple_ids_ordered(self, tmp_path):
+        out_file = tmp_path / "two.md"
+        assert main(["--only", "X5", "F1", "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert text.index("### X5") < text.index("### F1")

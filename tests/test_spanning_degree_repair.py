@@ -1,0 +1,60 @@
+"""Unit tests for repro.spanning.degree_repair."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import PointSet
+from repro.spanning.degree_repair import find_tight_pair, repair_degree
+from repro.spanning.emst import SpanningTree, euclidean_mst
+
+
+def perfect_hexagon_star() -> SpanningTree:
+    """Centre + 6 unit points at exact 60°: a degree-6 tie configuration."""
+    ang = np.linspace(0, 2 * np.pi, 6, endpoint=False)
+    pts = np.vstack([[0.0, 0.0], np.stack([np.cos(ang), np.sin(ang)], axis=1)])
+    ps = PointSet(pts)
+    edges = np.array([[0, i] for i in range(1, 7)])
+    return SpanningTree(ps, edges)
+
+
+class TestFindTightPair:
+    def test_finds_sixty_degree_pair(self):
+        tree = perfect_hexagon_star()
+        pair = find_tight_pair(tree, 0)
+        assert pair is not None
+        v, w = pair
+        assert v != w and v != 0 and w != 0
+
+    def test_none_for_wide_angles(self):
+        ps = PointSet([[0, 0], [1, 0], [-1, 0.2]])
+        tree = SpanningTree(ps, np.array([[0, 1], [0, 2]]))
+        assert find_tight_pair(tree, 0) is None
+
+    def test_none_for_leaf(self):
+        ps = PointSet([[0, 0], [1, 0]])
+        tree = SpanningTree(ps, np.array([[0, 1]]))
+        assert find_tight_pair(tree, 0) is None
+
+
+class TestRepairDegree:
+    def test_hexagon_star_repaired(self):
+        tree = perfect_hexagon_star()
+        fixed = repair_degree(tree, max_degree=5)
+        assert fixed.max_degree() <= 5
+        assert fixed.total_weight == pytest.approx(tree.total_weight, rel=1e-9)
+
+    def test_no_change_when_already_ok(self, tree50):
+        fixed = repair_degree(tree50, max_degree=5)
+        assert fixed.edge_set() == tree50.edge_set()
+
+    def test_repair_down_to_degree_three(self):
+        # Aggressive target on the hexagon: swaps continue until deg <= 3.
+        tree = perfect_hexagon_star()
+        fixed = repair_degree(tree, max_degree=3)
+        assert fixed.max_degree() <= 4  # may stop when no tie pair remains
+        assert fixed.total_weight <= tree.total_weight * (1 + 1e-9)
+
+    def test_tiny_trees_untouched(self):
+        ps = PointSet([[0, 0], [1, 0]])
+        tree = SpanningTree(ps, np.array([[0, 1]]))
+        assert repair_degree(tree).edge_set() == tree.edge_set()

@@ -1,0 +1,78 @@
+"""Unit tests for repro.spanning.facts (Facts 1 & 2)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import perturbed_star
+from repro.geometry.points import PointSet
+from repro.spanning.emst import SpanningTree, euclidean_mst
+from repro.spanning.facts import (
+    adjacent_angle_report,
+    check_fact1,
+    check_fact2,
+    min_adjacent_angle,
+)
+
+
+class TestFact1:
+    def test_holds_on_random_mst(self, tree50):
+        rep = check_fact1(tree50)
+        assert rep.ok, rep.violations[:3]
+        assert rep.min_adjacent_angle >= np.pi / 3 - 1e-7
+        assert rep.max_chord_ratio <= 1.0 + 1e-9
+
+    def test_detects_violation_on_non_mst(self):
+        # A deliberately bad "tree": hub with two neighbours 10 degrees apart.
+        ps = PointSet([[0, 0], [1, 0], [np.cos(0.17), np.sin(0.17)]])
+        bad = SpanningTree(ps, np.array([[0, 1], [0, 2]]))
+        rep = check_fact1(bad, check_empty_triangles=False)
+        assert not rep.ok
+        assert any("Fact1.1" in v for v in rep.violations)
+
+    def test_detects_nonempty_triangle(self):
+        # Hub with neighbours at 90 degrees and an intruder inside the triangle.
+        ps = PointSet([[0, 0], [1, 0], [0, 1], [0.3, 0.3]])
+        bad = SpanningTree(ps, np.array([[0, 1], [0, 2], [0, 3]]))
+        rep = check_fact1(bad)
+        assert not rep.ok
+
+    def test_path_tree_trivial(self):
+        ps = PointSet([[0, 0], [1, 0], [2, 0]])
+        tree = SpanningTree(ps, np.array([[0, 1], [1, 2]]))
+        assert check_fact1(tree).ok
+
+
+class TestFact2:
+    def test_holds_on_degree5_stars(self):
+        for s in range(10):
+            tree = euclidean_mst(PointSet(perturbed_star(5, leg=2, seed=s)))
+            if (tree.degrees() == 5).any():
+                assert check_fact2(tree).ok
+
+    def test_no_degree5_is_vacuous(self, tree50):
+        rep = check_fact2(tree50)
+        assert rep.ok
+
+    def test_detects_violation(self):
+        # Fake degree-5 hub with one 20-degree gap (not an MST).
+        ang = np.array([0.0, 0.35, 2.0, 3.5, 5.0])
+        pts = np.vstack([[0, 0], np.stack([np.cos(ang), np.sin(ang)], axis=1)])
+        ps = PointSet(pts)
+        bad = SpanningTree(ps, np.array([[0, i] for i in range(1, 6)]))
+        rep = check_fact2(bad)
+        assert not rep.ok
+
+
+class TestAngleHelpers:
+    def test_min_adjacent_angle_matches_report(self, tree50):
+        rep = check_fact1(tree50)
+        assert min_adjacent_angle(tree50) == pytest.approx(rep.min_adjacent_angle)
+
+    def test_adjacent_angle_report_sums(self, tree50):
+        angles = adjacent_angle_report(tree50)
+        assert angles.min() >= np.pi / 3 - 1e-7
+        # Every internal vertex contributes gaps summing to 2 pi.
+        deg = tree50.degrees()
+        internal = int((deg >= 2).sum())
+        assert angles.size == sum(int(d) for d in deg if d >= 2)
+        assert angles.sum() == pytest.approx(2 * np.pi * internal)

@@ -1,0 +1,50 @@
+"""Unit tests for repro.spanning.union_find."""
+
+import pytest
+
+from repro.spanning.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_state(self):
+        uf = UnionFind(4)
+        assert uf.components == 4
+        assert all(uf.find(i) == i for i in range(4))
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert uf.components == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.components == 3
+
+    def test_transitive(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 4)
+
+    def test_component_sizes(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        sizes = sorted(uf.component_sizes().values())
+        assert sizes == [1, 2, 2]
+
+    def test_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_large_chain(self):
+        n = 2000
+        uf = UnionFind(n)
+        for i in range(n - 1):
+            uf.union(i, i + 1)
+        assert uf.components == 1
+        assert uf.connected(0, n - 1)

@@ -1,0 +1,217 @@
+"""Direct handler-level tests covering EVERY branch of Theorem 3's analysis.
+
+The degree-5 "first case" (real parent outside the covered point's gap) only
+arises when a deg-5 vertex is itself the target of a sibling delegation —
+vanishingly rare in random instances — so these tests drive the case
+handlers directly on hand-built geometry: vertex ``u`` at the origin with
+four unit children, a unit parent, and a sibling vertex ``p`` on the zero
+ray.  Each recipe pins the angles so exactly one branch can fire.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import theorem3_cases as cases
+from repro.core.bounds import thm3_part1_bound, thm3_part2_bound
+from repro.core.theorem3 import Theorem3Engine
+from repro.geometry.points import PointSet
+from repro.spanning.emst import SpanningTree
+from repro.spanning.rooted import RootedTree
+
+PI = np.pi
+
+
+def build_star(child_pos, parent_pos, *, n_children=None, sibling_r=0.9):
+    """Vertices: 0=parent, 1=u (origin), 2..=children, last=sibling p.
+
+    ``child_pos`` are ccw offsets from the ray u→p (p sits on angle 0), so
+    absolute child angles equal their positions.  All children and the
+    parent are at radius 1 from u.
+    """
+    pts = []
+    pts.append((np.cos(parent_pos), np.sin(parent_pos)))  # 0: parent
+    pts.append((0.0, 0.0))  # 1: u
+    for a in child_pos:
+        pts.append((np.cos(a), np.sin(a)))
+    pts.append((sibling_r, 0.0))  # sibling p on the zero ray
+    ps = PointSet(np.asarray(pts))
+    m = len(child_pos)
+    edges = [[0, 1], [0, m + 2]] + [[1, 2 + i] for i in range(m)]
+    tree = SpanningTree(ps, np.asarray(edges))
+    return ps, tree, m + 2  # sibling index
+
+
+def run_handler(child_pos, parent_pos, phi, part, handler):
+    ps, tree, p_idx = build_star(child_pos, parent_pos)
+    rooted = RootedTree(tree, 0)
+    bound = thm3_part1_bound() if part == 1 else thm3_part2_bound(phi)
+    engine = Theorem3Engine(rooted, phi, part, bound * tree.lmax)
+    ctx = cases.NodeCtx.build(engine, 1, p_idx)
+    handler(ctx)
+    engine.check_spread(1)
+    # Contract: every child scheduled exactly once; p covered by u.
+    pushed = sorted(c for c, _ in ctx.pushes)
+    assert pushed == sorted(ctx.children)
+    assert (1, p_idx) in engine.intended
+    # Every intended edge from u is actually covered by u's sectors.
+    coords = ps.coords
+    for a, b in engine.intended:
+        if a == 1:
+            assert any(
+                s.covers_point(coords[1], coords[b]) for s in engine.assignment[1]
+            ), f"intended edge (1, {b}) uncovered"
+    return engine, ctx
+
+
+def fired(engine) -> str:
+    labels = [l for l in engine.stats["cases"] if l != "root"]
+    assert len(labels) == 1, labels
+    return labels[0]
+
+
+PHI2 = 2 * PI / 3 + 0.02  # part-2 budget used by most recipes
+
+
+class TestDeg5Part1FirstCase:
+    def test_inner(self):
+        # Parent in gap (c3, c4): sweep c4 -> c2 (through p, c1).
+        eng, _ = run_handler(
+            (0.9, 2.0, 3.1, 5.3), 4.0, PI, 1, cases.handle_deg5_part1
+        )
+        assert fired(eng) == "deg5.p1.inner"
+
+    def test_inner_mirror(self):
+        # Parent in gap (c1, c2): sweep c3 -> c1 (through c4, p).
+        eng, _ = run_handler(
+            (0.8, 2.2, 4.0, 5.0), 1.5, PI, 1, cases.handle_deg5_part1
+        )
+        assert fired(eng) == "deg5.p1.inner.mirror"
+
+    def test_second_case_biggap(self):
+        eng, _ = run_handler(
+            (1.3, 2.5, 3.7, 4.9), 6.1, PI, 1, cases.handle_deg5_part1
+        )
+        assert fired(eng).startswith("deg5.biggap")
+
+
+class TestDeg5Part2FirstCase:
+    def test_wide(self):
+        eng, _ = run_handler(
+            (0.4, 1.2, 3.0, 4.6), 3.5, 0.95 * PI, 2, cases.handle_deg5_part2
+        )
+        assert fired(eng) == "deg5.p2.first.wide"
+
+    def test_wide_mirror(self):
+        eng, _ = run_handler(
+            (0.4, 1.5, 4.0, 5.0), 0.9, 0.95 * PI, 2, cases.handle_deg5_part2
+        )
+        assert fired(eng) == "deg5.p2.first.wide.mirror"
+
+    def test_delegate(self):
+        eng, _ = run_handler(
+            (0.5, 2.0, 3.2, 4.8), 3.9, PHI2, 2, cases.handle_deg5_part2
+        )
+        assert fired(eng) == "deg5.p2.first.delegate"
+
+    def test_delegate_mirror(self):
+        eng, _ = run_handler(
+            (0.5, 2.1, 3.6, 5.1), 1.3, PHI2, 2, cases.handle_deg5_part2
+        )
+        assert fired(eng) == "deg5.p2.first.delegate.mirror"
+
+
+class TestDeg5Part2SecondCase:
+    def test_biggap(self):
+        eng, _ = run_handler(
+            (0.7, 1.8, 2.9, 5.9), 6.2, 0.95 * PI, 2, cases.handle_deg5_part2
+        )
+        assert fired(eng).startswith("deg5.biggap")
+
+    def test_c3p(self):
+        # sweep(c4 -> c1) > phi but sweep(c3 -> p) <= phi.
+        eng, _ = run_handler(
+            (1.6, 2.6, 4.3, 5.5), 6.2, PHI2, 2, cases.handle_deg5_part2
+        )
+        assert fired(eng) == "deg5.p2.second.c3p"
+
+    def test_pc2(self):
+        # sweep(c4 -> c1) and sweep(c3 -> p) > phi; sweep(p -> c2) <= phi.
+        eng, _ = run_handler(
+            (1.2, 2.0, 3.6, 5.2), 0.05, PHI2, 2, cases.handle_deg5_part2
+        )
+        assert fired(eng) == "deg5.p2.second.pc2"
+
+    def test_e(self):
+        eng, _ = run_handler(
+            (1.4, 2.5, 3.6, 5.08), 6.2, PHI2, 2, cases.handle_deg5_part2
+        )
+        assert fired(eng) == "deg5.p2.second.e"
+
+    def test_f(self):
+        eng, _ = run_handler(
+            (1.5, 2.6, 3.5, 5.48), 6.2, PHI2, 2, cases.handle_deg5_part2
+        )
+        assert fired(eng) == "deg5.p2.second.f"
+
+    def test_f_mirror(self):
+        eng, _ = run_handler(
+            (0.8, 2.3, 3.2, 4.78), 6.2, PHI2, 2, cases.handle_deg5_part2
+        )
+        assert fired(eng) == "deg5.p2.second.f.mirror"
+
+    def test_g(self):
+        eng, _ = run_handler(
+            (1.3, 2.2, 3.4, 5.38), 6.2, PHI2, 2, cases.handle_deg5_part2
+        )
+        assert fired(eng) == "deg5.p2.second.g"
+
+    def test_g_mirror(self):
+        eng, _ = run_handler(
+            (0.9, 2.3, 3.5, 4.98), 6.2, PHI2, 2, cases.handle_deg5_part2
+        )
+        assert fired(eng) == "deg5.p2.second.g.mirror"
+
+
+class TestDeg4Branches:
+    def test_p2_b_zero_to_p(self):
+        # Both c3->c1 (through p) > phi and c1->c3 <= phi: antenna over the
+        # children, zero-spread antenna at p.
+        eng, _ = run_handler(
+            (1.2, 2.2, 3.9), 0.0, 0.95 * PI, 2, cases.handle_deg4_part2
+        )
+        assert fired(eng) == "deg4.p2.b"
+
+    def test_p2_a_through_p(self):
+        eng, _ = run_handler(
+            (0.5, 2.5, 5.5), 0.0, 0.95 * PI, 2, cases.handle_deg4_part2
+        )
+        assert fired(eng) == "deg4.p2.a"
+
+    def test_p2_c_delegation(self):
+        eng, _ = run_handler(
+            (1.3, 2.9, 4.7), 0.0, PHI2, 2, cases.handle_deg4_part2
+        )
+        assert fired(eng) == "deg4.p2.c"
+
+    def test_p1_both_orientations(self):
+        eng, _ = run_handler((0.8, 2.0, 3.5), 0.0, PI, 1, cases.handle_deg4_part1)
+        assert fired(eng) == "deg4.p1.forward"
+        eng, _ = run_handler((2.5, 4.2, 5.5), 0.0, PI, 1, cases.handle_deg4_part1)
+        assert fired(eng) == "deg4.p1.backward"
+
+
+class TestDelegationContracts:
+    """Delegated children are scheduled at their sibling, the rest at u."""
+
+    def test_delegation_targets(self):
+        eng, ctx = run_handler(
+            (0.5, 2.0, 3.2, 4.8), 3.9, PHI2, 2, cases.handle_deg5_part2
+        )
+        targets = dict(ctx.pushes)
+        # Receiver c3 (index 2 -> vertex 4) is covered by a sibling, so some
+        # child is scheduled with target == that receiver.
+        receiver = ctx.children[2]
+        donors = [c for c, t in ctx.pushes if t == receiver]
+        assert len(donors) == 1
+        # The receiver itself must point back at u.
+        assert targets[receiver] == 1

@@ -1,0 +1,86 @@
+"""Unit tests for repro.utils (rng, tables, timing)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs, stable_seed
+from repro.utils.tables import format_ascii_table, format_cell, format_markdown_table
+from repro.utils.timing import Timer, measure
+
+
+class TestRng:
+    def test_as_rng_from_int_deterministic(self):
+        a = as_rng(42).random(5)
+        b = as_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_as_rng_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_as_rng_none(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_spawn_independent_and_deterministic(self):
+        a1, a2 = spawn_rngs(7, 2)
+        b1, b2 = spawn_rngs(7, 2)
+        assert np.allclose(a1.random(4), b1.random(4))
+        assert not np.allclose(a1.random(4), a2.random(4))
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_stable_seed_reproducible(self):
+        assert stable_seed("a", 1, 2.5) == stable_seed("a", 1, 2.5)
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+        assert 0 <= stable_seed("x") < 2**63
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(1.23456) == "1.2346"
+        assert format_cell("x") == "x"
+        assert format_cell(7) == "7"
+
+    def test_ascii_alignment(self):
+        out = format_ascii_table(["a", "bb"], [[1, 2.0], [333, 4.5]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_markdown_shape(self):
+        out = format_markdown_table(["x"], [[1], [2]])
+        assert out.splitlines()[1] == "|---|"
+        assert len(out.splitlines()) == 4
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_ascii_table(["a", "b"], [[1]])
+
+
+class TestTiming:
+    def test_timer_measures(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_timer_restart(self):
+        t = Timer()
+        with t:
+            pass
+        t.restart()
+        assert t.elapsed == 0.0
+
+    def test_measure_returns_result(self):
+        secs, result = measure(lambda x: x * 2, 21, repeat=2)
+        assert result == 42
+        assert secs >= 0.0
+
+    def test_measure_invalid_repeat(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeat=0)

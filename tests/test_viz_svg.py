@@ -1,0 +1,62 @@
+"""Unit tests for the SVG renderer."""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import orient_antennae
+from repro.spanning.emst import euclidean_mst
+from repro.viz.svg import render_orientation_svg, render_tree_svg
+
+
+class TestRenderTree:
+    def test_valid_svg_document(self, uniform50, tree50):
+        svg = render_tree_svg(tree50)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<circle") == 50
+        assert svg.count("<line") == 49
+
+    def test_custom_size(self, tree50):
+        svg = render_tree_svg(tree50, size=320)
+        assert 'width="320"' in svg
+
+
+class TestRenderOrientation:
+    def test_document_structure(self, uniform50):
+        res = orient_antennae(uniform50, 2, np.pi)
+        svg = render_orientation_svg(res)
+        assert svg.startswith("<svg")
+        assert svg.count("<circle") == 50
+        # Sectors appear as paths (wide beams) and/or lines (zero spread).
+        assert "<path" in svg or "opacity" in svg
+        # Intended edges drawn with arrowheads.
+        assert "url(#arrow)" in svg
+        assert res.algorithm in svg
+
+    def test_zero_spread_rendered_as_rays(self, uniform50):
+        res = orient_antennae(uniform50, 3, 0.0)
+        svg = render_orientation_svg(res)
+        # All-zero spreads: no wedge paths, only ray + edge lines.
+        assert svg.count("<path") <= 1  # only the arrow marker path
+
+    def test_toggles(self, uniform50):
+        res = orient_antennae(uniform50, 2, np.pi)
+        bare = render_orientation_svg(res, show_sectors=False, show_intended=False)
+        full = render_orientation_svg(res)
+        assert len(bare) < len(full)
+
+    def test_coordinates_inside_viewport(self, uniform50):
+        res = orient_antennae(uniform50, 2, np.pi)
+        svg = render_orientation_svg(res, size=500)
+        import re
+
+        for m in re.finditer(r'cx="([-\d.]+)" cy="([-\d.]+)"', svg):
+            x, y = float(m.group(1)), float(m.group(2))
+            assert -1 <= x <= 501 and -1 <= y <= 501
+
+    def test_degenerate_single_point(self):
+        from repro.geometry.points import PointSet
+
+        res = orient_antennae(PointSet([[3.0, 4.0]]), 2, np.pi)
+        svg = render_orientation_svg(res)
+        assert svg.count("<circle") == 1
