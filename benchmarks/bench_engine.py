@@ -1,0 +1,93 @@
+"""Benchmark E1 — the engine's artifact cache vs per-config recomputation.
+
+The acceptance workload for the batch engine: a 200-instance sweep over a
+``(k, φ)`` grid.  The *naive* path is what the harness did before the
+engine existed — rebuild the point set and its EMST for every grid cell —
+while the *cached* path routes through :func:`repro.engine.execute_plan`
+and builds each instance's artifacts exactly once.  The test asserts the
+cached batch is measurably faster and produces identical metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import orientation_metrics
+from repro.core.planner import orient_antennae
+from repro.engine import GridCell, PlanRequest, Scenario, execute_plan
+from repro.geometry.points import PointSet
+from repro.spanning.emst import euclidean_mst
+from repro.utils.tables import format_ascii_table
+from repro.utils.timing import measure
+
+GRID = (
+    GridCell(1, np.pi),
+    GridCell(2, 2 * np.pi / 3),
+    GridCell(2, np.pi),
+    GridCell(3, 0.0),
+    GridCell(4, 0.0),
+    GridCell(5, 0.0),
+)
+SCENARIO = Scenario("uniform", 48, seeds=200, tag="bench-engine")
+
+
+def _naive_sweep():
+    """Pre-engine behaviour: every (instance, cell) pays full preprocessing."""
+    out = []
+    for coords in SCENARIO.instances():
+        for cell in GRID:
+            ps = PointSet(coords)
+            tree = euclidean_mst(ps)
+            res = orient_antennae(ps, cell.k, cell.phi, tree=tree)
+            out.append(orientation_metrics(res, compute_critical=False))
+    return out
+
+
+def _cached_sweep():
+    request = PlanRequest((SCENARIO,), GRID, compute_critical=False)
+    return execute_plan(request, jobs=1)
+
+
+def test_cached_batch_beats_per_config_recomputation(capsys):
+    t_naive, naive_metrics = measure(_naive_sweep)
+    t_cached, batch = measure(_cached_sweep)
+    cached_metrics = [rec.metrics for rec in batch.records]
+
+    assert len(cached_metrics) == len(naive_metrics)
+    assert all(
+        a.identical(b) for a, b in zip(cached_metrics, naive_metrics)
+    ), "cache changed the results"
+    assert batch.cache_stats.tree_builds == SCENARIO.seeds
+    assert t_cached < t_naive, (
+        f"cached batch ({t_cached:.2f}s) should beat naive recomputation "
+        f"({t_naive:.2f}s) on a {SCENARIO.seeds}-instance sweep"
+    )
+    with capsys.disabled():
+        print()
+        print(format_ascii_table(
+            ["path", "seconds", "EMST builds"],
+            [
+                ["naive per-config", round(t_naive, 3),
+                 SCENARIO.seeds * len(GRID)],
+                ["engine cached batch", round(t_cached, 3),
+                 batch.cache_stats.tree_builds],
+                ["speedup", round(t_naive / t_cached, 2), "×"],
+            ],
+            title="[E1] 200-instance sweep: cached batch vs recomputation",
+        ))
+
+
+def test_parallel_matches_serial_on_sweep():
+    """jobs=4 returns bit-identical metrics in the same order as jobs=1."""
+    request = PlanRequest(
+        (Scenario("uniform", 48, seeds=40, tag="bench-engine-par"),),
+        GRID,
+        compute_critical=False,
+    )
+    serial = execute_plan(request, jobs=1)
+    parallel = execute_plan(request, jobs=4)
+    assert len(serial.records) == len(parallel.records)
+    assert all(
+        a.metrics.identical(b.metrics)
+        for a, b in zip(serial.records, parallel.records)
+    )

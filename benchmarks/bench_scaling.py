@@ -13,16 +13,15 @@ import pytest
 from repro.antenna.coverage import transmission_graph
 from repro.core.planner import orient_antennae
 from repro.core.theorem3 import orient_theorem3
-from repro.experiments.workloads import make_workload
+from repro.engine import GridCell, PlanRequest, Scenario, execute_plan
 from repro.geometry.points import PointSet
 from repro.spanning.emst import euclidean_mst
-from repro.utils.rng import stable_seed
 
 SIZES = (128, 512, 2048)
 
 
 def _instance(n: int) -> PointSet:
-    return PointSet(make_workload("uniform", n, stable_seed("bench-scaling", n)))
+    return PointSet(Scenario("uniform", n, tag="bench-scaling").instance(0))
 
 
 @pytest.mark.parametrize("n", SIZES)
@@ -54,3 +53,17 @@ def test_coverage_scaling(benchmark, n):
     res = orient_antennae(ps, 2, np.pi)
     g = benchmark(transmission_graph, ps, res.assignment)
     assert g.n == n
+
+
+@pytest.mark.parametrize("jobs", (1, 4))
+def test_engine_batch_scaling(benchmark, jobs):
+    """Throughput of the batch engine over a 24-instance × 4-cell plan."""
+    request = PlanRequest(
+        (Scenario("uniform", 96, seeds=24, tag="bench-engine-batch"),),
+        (GridCell(1, np.pi), GridCell(2, np.pi), GridCell(3, 0.0),
+         GridCell(2, 2 * np.pi / 3)),
+        compute_critical=False,
+    )
+    batch = benchmark(execute_plan, request, jobs=jobs)
+    assert len(batch.records) == request.total_runs
+    assert all(m.metrics.strongly_connected for m in batch.records)

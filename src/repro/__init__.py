@@ -30,6 +30,14 @@ from repro.core.theorem2 import orient_theorem2
 from repro.core.theorem3 import orient_theorem3
 from repro.core.theorem5 import orient_theorem5
 from repro.core.theorem6 import orient_theorem6
+from repro.engine import (
+    ArtifactCache,
+    BatchResult,
+    GridCell,
+    PlanRequest,
+    Scenario,
+    execute_plan,
+)
 from repro.errors import ReproError
 from repro.io import load_result, save_result
 from repro.geometry.points import PointSet
@@ -46,14 +54,20 @@ from repro.spanning.rooted import RootedTree
 __all__ = [
     "__version__",
     "AntennaAssignment",
+    "ArtifactCache",
+    "BatchResult",
     "DiGraph",
+    "GridCell",
     "OrientationResult",
+    "PlanRequest",
     "PointSet",
     "ReproError",
     "RootedTree",
+    "Scenario",
     "Sector",
     "SpanningTree",
     "choose_algorithm",
+    "execute_plan",
     "critical_range",
     "directed_vertex_connectivity",
     "euclidean_mst",

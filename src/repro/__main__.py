@@ -6,6 +6,7 @@ plan       orient antennae for a CSV of sensor coordinates
 bounds     print the paper's Table 1 (optionally evaluated at a phi)
 render     write an SVG picture of a saved orientation
 validate   re-check a saved orientation's certificate
+sweep      run a (workload × n) × (k × phi) batch through the engine
 """
 
 from __future__ import annotations
@@ -85,6 +86,75 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.engine import PlanRequest, execute_plan
+    from repro.utils.tables import format_markdown_table
+
+    try:
+        request = PlanRequest.sweep(
+            workloads=args.workload,
+            sizes=args.n,
+            seeds=args.seeds,
+            ks=args.k,
+            phis=args.phi,
+            tag=args.tag,
+            compute_critical=not args.no_critical,
+        )
+    except Exception as exc:  # invalid workload/k/phi combinations
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"[sweep] {request.describe()}", file=sys.stderr, flush=True)
+
+    def progress(report) -> None:
+        scenario = request.scenarios[report.scenario_index]
+        print(
+            f"[sweep] {scenario.label} seed {report.instance_index}: "
+            f"{len(request.grid)} cells in {report.elapsed:.2f}s",
+            file=sys.stderr, flush=True,
+        )
+
+    batch = execute_plan(request, jobs=args.jobs, on_instance=progress)
+    if batch.fallback_reason:
+        print(f"[sweep] {batch.fallback_reason}", file=sys.stderr)
+    print(f"[sweep] {batch.summary()}", file=sys.stderr, flush=True)
+
+    rows = (
+        batch.aggregate_by_cell()
+        if args.aggregate == "cell"
+        else batch.aggregate_by_scenario_cell()
+    )
+    if args.format == "json":
+        body = json.dumps(
+            {
+                "request": request.describe(),
+                "jobs": batch.jobs_used,
+                "elapsed_s": round(batch.elapsed, 4),
+                "cache": batch.cache_stats.as_dict(),
+                "rows": rows,
+            },
+            indent=2,
+        )
+    else:
+        headers = list(rows[0])
+        cells = [
+            [
+                round(row[h], 4) if isinstance(row[h], float) else row[h]
+                for h in headers
+            ]
+            for row in rows
+        ]
+        body = format_markdown_table(headers, cells)
+    if args.output:
+        with open(args.output, "w", encoding="utf8") as fh:
+            fh.write(body + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(body)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -111,6 +181,32 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("validate", help="re-check a saved orientation")
     p.add_argument("--input", required=True, help="orientation JSON")
     p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a (workload × n) × (k × phi) batch through the engine",
+    )
+    p.add_argument("--workload", nargs="+", default=["uniform"],
+                   help="workload generator names (default: uniform)")
+    p.add_argument("--n", nargs="+", type=int, default=[64],
+                   help="instance sizes (default: 64)")
+    p.add_argument("--seeds", type=int, default=3,
+                   help="instances per (workload, n) (default: 3)")
+    p.add_argument("--k", nargs="+", type=int, default=[1, 2],
+                   help="antennae-per-sensor values (default: 1 2)")
+    p.add_argument("--phi", nargs="+", type=_parse_phi, default=[math.pi],
+                   help="angular budgets (radians; accepts 'pi', '2pi/3')")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (default: 1 = serial)")
+    p.add_argument("--tag", default="sweep",
+                   help="seed namespace for the scenario instances")
+    p.add_argument("--no-critical", action="store_true",
+                   help="skip the (expensive) critical-range measurement")
+    p.add_argument("--aggregate", choices=("cell", "scenario"), default="cell",
+                   help="one row per grid cell, or per (scenario, cell)")
+    p.add_argument("--format", choices=("markdown", "json"), default="markdown")
+    p.add_argument("--output", help="write the table/JSON here instead of stdout")
+    p.set_defaults(fn=cmd_sweep)
     return parser
 
 

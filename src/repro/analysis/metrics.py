@@ -35,6 +35,19 @@ class OrientationMetrics:
     def as_dict(self) -> dict:
         return asdict(self)
 
+    def identical(self, other: "OrientationMetrics") -> bool:
+        """Bitwise field equality, except NaN == NaN (skipped critical ranges).
+
+        The engine's determinism guarantee (parallel == serial) is stated in
+        terms of this predicate: dataclass ``==`` is unusable whenever
+        ``compute_critical=False`` leaves NaN critical ranges.
+        """
+        for name, a in self.as_dict().items():
+            b = getattr(other, name)
+            if a != b and not (a != a and b != b):  # NaN-tolerant
+                return False
+        return True
+
     def bound_satisfied(self, tol: float = 1e-7) -> bool:
         """Is the measured critical range within the proven bound?"""
         return self.critical_range <= self.range_bound * (1.0 + tol) + 1e-12

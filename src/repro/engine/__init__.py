@@ -1,0 +1,41 @@
+"""Batch planning engine: scenario specs, artifact caching, parallel execution.
+
+The engine is the one way to run *batches* of planner configurations:
+
+* :mod:`repro.engine.spec` — declarative descriptions of a workload ensemble
+  (:class:`Scenario`) and of the ``(k, φ)`` grid to evaluate over it
+  (:class:`PlanRequest`);
+* :mod:`repro.engine.cache` — a content-addressed :class:`ArtifactCache`
+  sharing point sets, pairwise-distance matrices and spanning trees across
+  every grid cell of an instance;
+* :mod:`repro.engine.executor` — :func:`execute_plan`, a chunked
+  process-pool executor with a serial fallback, deterministic result
+  ordering and incremental aggregation.
+
+Experiment drivers (:mod:`repro.experiments`), the ``repro sweep`` CLI and
+the benchmarks all route through :func:`execute_plan`.
+"""
+
+from repro.engine.cache import ArtifactCache, CacheStats, content_hash
+from repro.engine.executor import (
+    BatchResult,
+    InstanceReport,
+    RunRecord,
+    execute_plan,
+    run_instance_grid,
+)
+from repro.engine.spec import GridCell, PlanRequest, Scenario
+
+__all__ = [
+    "ArtifactCache",
+    "BatchResult",
+    "CacheStats",
+    "GridCell",
+    "InstanceReport",
+    "PlanRequest",
+    "RunRecord",
+    "Scenario",
+    "content_hash",
+    "execute_plan",
+    "run_instance_grid",
+]

@@ -1,0 +1,138 @@
+"""Content-addressed cache for per-instance geometric artifacts.
+
+Planning one instance at several ``(k, φ)`` cells repeats the same expensive
+preprocessing: validating the :class:`PointSet`, building the degree-≤5
+Euclidean MST, and (for distance-based reporting) the dense pairwise-distance
+matrix.  :class:`ArtifactCache` keys all three on a SHA-256 hash of the raw
+coordinate bytes, so every cell of a sweep after the first is a cache hit —
+one EMST build per instance, regardless of grid size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.points import PointSet, pairwise_distances
+from repro.spanning.emst import SpanningTree, euclidean_mst
+
+__all__ = ["content_hash", "CacheStats", "ArtifactCache"]
+
+
+def content_hash(coords) -> str:
+    """SHA-256 of an ``(n, 2)`` coordinate array's shape and exact bytes.
+
+    Hashes the float64 bit patterns (no rounding): two arrays share a key
+    iff they are bit-identical, which is the only equality under which
+    reusing a spanning tree is sound.
+    """
+    arr = coords.coords if isinstance(coords, PointSet) else np.asarray(coords, float)
+    arr = np.ascontiguousarray(arr, dtype=np.float64)
+    h = hashlib.sha256()
+    h.update(str(arr.shape).encode("ascii"))
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss and build counters (builds ≤ misses: artifacts are lazy)."""
+
+    hits: int = 0
+    misses: int = 0
+    pointset_builds: int = 0
+    tree_builds: int = 0
+    distance_builds: int = 0
+    evictions: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another cache's counters into this one (parallel workers)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.pointset_builds += other.pointset_builds
+        self.tree_builds += other.tree_builds
+        self.distance_builds += other.distance_builds
+        self.evictions += other.evictions
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "pointset_builds": self.pointset_builds,
+            "tree_builds": self.tree_builds,
+            "distance_builds": self.distance_builds,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class _Entry:
+    pointset: PointSet
+    tree: SpanningTree | None = None
+    distances: np.ndarray | None = None
+
+
+@dataclass
+class ArtifactCache:
+    """LRU cache of per-instance artifacts, keyed by coordinate content hash.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of *instances* kept (None = unbounded).  A sweep
+        touching instances in plan order only ever needs one live entry per
+        concurrently-processed instance, so small bounds are safe.
+    """
+
+    maxsize: int | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: "OrderedDict[str, _Entry]" = field(default_factory=OrderedDict, repr=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _entry(self, coords) -> _Entry:
+        key = content_hash(coords)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.stats.misses += 1
+        if isinstance(coords, PointSet):
+            ps = coords
+        else:
+            ps = PointSet(coords)
+            self.stats.pointset_builds += 1
+        entry = _Entry(pointset=ps)
+        self._entries[key] = entry
+        if self.maxsize is not None and len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def pointset(self, coords) -> PointSet:
+        """The validated :class:`PointSet` for ``coords`` (built once)."""
+        return self._entry(coords).pointset
+
+    def tree(self, coords) -> SpanningTree:
+        """The degree-≤5 Euclidean MST for ``coords`` (built once)."""
+        entry = self._entry(coords)
+        if entry.tree is None:
+            entry.tree = euclidean_mst(entry.pointset)
+            self.stats.tree_builds += 1
+        return entry.tree
+
+    def distances(self, coords) -> np.ndarray:
+        """The dense ``(n, n)`` pairwise-distance matrix (built once)."""
+        entry = self._entry(coords)
+        if entry.distances is None:
+            entry.distances = pairwise_distances(entry.pointset.coords)
+            self.stats.distance_builds += 1
+        return entry.distances
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,288 @@
+"""Parallel batch executor: the one way to run a :class:`PlanRequest`.
+
+Work is chunked by *instance* (each unit of work plans one instance at every
+grid cell, reusing the instance's spanning tree through the
+:class:`~repro.engine.cache.ArtifactCache`), dispatched to a
+``ProcessPoolExecutor`` when ``jobs > 1`` and run inline otherwise.  Results
+are reassembled in plan order, so serial and parallel execution return
+bit-identical :class:`~repro.analysis.metrics.OrientationMetrics`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import OrientationMetrics, orientation_metrics
+from repro.core.planner import orient_antennae
+from repro.engine.cache import ArtifactCache, CacheStats
+from repro.engine.spec import GridCell, PlanRequest, Scenario
+from repro.experiments.harness import aggregate_rows
+
+__all__ = [
+    "RunRecord",
+    "InstanceReport",
+    "BatchResult",
+    "run_instance_grid",
+    "execute_plan",
+]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One planner run: (scenario, instance) evaluated at one grid cell."""
+
+    scenario: Scenario
+    instance_index: int
+    cell: GridCell
+    metrics: OrientationMetrics
+
+
+@dataclass(frozen=True)
+class InstanceReport:
+    """Per-instance facts shared by every cell (computed once via the cache)."""
+
+    scenario_index: int
+    instance_index: int
+    n: int
+    lmax: float
+    mst_weight: float
+    diameter: float
+    elapsed: float
+
+
+def run_instance_grid(
+    coords: np.ndarray,
+    grid: Sequence[GridCell],
+    *,
+    compute_critical: bool = True,
+    cache: ArtifactCache | None = None,
+) -> tuple[list[OrientationMetrics], dict[str, float]]:
+    """Plan one instance at every grid cell, building its artifacts once.
+
+    Returns the per-cell metrics (grid order) and the instance-level facts
+    derived from the cached artifacts (``lmax``, MST weight, diameter).
+    """
+    cache = cache if cache is not None else ArtifactCache()
+    ps = cache.pointset(coords)
+    tree = cache.tree(ps)
+    dmat = cache.distances(ps)
+    facts = {
+        "n": float(len(ps)),
+        "lmax": tree.lmax,
+        "mst_weight": tree.total_weight,
+        "diameter": float(dmat.max()) if dmat.size else 0.0,
+    }
+    metrics = []
+    for cell in grid:
+        result = orient_antennae(ps, cell.k, cell.phi, tree=tree)
+        metrics.append(orientation_metrics(result, compute_critical=compute_critical))
+    return metrics, facts
+
+
+# -- parallel plumbing ------------------------------------------------------------
+
+#: One unit of work shipped to a worker: (slot, scenario_index, instance_index,
+#: coords).  ``slot`` is the task's position in plan order.
+_Task = tuple[int, int, int, np.ndarray]
+
+
+def _run_chunk(
+    chunk: list[_Task], grid: tuple[GridCell, ...], compute_critical: bool
+) -> tuple[list[tuple[int, list[OrientationMetrics], dict[str, float], float]], CacheStats]:
+    """Worker entry point: process a chunk of instances with a local cache."""
+    cache = ArtifactCache()
+    out = []
+    for slot, _si, _ii, coords in chunk:
+        t0 = time.perf_counter()
+        metrics, facts = _run_one(coords, grid, compute_critical, cache)
+        out.append((slot, metrics, facts, time.perf_counter() - t0))
+    return out, cache.stats
+
+
+def _run_one(coords, grid, compute_critical, cache):
+    return run_instance_grid(
+        coords, grid, compute_critical=compute_critical, cache=cache
+    )
+
+
+@dataclass
+class BatchResult:
+    """All runs of a plan, in deterministic plan order, plus execution facts."""
+
+    request: PlanRequest
+    records: list[RunRecord]
+    instance_reports: list[InstanceReport]
+    cache_stats: CacheStats
+    jobs_used: int
+    elapsed: float
+    fallback_reason: str | None = None
+    _by_cell: list[list[OrientationMetrics]] = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def metrics_by_cell(self) -> list[list[OrientationMetrics]]:
+        """Metrics grouped per grid position (plan order within each group)."""
+        if self._by_cell is None:
+            groups: list[list[OrientationMetrics]] = [
+                [] for _ in self.request.grid
+            ]
+            ncells = len(self.request.grid)
+            for i, rec in enumerate(self.records):
+                groups[i % ncells].append(rec.metrics)
+            self._by_cell = groups
+        return self._by_cell
+
+    def aggregate_by_cell(self) -> list[dict[str, Any]]:
+        """One aggregate row per grid cell, over every scenario instance."""
+        return [aggregate_rows(ms) for ms in self.metrics_by_cell()]
+
+    def aggregate_by_scenario_cell(self) -> list[dict[str, Any]]:
+        """One aggregate row per (scenario, cell), labelled with the scenario."""
+        ncells = len(self.request.grid)
+        rows = []
+        base = 0  # index of the scenario's first instance in plan order
+        for scenario in self.request.scenarios:
+            for ci in range(ncells):
+                ms = [
+                    self.records[(base + j) * ncells + ci].metrics
+                    for j in range(scenario.seeds)
+                ]
+                row = aggregate_rows(ms)
+                row["workload"] = scenario.workload
+                row["n"] = scenario.n
+                rows.append(row)
+            base += scenario.seeds
+        return rows
+
+    def cache_summary(self) -> str:
+        """Deterministic cache facts (identical for serial and parallel runs)."""
+        s = self.cache_stats
+        return (
+            f"{len(self.records)} runs over {len(self.instance_reports)} instances; "
+            f"{s.tree_builds} EMST builds shared across {len(self.request.grid)} "
+            f"grid cells ({s.hits} cache hits)"
+        )
+
+    def summary(self) -> str:
+        mode = f"{self.jobs_used} workers" if self.jobs_used > 1 else "serial"
+        return f"{self.cache_summary()} ({mode}, {self.elapsed:.2f}s)"
+
+
+def _chunk_tasks(tasks: list[_Task], jobs: int) -> list[list[_Task]]:
+    """Split tasks into contiguous chunks, ~4 per worker for load balance."""
+    target = max(1, -(-len(tasks) // (jobs * 4)))
+    return [tasks[i : i + target] for i in range(0, len(tasks), target)]
+
+
+def execute_plan(
+    request: PlanRequest,
+    *,
+    jobs: int = 1,
+    cache: ArtifactCache | None = None,
+    on_instance: Callable[[InstanceReport], None] | None = None,
+) -> BatchResult:
+    """Run every (instance × cell) of ``request`` and collect the metrics.
+
+    Parameters
+    ----------
+    request:
+        The batch description.
+    jobs:
+        Worker processes; ``<= 1`` runs inline.  Parallel execution falls
+        back to serial (recording ``fallback_reason``) if a process pool
+        cannot be created in the current environment.
+    cache:
+        Serial path only: an external :class:`ArtifactCache` to use/observe.
+        Workers always build their own per-process caches; their stats are
+        merged into the result.
+    on_instance:
+        Progress hook invoked with each :class:`InstanceReport` as it
+        completes (arrival order; the result itself stays in plan order).
+    """
+    t_start = time.perf_counter()
+    tasks: list[_Task] = [
+        (slot, si, ii, coords)
+        for slot, (si, ii, coords) in enumerate(request.instances())
+    ]
+    grid = request.grid
+    slots: list[tuple[list[OrientationMetrics], dict[str, float], float] | None]
+    slots = [None] * len(tasks)
+    stats = CacheStats()
+    fallback_reason = None
+    jobs_used = 1
+
+    pool = None
+    if jobs > 1 and len(tasks) > 1:
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
+        except (OSError, ValueError, PermissionError) as exc:
+            fallback_reason = f"process pool unavailable ({exc}); ran serially"
+
+    if pool is not None:
+        chunks = _chunk_tasks(tasks, min(jobs, len(tasks)))
+        try:
+            futures = [
+                pool.submit(_run_chunk, chunk, grid, request.compute_critical)
+                for chunk in chunks
+            ]
+            jobs_used = min(jobs, len(tasks))
+            for future in as_completed(futures):
+                outcomes, worker_stats = future.result()
+                stats.merge(worker_stats)
+                for slot, metrics, facts, dt in outcomes:
+                    slots[slot] = (metrics, facts, dt)
+                    if on_instance is not None:
+                        _, si, ii, _ = tasks[slot]
+                        on_instance(_report(si, ii, facts, dt))
+        finally:
+            pool.shutdown(wait=True)
+    else:
+        local_cache = cache if cache is not None else ArtifactCache()
+        # Snapshot so the result records only this run's counter deltas even
+        # when the caller's cache is reused across several plans.
+        before = local_cache.stats.as_dict()
+        for slot, si, ii, coords in tasks:
+            t0 = time.perf_counter()
+            metrics, facts = _run_one(
+                coords, grid, request.compute_critical, local_cache
+            )
+            dt = time.perf_counter() - t0
+            slots[slot] = (metrics, facts, dt)
+            if on_instance is not None:
+                on_instance(_report(si, ii, facts, dt))
+        after = local_cache.stats.as_dict()
+        stats = CacheStats(**{k: after[k] - before[k] for k in after})
+
+    records: list[RunRecord] = []
+    reports: list[InstanceReport] = []
+    for (slot, si, ii, _coords), payload in zip(tasks, slots):
+        assert payload is not None, f"missing result for task slot {slot}"
+        metrics, facts, dt = payload
+        scenario = request.scenarios[si]
+        reports.append(_report(si, ii, facts, dt))
+        for cell, m in zip(grid, metrics):
+            records.append(RunRecord(scenario, ii, cell, m))
+    return BatchResult(
+        request=request,
+        records=records,
+        instance_reports=reports,
+        cache_stats=stats,
+        jobs_used=jobs_used,
+        elapsed=time.perf_counter() - t_start,
+        fallback_reason=fallback_reason,
+    )
+
+
+def _report(si: int, ii: int, facts: dict[str, float], dt: float) -> InstanceReport:
+    return InstanceReport(
+        scenario_index=si,
+        instance_index=ii,
+        n=int(facts["n"]),
+        lmax=facts["lmax"],
+        mst_weight=facts["mst_weight"],
+        diameter=facts["diameter"],
+        elapsed=dt,
+    )

@@ -1,0 +1,179 @@
+"""Declarative scenario specifications for batch planning.
+
+A :class:`Scenario` names a workload generator from
+:mod:`repro.experiments.workloads`, an instance size and a seed range; it
+expands into a reproducible sequence of point arrays (the same scenario
+always yields bit-identical instances, in any process).  A
+:class:`PlanRequest` crosses one or more scenarios with a grid of
+``(k, φ)`` cells — the unit of work the executor consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.experiments.workloads import WORKLOADS, make_workload
+from repro.utils.rng import stable_seed
+
+__all__ = ["Scenario", "GridCell", "PlanRequest"]
+
+_TWO_PI = 2.0 * math.pi
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A reproducible ensemble of workload instances.
+
+    Attributes
+    ----------
+    workload:
+        Name of a generator registered in
+        :data:`repro.experiments.workloads.WORKLOADS`.
+    n:
+        Points per instance.
+    seeds:
+        Number of instances (seed indices ``0 .. seeds-1``).
+    tag:
+        Namespace mixed into the per-instance seed so distinct experiments
+        draw independent instances from the same ``(workload, n)``.
+    seed_offset:
+        First seed index (lets callers split one logical ensemble into
+        disjoint shards).
+    """
+
+    workload: str
+    n: int
+    seeds: int = 1
+    tag: str = "engine"
+    seed_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise InvalidParameterError(
+                f"unknown workload {self.workload!r}; choose from {sorted(WORKLOADS)}"
+            )
+        if self.n < 1:
+            raise InvalidParameterError(f"n must be >= 1, got {self.n}")
+        if self.seeds < 1:
+            raise InvalidParameterError(f"seeds must be >= 1, got {self.seeds}")
+        if self.seed_offset < 0:
+            raise InvalidParameterError(
+                f"seed_offset must be >= 0, got {self.seed_offset}"
+            )
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}-n{self.n}"
+
+    def instance_seed(self, index: int) -> int:
+        """Stable 63-bit seed of instance ``index`` (process-independent)."""
+        return stable_seed(self.tag, self.workload, self.n, self.seed_offset + index)
+
+    def instance(self, index: int) -> np.ndarray:
+        """Materialize instance ``index`` as an ``(n, 2)`` float array."""
+        if not 0 <= index < self.seeds:
+            raise InvalidParameterError(
+                f"instance index {index} outside [0, {self.seeds})"
+            )
+        return make_workload(self.workload, self.n, self.instance_seed(index))
+
+    def instances(self) -> Iterator[np.ndarray]:
+        """All instances, in seed order."""
+        for i in range(self.seeds):
+            yield self.instance(i)
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One planner configuration: ``k`` antennae with angular-sum budget φ."""
+
+    k: int
+    phi: float
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {self.k}")
+        if not 0.0 <= self.phi <= _TWO_PI + 1e-12:
+            raise InvalidParameterError(f"phi must be in [0, 2pi], got {self.phi}")
+
+    @property
+    def label(self) -> str:
+        return f"k={self.k},phi={self.phi:.4f}"
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """Scenarios × grid: the full batch the executor runs.
+
+    Every instance of every scenario is evaluated at every grid cell; the
+    per-instance artifacts (point set, spanning tree, distance matrix) are
+    shared across the cells through the :class:`~repro.engine.cache.ArtifactCache`.
+    """
+
+    scenarios: tuple[Scenario, ...]
+    grid: tuple[GridCell, ...]
+    compute_critical: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(self, "grid", tuple(self.grid))
+        if not self.scenarios:
+            raise InvalidParameterError("a PlanRequest needs at least one scenario")
+        if not self.grid:
+            raise InvalidParameterError("a PlanRequest needs at least one grid cell")
+
+    @classmethod
+    def sweep(
+        cls,
+        *,
+        workloads: Sequence[str],
+        sizes: Sequence[int],
+        seeds: int,
+        ks: Sequence[int],
+        phis: Sequence[float],
+        tag: str = "sweep",
+        compute_critical: bool = True,
+    ) -> "PlanRequest":
+        """Build the dense cross product (workloads × sizes) × (ks × phis)."""
+        scenarios = tuple(
+            Scenario(w, int(n), seeds=seeds, tag=tag)
+            for w in workloads
+            for n in sizes
+        )
+        grid = tuple(GridCell(int(k), float(p)) for k in ks for p in phis)
+        return cls(scenarios, grid, compute_critical=compute_critical)
+
+    @property
+    def total_instances(self) -> int:
+        return sum(s.seeds for s in self.scenarios)
+
+    @property
+    def total_runs(self) -> int:
+        return self.total_instances * len(self.grid)
+
+    def instances(self) -> Iterator[tuple[int, int, np.ndarray]]:
+        """Yield ``(scenario_index, instance_index, coords)`` in plan order.
+
+        This is the deterministic enumeration both the serial and the
+        parallel executor paths follow; result ordering is defined by it.
+        """
+        for si, scenario in enumerate(self.scenarios):
+            for ii in range(scenario.seeds):
+                yield si, ii, scenario.instance(ii)
+
+    def describe(self) -> str:
+        cells = ", ".join(c.label for c in self.grid[:4])
+        if len(self.grid) > 4:
+            cells += f", … ({len(self.grid)} cells)"
+        scen = ", ".join(s.label for s in self.scenarios[:4])
+        if len(self.scenarios) > 4:
+            scen += f", … ({len(self.scenarios)} scenarios)"
+        return (
+            f"{self.total_instances} instances [{scen}] × grid [{cells}] "
+            f"= {self.total_runs} runs"
+        )

@@ -16,10 +16,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine import ArtifactCache, Scenario
 from repro.experiments.harness import ExperimentRecord
-from repro.experiments.workloads import make_workload, perturbed_star
-from repro.geometry.points import PointSet
-from repro.spanning.emst import euclidean_mst
+from repro.experiments.workloads import perturbed_star
 from repro.spanning.facts import adjacent_angle_report, check_fact1, check_fact2
 from repro.utils.rng import stable_seed
 
@@ -40,17 +39,18 @@ def run_fig2(
             "max chord ratio", "empty triangles", "deg5 vertices", "fact2 holds",
         ],
     )
+    cache = ArtifactCache()
     for wl in workloads:
         for n in sizes:
+            scenario = Scenario(wl, n, seeds=seeds, tag="fig2")
             min_ang = np.inf
             max_ratio = 0.0
             f1_ok = True
             f2_ok = True
             deg5 = 0
             count = 0
-            for s in range(seeds):
-                pts = make_workload(wl, n, stable_seed("fig2", wl, n, s))
-                tree = euclidean_mst(PointSet(pts))
+            for pts in scenario.instances():
+                tree = cache.tree(pts)
                 rep1 = check_fact1(tree)
                 rep2 = check_fact2(tree)
                 f1_ok &= rep1.ok
@@ -71,7 +71,7 @@ def run_fig2(
     ok = True
     for s in range(20):
         pts = perturbed_star(5, leg=2, seed=stable_seed("fig2-star", s))
-        tree = euclidean_mst(PointSet(pts))
+        tree = cache.tree(pts)
         deg5 += int((tree.degrees() == 5).sum())
         ok &= check_fact2(tree).ok and check_fact1(tree).ok
     rec.add("star-d5", 11, 20, "-", ok, "-", ok, deg5, ok)

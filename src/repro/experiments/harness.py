@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine uses harness)
+    from repro.engine.cache import ArtifactCache
 
 from repro.analysis.metrics import OrientationMetrics, orientation_metrics
 from repro.core.planner import orient_antennae
@@ -23,19 +26,36 @@ def run_config(
     phi: float,
     *,
     compute_critical: bool = True,
+    cache: "ArtifactCache | None" = None,
 ) -> OrientationMetrics:
-    """Plan antennae for one instance and measure the outcome."""
-    ps = points if isinstance(points, PointSet) else PointSet(points)
-    tree = euclidean_mst(ps)
+    """Plan antennae for one instance and measure the outcome.
+
+    With a ``cache`` (an :class:`repro.engine.cache.ArtifactCache`), the
+    point set's spanning tree is reused across repeated calls on the same
+    coordinates — sweeps over a ``(k, φ)`` grid build one EMST per instance.
+    """
+    if cache is not None:
+        ps = cache.pointset(points)
+        tree = cache.tree(ps)
+    else:
+        ps = points if isinstance(points, PointSet) else PointSet(points)
+        tree = euclidean_mst(ps)
     result = orient_antennae(ps, k, phi, tree=tree)
     return orientation_metrics(result, compute_critical=compute_critical)
 
 
 def aggregate_rows(metrics: Sequence[OrientationMetrics]) -> dict[str, Any]:
-    """Aggregate repeated runs of one configuration into a report row."""
+    """Aggregate repeated runs of one configuration into a report row.
+
+    Runs measured with ``compute_critical=False`` carry NaN critical ranges;
+    those are excluded from the critical aggregates, and if *no* run
+    measured one the row reports ``None`` (rather than NaN plus the
+    all-NaN-slice RuntimeWarnings ``np.nanmax`` would emit).
+    """
     if not metrics:
         raise ValueError("no metrics to aggregate")
     crit = np.asarray([m.critical_range for m in metrics], dtype=float)
+    crit = crit[~np.isnan(crit)]
     realized = np.asarray([m.realized_range for m in metrics], dtype=float)
     spread = np.asarray([m.max_spread_sum for m in metrics], dtype=float)
     return {
@@ -44,12 +64,20 @@ def aggregate_rows(metrics: Sequence[OrientationMetrics]) -> dict[str, Any]:
         "phi": metrics[0].phi,
         "runs": len(metrics),
         "bound": metrics[0].range_bound,
-        "critical_max": float(np.nanmax(crit)),
-        "critical_mean": float(np.nanmean(crit)),
+        "critical_max": float(crit.max()) if crit.size else None,
+        "critical_mean": float(crit.mean()) if crit.size else None,
         "realized_max": float(realized.max()),
         "spread_max": float(spread.max()),
         "all_connected": all(m.strongly_connected for m in metrics),
-        "bound_ok": all(m.bound_satisfied() for m in metrics),
+        "bound_ok": (
+            all(
+                m.bound_satisfied()
+                for m in metrics
+                if not np.isnan(m.critical_range)
+            )
+            if crit.size
+            else None
+        ),
     }
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from repro.experiments.ablations import run_ablations
@@ -17,7 +18,7 @@ from repro.experiments.scaling import run_scaling
 from repro.experiments.table1 import run_table1
 from repro.experiments.tradeoff import run_tradeoff
 
-__all__ = ["EXPERIMENTS", "run_experiment"]
+__all__ = ["EXPERIMENTS", "run_experiment", "supports_jobs"]
 
 #: id -> zero-argument driver returning an ExperimentRecord.
 EXPERIMENTS: dict[str, Callable[[], ExperimentRecord]] = {
@@ -37,6 +38,25 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentRecord]] = {
 }
 
 
-def run_experiment(experiment_id: str) -> ExperimentRecord:
-    """Run one experiment by id (raises KeyError for unknown ids)."""
-    return EXPERIMENTS[experiment_id]()
+def supports_jobs(experiment_id: str) -> bool:
+    """Does this experiment's driver route through the parallel engine?
+
+    Drivers that execute through :func:`repro.engine.execute_plan` expose a
+    ``jobs`` keyword; the rest are inherently serial (closed-form checks,
+    timing studies) and silently ignore a requested parallelism.
+    """
+    driver = EXPERIMENTS[experiment_id]
+    return "jobs" in inspect.signature(driver).parameters
+
+
+def run_experiment(experiment_id: str, *, jobs: int = 1) -> ExperimentRecord:
+    """Run one experiment by id (raises KeyError for unknown ids).
+
+    ``jobs`` is forwarded to engine-backed drivers (see
+    :func:`supports_jobs`); serial drivers produce identical records for
+    any value.
+    """
+    driver = EXPERIMENTS[experiment_id]
+    if jobs != 1 and supports_jobs(experiment_id):
+        return driver(jobs=jobs)
+    return driver()

@@ -1,7 +1,9 @@
 """Regenerate all experiment tables: ``python -m repro.experiments.run_all``.
 
 Writes the markdown bodies consumed by EXPERIMENTS.md to stdout (or a file
-with ``--out``), and prints progress tables to stderr.
+with ``--out``), and prints progress tables to stderr.  ``--jobs N`` fans
+engine-backed experiments out over N worker processes; the emitted rows are
+identical to a serial run (the engine orders results deterministically).
 """
 
 from __future__ import annotations
@@ -10,7 +12,7 @@ import argparse
 import sys
 import time
 
-from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.registry import EXPERIMENTS, run_experiment, supports_jobs
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -19,7 +21,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--only", nargs="*", default=None, help="experiment ids to run (default: all)"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for engine-backed experiments (default: 1)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     ids = args.only if args.only else list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
@@ -27,8 +35,9 @@ def main(argv: list[str] | None = None) -> int:
     sections: list[str] = []
     for eid in ids:
         t0 = time.perf_counter()
-        print(f"[run_all] running {eid} ...", file=sys.stderr, flush=True)
-        rec = EXPERIMENTS[eid]()
+        mode = f" (jobs={args.jobs})" if args.jobs > 1 and supports_jobs(eid) else ""
+        print(f"[run_all] running {eid}{mode} ...", file=sys.stderr, flush=True)
+        rec = run_experiment(eid, jobs=args.jobs)
         dt = time.perf_counter() - t0
         print(rec.to_ascii(), file=sys.stderr, flush=True)
         print(f"[run_all] {eid} done in {dt:.1f}s", file=sys.stderr, flush=True)

@@ -10,11 +10,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.planner import orient_antennae
+from repro.engine import Scenario
 from repro.experiments.harness import ExperimentRecord
-from repro.experiments.workloads import make_workload
 from repro.geometry.points import PointSet
 from repro.spanning.emst import euclidean_mst
-from repro.utils.rng import stable_seed
 from repro.utils.timing import measure
 
 __all__ = ["run_scaling"]
@@ -28,14 +27,12 @@ def run_scaling(
         f"Planner runtime scaling (k={k}, phi={phi:.3f})",
         ["n", "mst (s)", "orient (s)", "orient us/vertex"],
     )
-    prev = None
     for n in sizes:
-        pts = PointSet(make_workload("uniform", n, stable_seed("scaling", n)))
+        pts = PointSet(Scenario("uniform", n, tag="scaling").instance(0))
         t_mst, tree = measure(euclidean_mst, pts)
         t_orient, _ = measure(orient_antennae, pts, k, phi, tree=tree)
         rec.add(n, round(t_mst, 4), round(t_orient, 4),
                 round(1e6 * t_orient / n, 2))
-        prev = t_orient
     rec.note("orient us/vertex should stay near-constant (linear construction).")
     return rec
 

@@ -12,9 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.bounds import paper_range_bound
-from repro.experiments.harness import ExperimentRecord, aggregate_rows, run_config
-from repro.experiments.workloads import make_workload
-from repro.utils.rng import stable_seed
+from repro.engine import GridCell, PlanRequest, Scenario, execute_plan
+from repro.experiments.harness import ExperimentRecord
 
 __all__ = ["run_tradeoff", "k2_bound_curve", "crossover_phi"]
 
@@ -50,18 +49,20 @@ def run_tradeoff(
         0.0, np.pi / 2, 2 * np.pi / 3, 0.75 * np.pi, 0.9 * np.pi,
         np.pi, 1.1 * np.pi, 6 * np.pi / 5, 1.5 * np.pi,
     ),
+    jobs: int = 1,
 ) -> ExperimentRecord:
     rec = ExperimentRecord(
         "X1",
         "Spread vs range trade-off for k = 2 (with k=3/k=4 crossovers)",
         ["phi", "phi/pi", "paper bound", "algorithm", "measured max", "measured mean"],
     )
-    for phi in phis:
-        metrics = [
-            run_config(make_workload("uniform", n, stable_seed("tradeoff", n, s)), 2, float(phi))
-            for s in range(seeds)
-        ]
-        agg = aggregate_rows(metrics)
+    # One plan: the φ sweep is the grid, so all cells share each instance's EMST.
+    request = PlanRequest(
+        (Scenario("uniform", n, seeds=seeds, tag="tradeoff"),),
+        tuple(GridCell(2, float(phi)) for phi in phis),
+    )
+    batch = execute_plan(request, jobs=jobs)
+    for phi, agg in zip(phis, batch.aggregate_by_cell()):
         rec.add(
             round(float(phi), 4), round(float(phi) / np.pi, 3),
             round(paper_range_bound(2, float(phi))[0], 4),

@@ -70,6 +70,39 @@ class TestBoundsCommand:
         assert "k=2" in out and "1.2856" in out
 
 
+class TestSweepCommand:
+    def test_markdown_table(self, capsys):
+        rc = main(["sweep", "--workload", "uniform", "--n", "20", "--seeds", "2",
+                   "--k", "2", "--phi", "pi", "2pi/3", "--tag", "cli-test"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "| algorithm |" in out
+        assert "theorem3.part1" in out
+        assert "theorem3.part2" in out
+
+    def test_json_output_and_jobs(self, capsys):
+        rc = main(["sweep", "--n", "18", "--seeds", "2", "--k", "1", "--phi",
+                   "pi", "--jobs", "2", "--format", "json", "--no-critical"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["cache"]["tree_builds"] == 2
+        assert data["rows"][0]["runs"] == 2
+        assert data["rows"][0]["critical_max"] is None
+
+    def test_scenario_aggregation_and_output_file(self, tmp_path, capsys):
+        out = str(tmp_path / "sweep.json")
+        rc = main(["sweep", "--workload", "uniform", "grid", "--n", "16",
+                   "--seeds", "1", "--k", "2", "--phi", "pi", "--aggregate",
+                   "scenario", "--format", "json", "--output", out])
+        assert rc == 0
+        data = json.loads(open(out).read())
+        assert [r["workload"] for r in data["rows"]] == ["uniform", "grid"]
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        assert main(["sweep", "--workload", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
 class TestRenderAndValidate:
     def test_full_workflow(self, csv_path, tmp_path, capsys):
         plan = str(tmp_path / "plan.json")

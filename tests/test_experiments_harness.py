@@ -36,6 +36,46 @@ class TestAggregateRows:
         with pytest.raises(ValueError):
             aggregate_rows([])
 
+    def test_all_nan_critical_reports_none_without_warnings(self):
+        """compute_critical=False rows must aggregate to None, not NaN."""
+        ms = [
+            run_config(uniform_points(20, seed=s), 2, np.pi, compute_critical=False)
+            for s in range(2)
+        ]
+        with np.errstate(all="raise"):  # any RuntimeWarning becomes an error
+            agg = aggregate_rows(ms)
+        assert agg["critical_max"] is None
+        assert agg["critical_mean"] is None
+        assert agg["bound_ok"] is None
+        assert agg["realized_max"] > 0
+
+    def test_mixed_nan_critical_uses_measured_runs_only(self):
+        with_crit = run_config(uniform_points(20, seed=0), 2, np.pi)
+        without = run_config(uniform_points(20, seed=1), 2, np.pi,
+                             compute_critical=False)
+        agg = aggregate_rows([with_crit, without])
+        assert agg["critical_max"] == pytest.approx(with_crit.critical_range)
+        assert agg["bound_ok"] == with_crit.bound_satisfied()
+
+
+class TestRunConfigCache:
+    def test_cache_shares_tree_across_configs(self):
+        from repro.engine import ArtifactCache
+
+        cache = ArtifactCache()
+        pts = uniform_points(25, seed=0)
+        for k, phi in ((1, np.pi), (2, np.pi), (3, 0.0)):
+            run_config(pts, k, phi, cache=cache)
+        assert cache.stats.tree_builds == 1
+
+    def test_cached_equals_uncached(self):
+        from repro.engine import ArtifactCache
+
+        pts = uniform_points(25, seed=0)
+        assert run_config(pts, 2, np.pi, cache=ArtifactCache()) == run_config(
+            pts, 2, np.pi
+        )
+
 
 class TestExperimentRecord:
     def make(self) -> ExperimentRecord:

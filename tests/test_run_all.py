@@ -30,3 +30,30 @@ class TestRunAllCli:
         assert main(["--only", "X5", "F1", "--out", str(out_file)]) == 0
         text = out_file.read_text()
         assert text.index("### X5") < text.index("### F1")
+
+    def test_jobs_produces_identical_rows(self, tmp_path):
+        """--jobs N must emit the same markdown body as the serial run."""
+        serial, parallel = tmp_path / "serial.md", tmp_path / "parallel.md"
+        args = ["--only", "X1", "--out"]
+        assert main(args + [str(serial)]) == 0
+        assert main(args + [str(parallel), "--jobs", "2"]) == 0
+        assert serial.read_text() == parallel.read_text()
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "F1", "--jobs", "0"])
+
+
+class TestRegistryJobs:
+    def test_supports_jobs_flags_engine_drivers(self):
+        from repro.experiments.registry import supports_jobs
+
+        assert supports_jobs("T1")
+        assert supports_jobs("X1")
+        assert not supports_jobs("F1")
+
+    def test_run_experiment_forwards_jobs_to_serial_driver(self):
+        from repro.experiments.registry import run_experiment
+
+        rec = run_experiment("F1", jobs=4)  # serial driver: jobs ignored
+        assert rec.experiment_id == "F1"
