@@ -1,0 +1,121 @@
+"""Benchmark K1 — the vectorized kernel layer vs the original loop kernels.
+
+Times the three measurement kernels on n ∈ {200, 1000, 5000} (uniform
+instances, Theorem-3 orientations at k=2, φ=π):
+
+* batched coverage (:func:`repro.antenna.coverage.coverage_matrix`) vs the
+  per-antenna Python loop (:func:`repro.kernels.reference.coverage_matrix_loop`);
+* the rebuild-free critical-range search vs the per-probe ``DiGraph``
+  rebuild (:func:`repro.kernels.reference.critical_range_rebuild`).
+
+Everything is single-core: the wins are vectorization wins, verified by
+the instrumentation counters (zero per-probe graph builds, one trig pass),
+not parallelism.  The loop critical-range search is only timed up to
+n = 1000 — at n = 5000 its per-probe pure-Python BFS over millions of edges
+takes minutes, which is precisely the point; the counters tell the same
+story at every size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.antenna.coverage import coverage_matrix, critical_range
+from repro.core.planner import orient_antennae
+from repro.engine import Scenario
+from repro.geometry.points import PointSet
+from repro.kernels import kernel_counters, polar_tables, recording
+from repro.kernels.reference import coverage_matrix_loop, critical_range_rebuild
+from repro.spanning.emst import euclidean_mst
+from repro.utils.tables import format_ascii_table
+from repro.utils.timing import measure
+
+SIZES = (200, 1000, 5000)
+#: Largest size at which the reference kernels are run for comparison.
+REFERENCE_LIMIT = 1000
+
+
+@pytest.fixture(scope="module")
+def instances():
+    """One oriented instance per size (orientation cost excluded from timing)."""
+    out = {}
+    for n in SIZES:
+        coords = Scenario("uniform", n, seeds=1, tag="bench-kernels").instance(0)
+        ps = PointSet(coords)
+        tree = euclidean_mst(ps)
+        result = orient_antennae(ps, 2, np.pi, tree=tree)
+        out[n] = (ps, result.assignment)
+    return out
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_batched_coverage_beats_loop(instances, n, capsys):
+    ps, assignment = instances[n]
+    tables = polar_tables(ps.coords)  # shared geometry, as the engine caches it
+    with recording() as rec:
+        t_new, cover_new = measure(
+            lambda: coverage_matrix(ps, assignment, tables=tables)
+        )
+    t_old, cover_old = measure(lambda: coverage_matrix_loop(ps, assignment))
+    assert np.array_equal(cover_new, cover_old), "kernels disagree"
+    assert rec.trig_evals == 0, "shared tables must not recompute trig"
+    assert rec.coverage_calls == 1
+    loop_trig = assignment.total_antennae() * n  # one n-entry trig row per antenna
+    with capsys.disabled():
+        print()
+        print(format_ascii_table(
+            ["kernel", "seconds", "trig evals"],
+            [
+                ["per-antenna loop", round(t_old, 4), loop_trig],
+                ["batched (shared tables)", round(t_new, 4), rec.trig_evals],
+                ["speedup", round(t_old / max(t_new, 1e-9), 1), "×"],
+            ],
+            title=f"[K1] coverage matrix, n={n} (single core)",
+        ))
+    if n >= 1000:
+        # Vectorization must win clearly once the per-antenna loop dominates.
+        assert t_new < t_old, f"batched kernel slower at n={n}"
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_rebuild_free_critical_range(instances, n, capsys):
+    ps, assignment = instances[n]
+    tables = polar_tables(ps.coords)
+    with recording() as rec:
+        t_new, cr_new = measure(lambda: critical_range(ps, assignment, tables=tables))
+    assert rec.graph_builds == 0, "critical_range must not build DiGraphs"
+    assert rec.coverage_calls == 1
+    rows = [
+        ["rebuild-free (CSR prefix)", round(t_new, 4), 0, rec.connectivity_probes],
+    ]
+    if n <= REFERENCE_LIMIT:
+        with recording() as rec_old:
+            t_old, cr_old = measure(lambda: critical_range_rebuild(ps, assignment))
+        assert cr_new == cr_old, "kernels disagree on the critical range"
+        # graph_builds exceeds the probe count: each passing probe also
+        # constructs the reversed DiGraph for the backward BFS pass.
+        rows.insert(0, [
+            "per-probe DiGraph rebuild", round(t_old, 4),
+            rec_old.graph_builds, rec_old.connectivity_probes,
+        ])
+        rows.append(["speedup", round(t_old / max(t_new, 1e-9), 1), "", "×"])
+        assert t_new < t_old, f"rebuild-free search slower at n={n}"
+    with capsys.disabled():
+        print()
+        print(format_ascii_table(
+            ["search", "seconds", "graph builds", "probes"],
+            rows,
+            title=f"[K1] critical range, n={n} (single core)",
+        ))
+
+
+def test_counters_report(capsys):
+    """Not a benchmark: show the cumulative kernel counters for this run."""
+    with capsys.disabled():
+        print()
+        print(format_ascii_table(
+            ["counter", "value"],
+            [[k, v] for k, v in kernel_counters().as_dict().items()],
+            title="[K1] process-wide kernel counters",
+        ))

@@ -40,6 +40,7 @@ from repro.engine import (
 )
 from repro.errors import ReproError
 from repro.io import load_result, save_result
+from repro.kernels import kernel_counters, polar_tables, reset_kernel_counters
 from repro.geometry.points import PointSet
 from repro.geometry.sectors import Sector
 from repro.graph.connectivity import (
@@ -73,6 +74,9 @@ __all__ = [
     "euclidean_mst",
     "is_strongly_c_connected",
     "is_strongly_connected",
+    "kernel_counters",
+    "polar_tables",
+    "reset_kernel_counters",
     "lemma1_orientation",
     "lemma1_required_spread",
     "load_result",

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.antenna.coverage import coverage_matrix
 from repro.core.result import OrientationResult
+from repro.kernels.geometry import PolarTables
 
 __all__ = ["InterferenceReport", "interference_report", "compare_interference"]
 
@@ -43,9 +44,14 @@ class InterferenceReport:
         )
 
 
-def interference_report(result: OrientationResult) -> InterferenceReport:
-    """Interference degrees induced by an orientation result."""
-    cover = coverage_matrix(result.points, result.assignment)
+def interference_report(
+    result: OrientationResult, *, tables: PolarTables | None = None
+) -> InterferenceReport:
+    """Interference degrees induced by an orientation result.
+
+    ``tables`` is the optional shared polar geometry of the instance.
+    """
+    cover = coverage_matrix(result.points, result.assignment, tables=tables)
     return InterferenceReport.from_matrix(cover)
 
 

@@ -11,6 +11,7 @@ from dataclasses import dataclass, asdict
 
 from repro.core.result import OrientationResult
 from repro.graph.connectivity import is_strongly_connected
+from repro.kernels.geometry import PolarTables, polar_tables
 
 __all__ = ["OrientationMetrics", "orientation_metrics"]
 
@@ -54,13 +55,24 @@ class OrientationMetrics:
 
 
 def orientation_metrics(
-    result: OrientationResult, *, compute_critical: bool = True
+    result: OrientationResult,
+    *,
+    compute_critical: bool = True,
+    tables: PolarTables | None = None,
 ) -> OrientationMetrics:
-    """Measure ``result``; ranges are reported in lmax units."""
-    g = result.transmission_graph()
+    """Measure ``result``; ranges are reported in lmax units.
+
+    ``tables`` is the instance's shared polar geometry (from the engine's
+    :class:`~repro.engine.cache.ArtifactCache`); without it the tables are
+    built once here and shared between the transmission-graph and
+    critical-range measurements.
+    """
+    if tables is None:
+        tables = polar_tables(result.points.coords)
+    g = result.transmission_graph(tables=tables)
     counts = result.assignment.counts()
     critical = (
-        result.measured_critical_range_normalized()
+        result.measured_critical_range_normalized(tables=tables)
         if compute_critical
         else float("nan")
     )

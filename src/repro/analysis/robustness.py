@@ -22,6 +22,7 @@ from repro.graph.connectivity import (
     is_strongly_connected,
 )
 from repro.graph.digraph import DiGraph
+from repro.kernels.connectivity import strongly_connected_edges
 
 __all__ = ["strong_connectivity_order", "failure_sweep", "RobustnessReport"]
 
@@ -49,17 +50,21 @@ class RobustnessReport:
         return self.survival_by_failures.get(f, float("nan"))
 
 
-def _subgraph_without(g: DiGraph, removed: np.ndarray) -> DiGraph:
+def _survives_deletion(g: DiGraph, removed: np.ndarray) -> bool:
+    """Strong connectivity after deleting ``removed`` — no subgraph object.
+
+    Masks the edge list and probes the CSR kernel directly, so a Monte-
+    Carlo sweep of thousands of trials performs zero ``DiGraph`` builds.
+    """
     keep = np.ones(g.n, dtype=bool)
     keep[removed] = False
-    remap = -np.ones(g.n, dtype=np.int64)
-    remap[keep] = np.arange(int(keep.sum()))
+    remap = np.cumsum(keep) - 1  # kept vertices -> dense ids, in order
     e = g.edges()
+    n_kept = int(g.n - removed.size)
     if e.size == 0:
-        return DiGraph(int(keep.sum()))
+        return n_kept <= 1
     mask = keep[e[:, 0]] & keep[e[:, 1]]
-    sub_edges = np.stack([remap[e[mask, 0]], remap[e[mask, 1]]], axis=1)
-    return DiGraph(int(keep.sum()), sub_edges)
+    return strongly_connected_edges(n_kept, remap[e[mask, 0]], remap[e[mask, 1]])
 
 
 def failure_sweep(
@@ -87,7 +92,7 @@ def failure_sweep(
         ok = 0
         for _ in range(trials):
             removed = rng.choice(n, size=f, replace=False)
-            if is_strongly_connected(_subgraph_without(g, removed)):
+            if _survives_deletion(g, removed):
                 ok += 1
         survival[f] = ok / trials
     order = strong_connectivity_order(g) if n <= 400 else (1 if is_strongly_connected(g) else 0)

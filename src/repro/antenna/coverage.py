@@ -1,10 +1,13 @@
 """Induced transmission digraph of an antenna assignment.
 
 The paper's model: a directed edge ``(u, v)`` exists iff ``v`` lies within
-the spread and range of some antenna at ``u``.  The kernels here are
-vectorized per antenna (each antenna is tested against all ``n`` points at
-once); for the instance sizes of the experiments (n ≤ a few thousand, ≤ 5
-antennae per node) this is the sweet spot between clarity and speed.
+the spread and range of some antenna at ``u``.  All heavy lifting happens
+in :mod:`repro.kernels`: the batched coverage kernel evaluates every
+``k·n`` sector against the shared :class:`~repro.kernels.geometry.PolarTables`
+in pure array ops, and the critical-range search bisects a once-sorted edge
+list with zero per-probe graph rebuilds.  Pass ``tables=`` (e.g. from the
+engine's :class:`~repro.engine.cache.ArtifactCache`) to share the polar
+geometry across calls on the same point set.
 """
 
 from __future__ import annotations
@@ -12,17 +15,33 @@ from __future__ import annotations
 import numpy as np
 
 from repro.antenna.model import AntennaAssignment
-from repro.errors import InvalidParameterError
-from repro.geometry.angles import TWO_PI, angle_of, ccw_angle
 from repro.geometry.points import PointSet
-from repro.graph.connectivity import is_strongly_connected
 from repro.graph.digraph import DiGraph
+from repro.kernels.coverage import batched_coverage
+from repro.kernels.critical import critical_range_search
+from repro.kernels.geometry import PolarTables, polar_tables
 
-__all__ = ["coverage_matrix", "transmission_graph", "covered_pairs", "critical_range"]
+__all__ = [
+    "coverage_matrix",
+    "graph_from_cover",
+    "transmission_graph",
+    "covered_pairs",
+    "critical_range",
+]
 
 
 def _points_arr(points) -> np.ndarray:
     return points.coords if isinstance(points, PointSet) else np.asarray(points, float)
+
+
+def _tables_for(coords: np.ndarray, tables: PolarTables | None) -> PolarTables:
+    if tables is None:
+        return polar_tables(coords)
+    if tables.n != coords.shape[0]:
+        raise ValueError(
+            f"polar tables are for n={tables.n}, point set has n={coords.shape[0]}"
+        )
+    return tables
 
 
 def coverage_matrix(
@@ -31,72 +50,94 @@ def coverage_matrix(
     *,
     eps: float = 1e-9,
     ignore_radius: bool = False,
+    tables: PolarTables | None = None,
 ) -> np.ndarray:
     """Boolean ``(n, n)`` matrix: ``M[u, v]`` iff some antenna of u covers v.
 
     ``ignore_radius=True`` tests angular containment only (used by
-    :func:`critical_range` to enumerate candidate edges).
+    :func:`critical_range` to enumerate candidate edges).  ``tables`` is the
+    optional precomputed polar geometry; without it the tables are built
+    once for this call.
     """
     coords = _points_arr(points)
     n = coords.shape[0]
-    cover = np.zeros((n, n), dtype=bool)
     if n == 0:
-        return cover
-    for u, sector in assignment:
-        off = coords - coords[u]
-        dist = np.hypot(off[:, 0], off[:, 1])
-        ang = angle_of(off)
-        rel = np.asarray(ccw_angle(sector.start, ang), dtype=float)
-        ang_ok = (rel <= sector.spread + eps) | (rel >= TWO_PI - eps)
-        if sector.spread >= TWO_PI - eps:
-            ang_ok = np.full(n, True)
-        if ignore_radius or not np.isfinite(sector.radius):
-            rad_ok = np.full(n, True)
-        else:
-            tol = eps * max(1.0, sector.radius)
-            rad_ok = dist <= sector.radius + tol
-        hit = ang_ok & rad_ok & (dist > 0.0)
-        cover[u] |= hit
-    np.fill_diagonal(cover, False)
-    return cover
+        return np.zeros((0, 0), dtype=bool)
+    idx, start, spread, radius = assignment.flattened()
+    if idx.size == 0:
+        return np.zeros((n, n), dtype=bool)
+    return batched_coverage(
+        _tables_for(coords, tables),
+        idx,
+        start,
+        spread,
+        radius,
+        eps=eps,
+        ignore_radius=ignore_radius,
+    )
 
 
-def transmission_graph(
-    points, assignment: AntennaAssignment, *, eps: float = 1e-9
-) -> DiGraph:
-    """The directed transmission graph induced by ``assignment``."""
-    cover = coverage_matrix(points, assignment, eps=eps)
+def graph_from_cover(cover: np.ndarray) -> DiGraph:
+    """The :class:`DiGraph` whose edges are the True entries of ``cover``.
+
+    The one place a coverage matrix becomes a graph — the validator and
+    :func:`transmission_graph` must agree on this derivation.
+    """
     src, dst = np.nonzero(cover)
     edges = np.stack([src, dst], axis=1) if src.size else np.empty((0, 2), dtype=np.int64)
     return DiGraph(cover.shape[0], edges)
 
 
+def transmission_graph(
+    points,
+    assignment: AntennaAssignment,
+    *,
+    eps: float = 1e-9,
+    tables: PolarTables | None = None,
+) -> DiGraph:
+    """The directed transmission graph induced by ``assignment``."""
+    return graph_from_cover(coverage_matrix(points, assignment, eps=eps, tables=tables))
+
+
 def covered_pairs(
-    points, assignment: AntennaAssignment, *, eps: float = 1e-9
+    points,
+    assignment: AntennaAssignment,
+    *,
+    eps: float = 1e-9,
+    tables: PolarTables | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Angularly-covered ordered pairs and their distances (radius ignored).
 
-    Returns ``(pairs, dists)`` where ``pairs`` is ``(m, 2)``.
+    Returns ``(pairs, dists)`` where ``pairs`` is ``(m, 2)``; distances are
+    read from the polar tables rather than recomputed per pair.
     """
     coords = _points_arr(points)
-    cover = coverage_matrix(points, assignment, eps=eps, ignore_radius=True)
+    tables = _tables_for(coords, tables)
+    cover = coverage_matrix(
+        points, assignment, eps=eps, ignore_radius=True, tables=tables
+    )
     src, dst = np.nonzero(cover)
     if src.size == 0:
         return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=float)
-    diff = coords[src] - coords[dst]
-    dists = np.hypot(diff[:, 0], diff[:, 1])
-    return np.stack([src, dst], axis=1), dists
+    return np.stack([src, dst], axis=1), tables.dist[src, dst]
 
 
 def critical_range(
-    points, assignment: AntennaAssignment, *, eps: float = 1e-9
+    points,
+    assignment: AntennaAssignment,
+    *,
+    eps: float = 1e-9,
+    tables: PolarTables | None = None,
 ) -> float:
     """Smallest uniform antenna radius making the network strongly connected.
 
     Keeps every sector's orientation and spread, ignores its stored radius,
-    and binary-searches over the candidate distances (those of angularly
-    covered pairs).  Returns ``inf`` if no radius achieves strong
-    connectivity (the orientations themselves are deficient).
+    and bisects over the candidate distances (those of angularly covered
+    pairs) via :func:`~repro.kernels.critical.critical_range_search`: one
+    covered-pairs computation, one sort, O(log m) CSR connectivity probes,
+    and zero per-probe graph constructions (see the kernel counters).
+    Returns ``inf`` if no radius achieves strong connectivity (the
+    orientations themselves are deficient).
 
     This is the honest "measured range" metric reported by the benchmarks:
     for an orientation produced by an algorithm with bound ``r_bound``, the
@@ -106,24 +147,5 @@ def critical_range(
     n = coords.shape[0]
     if n <= 1:
         return 0.0
-    pairs, dists = covered_pairs(points, assignment, eps=eps)
-    if pairs.size == 0:
-        return float("inf")
-    candidates = np.unique(dists)
-
-    def connected_at(r: float) -> bool:
-        tol = eps * max(1.0, r)
-        mask = dists <= r + tol
-        g = DiGraph(n, pairs[mask])
-        return is_strongly_connected(g)
-
-    if not connected_at(float(candidates[-1])):
-        return float("inf")
-    lo, hi = 0, candidates.size - 1  # invariant: connected_at(candidates[hi])
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if connected_at(float(candidates[mid])):
-            hi = mid
-        else:
-            lo = mid + 1
-    return float(candidates[hi])
+    pairs, dists = covered_pairs(points, assignment, eps=eps, tables=tables)
+    return critical_range_search(n, pairs, dists, eps=eps)

@@ -23,11 +23,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.antenna.coverage import transmission_graph
+from repro.antenna.coverage import coverage_matrix, graph_from_cover
 from repro.antenna.model import AntennaAssignment
 from repro.geometry.points import PointSet
 from repro.graph.connectivity import is_strongly_connected
 from repro.graph.digraph import DiGraph
+from repro.kernels.geometry import PolarTables
 
 __all__ = ["OrientationIssue", "ValidationReport", "validate_assignment"]
 
@@ -78,12 +79,20 @@ def validate_assignment(
     range_bound: float | None = None,
     check_transmission: bool = True,
     eps: float = 1e-9,
+    tables: PolarTables | None = None,
 ) -> ValidationReport:
-    """Check the full orientation contract; see module docstring."""
+    """Check the full orientation contract; see module docstring.
+
+    One batched coverage matrix answers both the per-intended-edge
+    realization check and the full transmission-connectivity check (the old
+    code looped over edges × sectors in Python and then built a second
+    coverage matrix).
+    """
     issues: list[OrientationIssue] = []
     n = len(points)
     coords = points.coords
     edges = np.asarray(intended_edges, dtype=np.int64).reshape(-1, 2)
+    cover: np.ndarray | None = None
 
     counts = assignment.counts()
     max_ant = int(counts.max()) if n else 0
@@ -108,13 +117,12 @@ def validate_assignment(
 
     # Intended edges realized by the sectors?
     max_len = 0.0
-    for u, v in edges:
-        u, v = int(u), int(v)
-        d = float(np.hypot(*(coords[v] - coords[u])))
-        max_len = max(max_len, d)
-        if not any(
-            s.covers_point(coords[u], coords[v], eps=eps) for s in assignment[u]
-        ):
+    if edges.shape[0]:
+        diff = coords[edges[:, 1]] - coords[edges[:, 0]]
+        max_len = float(np.hypot(diff[:, 0], diff[:, 1]).max())
+        cover = coverage_matrix(points, assignment, eps=eps, tables=tables)
+        for i in np.flatnonzero(~cover[edges[:, 0], edges[:, 1]]):
+            u, v = int(edges[i, 0]), int(edges[i, 1])
             issues.append(
                 OrientationIssue(
                     "uncovered-intended-edge", f"edge ({u}, {v}) not covered by any sector of {u}"
@@ -136,8 +144,9 @@ def validate_assignment(
                 OrientationIssue("intended-connectivity", "intended edge set not strongly connected")
             )
         if check_transmission:
-            g = transmission_graph(points, assignment, eps=eps)
-            if not is_strongly_connected(g):
+            if cover is None:
+                cover = coverage_matrix(points, assignment, eps=eps, tables=tables)
+            if not is_strongly_connected(graph_from_cover(cover)):
                 issues.append(
                     OrientationIssue(
                         "transmission-connectivity", "full transmission graph not strongly connected"

@@ -12,6 +12,8 @@ from repro.antenna.model import AntennaAssignment
 from repro.antenna.validate import ValidationReport, validate_assignment
 from repro.geometry.points import PointSet
 from repro.graph.digraph import DiGraph
+from repro.kernels.geometry import PolarTables
+from repro.kernels.instrument import recording
 
 __all__ = ["OrientationResult"]
 
@@ -75,20 +77,31 @@ class OrientationResult:
         """Longest intended edge in multiples of lmax."""
         return self.realized_range() / self.lmax if self.lmax > 0 else 0.0
 
-    def measured_critical_range(self) -> float:
-        """Minimal uniform radius achieving strong connectivity (absolute)."""
-        return critical_range(self.points, self.assignment)
+    def measured_critical_range(self, *, tables: PolarTables | None = None) -> float:
+        """Minimal uniform radius achieving strong connectivity (absolute).
 
-    def measured_critical_range_normalized(self) -> float:
-        cr = self.measured_critical_range()
+        Records the kernel work it performed (connectivity probes, graph
+        builds — zero by construction — trig evaluations) under
+        ``stats["critical_range_kernels"]``.  ``tables`` is the optional
+        shared polar geometry (one trig pass per instance when provided).
+        """
+        with recording() as rec:
+            cr = critical_range(self.points, self.assignment, tables=tables)
+        self.stats["critical_range_kernels"] = rec.as_dict()
+        return cr
+
+    def measured_critical_range_normalized(
+        self, *, tables: PolarTables | None = None
+    ) -> float:
+        cr = self.measured_critical_range(tables=tables)
         return cr / self.lmax if self.lmax > 0 else cr
 
     def max_spread_sum(self) -> float:
         """Largest per-sensor angular sum actually used (radians)."""
         return self.assignment.max_spread_sum()
 
-    def transmission_graph(self) -> DiGraph:
-        return transmission_graph(self.points, self.assignment)
+    def transmission_graph(self, *, tables: PolarTables | None = None) -> DiGraph:
+        return transmission_graph(self.points, self.assignment, tables=tables)
 
     # -- validation -----------------------------------------------------------------
     def validate(self, *, check_transmission: bool = True) -> ValidationReport:

@@ -2,10 +2,12 @@
 
 Planning one instance at several ``(k, φ)`` cells repeats the same expensive
 preprocessing: validating the :class:`PointSet`, building the degree-≤5
-Euclidean MST, and (for distance-based reporting) the dense pairwise-distance
-matrix.  :class:`ArtifactCache` keys all three on a SHA-256 hash of the raw
-coordinate bytes, so every cell of a sweep after the first is a cache hit —
-one EMST build per instance, regardless of grid size.
+Euclidean MST, the dense pairwise-distance matrix, and the kernel layer's
+``(n, n)`` polar angle/distance tables (the trig every coverage matrix and
+critical-range search reads from).  :class:`ArtifactCache` keys all of them
+on a SHA-256 hash of the raw coordinate bytes, so every cell of a sweep
+after the first is a cache hit — one EMST build and one trig pass per
+instance, regardless of grid size.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.geometry.points import PointSet, pairwise_distances
+from repro.kernels.geometry import PolarTables, polar_tables
 from repro.spanning.emst import SpanningTree, euclidean_mst
 
 __all__ = ["content_hash", "CacheStats", "ArtifactCache"]
@@ -46,6 +49,7 @@ class CacheStats:
     pointset_builds: int = 0
     tree_builds: int = 0
     distance_builds: int = 0
+    polar_builds: int = 0
     evictions: int = 0
 
     def merge(self, other: "CacheStats") -> None:
@@ -55,6 +59,7 @@ class CacheStats:
         self.pointset_builds += other.pointset_builds
         self.tree_builds += other.tree_builds
         self.distance_builds += other.distance_builds
+        self.polar_builds += other.polar_builds
         self.evictions += other.evictions
 
     def as_dict(self) -> dict:
@@ -64,6 +69,7 @@ class CacheStats:
             "pointset_builds": self.pointset_builds,
             "tree_builds": self.tree_builds,
             "distance_builds": self.distance_builds,
+            "polar_builds": self.polar_builds,
             "evictions": self.evictions,
         }
 
@@ -73,6 +79,7 @@ class _Entry:
     pointset: PointSet
     tree: SpanningTree | None = None
     distances: np.ndarray | None = None
+    polar: PolarTables | None = None
 
 
 @dataclass
@@ -133,6 +140,18 @@ class ArtifactCache:
             entry.distances = pairwise_distances(entry.pointset.coords)
             self.stats.distance_builds += 1
         return entry.distances
+
+    def polar(self, coords) -> PolarTables:
+        """The kernel layer's ``(n, n)`` polar angle/distance tables (built once).
+
+        Shared by every coverage matrix and critical-range search on the
+        instance — one trig pass per instance per sweep.
+        """
+        entry = self._entry(coords)
+        if entry.polar is None:
+            entry.polar = polar_tables(entry.pointset.coords)
+            self.stats.polar_builds += 1
+        return entry.polar
 
     def clear(self) -> None:
         self._entries.clear()

@@ -70,17 +70,21 @@ def run_instance_grid(
     cache = cache if cache is not None else ArtifactCache()
     ps = cache.pointset(coords)
     tree = cache.tree(ps)
-    dmat = cache.distances(ps)
+    tables = cache.polar(ps)
     facts = {
         "n": float(len(ps)),
         "lmax": tree.lmax,
         "mst_weight": tree.total_weight,
-        "diameter": float(dmat.max()) if dmat.size else 0.0,
+        "diameter": float(tables.dist.max()) if tables.dist.size else 0.0,
     }
     metrics = []
     for cell in grid:
         result = orient_antennae(ps, cell.k, cell.phi, tree=tree)
-        metrics.append(orientation_metrics(result, compute_critical=compute_critical))
+        metrics.append(
+            orientation_metrics(
+                result, compute_critical=compute_critical, tables=tables
+            )
+        )
     return metrics, facts
 
 

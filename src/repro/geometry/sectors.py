@@ -26,10 +26,31 @@ from repro.geometry.angles import (
     normalize_angle,
 )
 
-__all__ = ["Sector", "sector_between", "sector_toward", "DEFAULT_ANGLE_EPS"]
+__all__ = [
+    "Sector",
+    "sector_between",
+    "sector_toward",
+    "radius_tolerance",
+    "DEFAULT_ANGLE_EPS",
+]
 
 #: Absolute angular tolerance (radians) for boundary-inclusive coverage.
 DEFAULT_ANGLE_EPS = 1e-9
+
+
+def radius_tolerance(radius, eps: float = DEFAULT_ANGLE_EPS):
+    """The distance tolerance used by every radius-inclusion test.
+
+    Scales with the radius (``eps * max(1, r)``) so coverage is robust at
+    any instance scale; an infinite radius contributes no scaling.  This is
+    the single source of truth shared by :meth:`Sector.covers_offsets`, the
+    batched coverage kernel and the critical-range search — their ``eps``
+    semantics must agree or the measured critical range would not be the
+    radius at which coverage switches on.  Vectorized over ``radius``.
+    """
+    r = np.asarray(radius, dtype=float)
+    out = eps * np.maximum(1.0, np.where(np.isfinite(r), r, 1.0))
+    return float(out) if np.ndim(radius) == 0 else out
 
 
 @dataclass(frozen=True)
@@ -86,8 +107,7 @@ class Sector:
         """
         off = np.asarray(offsets, dtype=float)
         dist = np.hypot(off[..., 0], off[..., 1])
-        tol = eps * max(1.0, self.radius if np.isfinite(self.radius) else 1.0)
-        within = dist <= self.radius + tol
+        within = dist <= self.radius + radius_tolerance(self.radius, eps)
         nonzero = dist > 0.0
         ang = self.contains_direction(angle_of(off), eps=eps)
         return within & nonzero & ang

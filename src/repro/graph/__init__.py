@@ -1,7 +1,7 @@
 """Directed-graph substrate: adjacency, SCC, strong/vertex connectivity."""
 
 from repro.graph.digraph import DiGraph
-from repro.graph.scc import strongly_connected_components, condensation
+from repro.graph.scc import strongly_connected_components, scc_count, condensation
 from repro.graph.connectivity import (
     is_strongly_connected,
     strong_connectivity_certificate,
@@ -12,6 +12,7 @@ from repro.graph.connectivity import (
 __all__ = [
     "DiGraph",
     "strongly_connected_components",
+    "scc_count",
     "condensation",
     "is_strongly_connected",
     "strong_connectivity_certificate",

@@ -1,8 +1,10 @@
 """Strong connectivity and directed vertex connectivity.
 
-``is_strongly_connected`` is the workhorse validator (two BFS passes —
-forward and on the reverse graph — which is faster in practice than full
-Tarjan when we only need a yes/no).  ``directed_vertex_connectivity``
+``is_strongly_connected`` is the workhorse validator; it hands the graph's
+CSR arrays to the kernel layer, where
+``scipy.sparse.csgraph.connected_components(connection="strong")`` answers
+in C (two-pass BFS fallback when scipy is missing — see
+:mod:`repro.kernels.connectivity`).  ``directed_vertex_connectivity``
 implements Even's algorithm via vertex splitting + Dinic max-flow, and backs
 the paper's §5 open question about strong *c*-connectivity
 (:func:`is_strongly_c_connected`).
@@ -19,6 +21,7 @@ from repro.errors import InvalidParameterError
 from repro.graph.digraph import DiGraph
 from repro.graph.maxflow import Dinic
 from repro.graph.scc import strongly_connected_components
+from repro.kernels.connectivity import strongly_connected_csr
 
 __all__ = [
     "is_strongly_connected",
@@ -30,16 +33,13 @@ __all__ = [
 
 
 def is_strongly_connected(g: DiGraph) -> bool:
-    """True iff every vertex reaches every other vertex."""
-    if g.n <= 1:
-        return True
-    if np.any(g.out_degrees() == 0) or np.any(g.in_degrees() == 0):
-        return False
-    fwd = g.reachable_from(0)
-    if not bool(fwd.all()):
-        return False
-    bwd = g.reversed().reachable_from(0)
-    return bool(bwd.all())
+    """True iff every vertex reaches every other vertex.
+
+    Delegates to the CSR kernel (scipy ``csgraph`` fast path; degree-based
+    quick rejects and a BFS fallback live there) — one connectivity probe
+    on the instrumentation counters, zero graph copies.
+    """
+    return strongly_connected_csr(g.n, *g.csr())
 
 
 @dataclass

@@ -13,6 +13,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.kernels.instrument import COUNTERS
 
 __all__ = ["DiGraph"]
 
@@ -55,6 +56,7 @@ class DiGraph:
         counts = np.bincount(sorted_edges[:, 0], minlength=n)
         self._offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
         self._targets = np.ascontiguousarray(sorted_edges[:, 1])
+        COUNTERS.graph_builds += 1
 
     # -- construction helpers --------------------------------------------------
     @classmethod
@@ -89,6 +91,14 @@ class DiGraph:
     def edges(self) -> np.ndarray:
         """The ``(m, 2)`` unique edge array (row order unspecified)."""
         return self._edges
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """The internal ``(offsets, targets)`` CSR arrays (read-only views).
+
+        This is the handoff point to the array kernels in
+        :mod:`repro.kernels.connectivity` — no copy, no conversion.
+        """
+        return self._offsets, self._targets
 
     def has_edge(self, u: int, v: int) -> bool:
         succ = self.successors(u)

@@ -1,8 +1,12 @@
 """Strongly connected components: iterative Tarjan + condensation.
 
 Tarjan is implemented with an explicit stack (no recursion) so million-vertex
-path graphs are fine.  ``condensation`` returns the component DAG, used by
-the robustness analysis to find articulation structure quickly.
+path graphs are fine; it is kept (rather than scipy's labeling) because its
+component ids are guaranteed to be in reverse topological order, which
+``condensation`` and tests rely on.  When only the *number* of components
+matters, :func:`scc_count` answers through the CSR kernel without labeling.
+``condensation`` returns the component DAG, used by the robustness analysis
+to find articulation structure quickly.
 """
 
 from __future__ import annotations
@@ -10,8 +14,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.digraph import DiGraph
+from repro.kernels.connectivity import scc_count_csr
 
-__all__ = ["strongly_connected_components", "condensation"]
+__all__ = ["strongly_connected_components", "scc_count", "condensation"]
+
+
+def scc_count(g: DiGraph) -> int:
+    """Number of strongly connected components (no per-vertex labels).
+
+    Uses ``scipy.sparse.csgraph`` on the graph's CSR arrays when available,
+    falling back to a full Tarjan labeling otherwise.
+    """
+    count = scc_count_csr(g.n, *g.csr())
+    if count is not None:
+        return count
+    return int(strongly_connected_components(g).max()) + 1 if g.n else 0
 
 
 def strongly_connected_components(g: DiGraph) -> np.ndarray:
@@ -31,8 +48,7 @@ def strongly_connected_components(g: DiGraph) -> np.ndarray:
     next_index = 0
     next_comp = 0
 
-    offsets = g._offsets  # noqa: SLF001 - internal fast path
-    targets = g._targets  # noqa: SLF001
+    offsets, targets = g.csr()
 
     for start in range(n):
         if index[start] != -1:

@@ -1,0 +1,58 @@
+"""Vectorized measurement kernels shared by every layer above geometry.
+
+The three kernels every experiment funnels through — sector coverage,
+strong connectivity, and the measured critical range — live here as pure
+array programs over shared per-instance geometry:
+
+* :mod:`repro.kernels.geometry` — :class:`PolarTables`, the ``(n, n)``
+  per-source angle/distance tables computed once per point set (cacheable
+  via :class:`repro.engine.cache.ArtifactCache`);
+* :mod:`repro.kernels.coverage` — :func:`batched_coverage`, all ``k·n``
+  sectors evaluated against the tables in one pass;
+* :mod:`repro.kernels.connectivity` — CSR strong connectivity
+  (``scipy.sparse.csgraph`` fast path, two-pass BFS fallback) on raw
+  arrays, no graph objects;
+* :mod:`repro.kernels.critical` — :func:`critical_range_search`, the
+  rebuild-free bottleneck-radius bisection over a once-sorted edge list;
+* :mod:`repro.kernels.instrument` — process-wide work counters (graph
+  builds, connectivity probes, trig evaluations) that perf-regression
+  tests assert on instead of wall-clock;
+* :mod:`repro.kernels.reference` — the replaced loop kernels, kept
+  verbatim as bit-exactness oracles (import it explicitly; it is not
+  re-exported here because it depends on the graph layer above).
+
+Layering: ``repro.kernels`` imports only :mod:`repro.geometry` (and
+numpy/scipy); :mod:`repro.graph`, :mod:`repro.antenna` and everything
+above import the kernels, never the other way around.
+"""
+
+from repro.kernels.connectivity import (
+    reverse_csr,
+    scc_count_csr,
+    strongly_connected_csr,
+    strongly_connected_edges,
+)
+from repro.kernels.coverage import batched_coverage
+from repro.kernels.critical import critical_range_search
+from repro.kernels.geometry import PolarTables, polar_tables
+from repro.kernels.instrument import (
+    KernelCounters,
+    kernel_counters,
+    recording,
+    reset_kernel_counters,
+)
+
+__all__ = [
+    "KernelCounters",
+    "PolarTables",
+    "batched_coverage",
+    "critical_range_search",
+    "kernel_counters",
+    "polar_tables",
+    "recording",
+    "reset_kernel_counters",
+    "reverse_csr",
+    "scc_count_csr",
+    "strongly_connected_csr",
+    "strongly_connected_edges",
+]

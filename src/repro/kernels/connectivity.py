@@ -1,0 +1,127 @@
+"""CSR strong-connectivity kernels.
+
+The fast path hands the CSR arrays straight to
+``scipy.sparse.csgraph.connected_components(connection="strong")`` (a C
+implementation); when scipy is unavailable the two-pass BFS (forward + on
+the reverse graph) runs on the same arrays.  Both paths share the cheap
+vectorized rejects: a vertex with zero out- or in-degree can never belong
+to a single SCC spanning ``n >= 2`` vertices.
+
+These kernels operate on raw ``(indptr, indices)`` or edge arrays — no
+:class:`~repro.graph.digraph.DiGraph` is constructed — which is what makes
+the rebuild-free critical-range search possible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.instrument import COUNTERS
+
+try:  # pragma: no cover - exercised via both code paths in tests
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import connected_components
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - scipy is a hard dependency
+    _HAVE_SCIPY = False
+
+__all__ = [
+    "strongly_connected_csr",
+    "strongly_connected_edges",
+    "scc_count_csr",
+    "reverse_csr",
+]
+
+
+def strongly_connected_csr(n: int, indptr: np.ndarray, indices: np.ndarray) -> bool:
+    """Is the CSR digraph ``(indptr, indices)`` on ``n`` vertices strongly connected?"""
+    COUNTERS.connectivity_probes += 1
+    if n <= 1:
+        return True
+    if indices.shape[0] < n:  # strong connectivity needs >= n edges
+        return False
+    if np.any(np.diff(indptr) == 0):  # a vertex with out-degree 0
+        return False
+    if np.any(np.bincount(indices, minlength=n) == 0):  # in-degree 0
+        return False
+    if _HAVE_SCIPY:
+        COUNTERS.scipy_scc_calls += 1
+        mat = csr_matrix(
+            (np.ones(indices.shape[0], dtype=np.int8), indices, indptr), shape=(n, n)
+        )
+        ncomp = connected_components(
+            mat, directed=True, connection="strong", return_labels=False
+        )
+        return int(ncomp) == 1
+    COUNTERS.bfs_fallbacks += 1
+    if not _bfs_covers_all(n, indptr, indices):
+        return False
+    rptr, ridx = reverse_csr(n, indptr, indices)
+    return _bfs_covers_all(n, rptr, ridx)
+
+
+def strongly_connected_edges(n: int, src: np.ndarray, dst: np.ndarray) -> bool:
+    """Strong connectivity straight from parallel edge arrays (no graph object).
+
+    Groups the edges into CSR form with one stable argsort; used by the
+    robustness failure sweep and anywhere else a transient subgraph would
+    otherwise require a throwaway ``DiGraph``.
+    """
+    if n <= 1:
+        return True
+    src = np.asarray(src)
+    dst = np.asarray(dst)
+    if src.shape[0] < n:
+        COUNTERS.connectivity_probes += 1
+        return False
+    order = np.argsort(src, kind="stable")
+    indptr = np.concatenate([[0], np.cumsum(np.bincount(src, minlength=n))])
+    return strongly_connected_csr(n, indptr, dst[order])
+
+
+def scc_count_csr(n: int, indptr: np.ndarray, indices: np.ndarray) -> int | None:
+    """Number of SCCs via scipy, or ``None`` when scipy is unavailable.
+
+    Callers that also need per-vertex labels (in Tarjan's reverse
+    topological id order) should use
+    :func:`repro.graph.scc.strongly_connected_components` instead.
+    """
+    if n == 0:
+        return 0
+    if not _HAVE_SCIPY:
+        return None
+    COUNTERS.scipy_scc_calls += 1
+    mat = csr_matrix(
+        (np.ones(indices.shape[0], dtype=np.int8), indices, indptr), shape=(n, n)
+    )
+    return int(
+        connected_components(mat, directed=True, connection="strong", return_labels=False)
+    )
+
+
+def reverse_csr(
+    n: int, indptr: np.ndarray, indices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR arrays of the reversed digraph (vectorized transpose)."""
+    counts = np.bincount(indices, minlength=n)
+    rptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    order = np.argsort(indices, kind="stable")
+    return rptr, src[order]
+
+
+def _bfs_covers_all(n: int, indptr: np.ndarray, indices: np.ndarray) -> bool:
+    """Does vertex 0 reach every vertex? (fallback path, no scipy)."""
+    seen = np.zeros(n, dtype=bool)
+    seen[0] = True
+    stack = [0]
+    remaining = n - 1
+    while stack:
+        u = stack.pop()
+        for v in indices[indptr[u] : indptr[u + 1]]:
+            if not seen[v]:
+                seen[v] = True
+                remaining -= 1
+                stack.append(int(v))
+    return remaining == 0

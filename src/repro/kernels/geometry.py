@@ -1,0 +1,82 @@
+"""Batched source-relative polar geometry: the shared ``(n, n)`` tables.
+
+Every coverage kernel needs, for each ordered pair ``(u, v)``, the polar
+angle and distance of ``v`` as seen from ``u``.  The old per-antenna loop
+recomputed one row of this table per antenna — up to ``k`` redundant
+``arctan2`` rows per sensor, repeated again for every coverage matrix built
+on the same geometry.  :class:`PolarTables` computes both tables exactly
+once per point set; the engine's :class:`~repro.engine.cache.ArtifactCache`
+shares them across every ``(k, φ)`` grid cell of a sweep.
+
+Bit-compatibility contract: table entries are produced by the *same*
+floating-point expressions as the old per-row loop (``np.hypot`` on raw
+offsets, :func:`~repro.geometry.angles.angle_of` for angles), so kernels
+reading from the tables return bit-identical results to the loop kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.angles import angle_of
+from repro.kernels.instrument import COUNTERS
+
+__all__ = ["PolarTables", "polar_tables"]
+
+#: Rows per block when filling the tables — bounds the transient
+#: ``(block, n, 2)`` offset array to ~tens of MB at any instance size.
+_ROW_BLOCK_ELEMS = 4_000_000
+
+
+class PolarTables:
+    """Dense per-source polar geometry of a planar point set.
+
+    Attributes
+    ----------
+    dist:
+        ``dist[u, v]`` — Euclidean distance from ``u`` to ``v`` (0 on the
+        diagonal), computed as ``hypot(v - u)``.
+    ang:
+        ``ang[u, v]`` — polar angle of the ray ``u → v`` in ``[0, 2π)``
+        (0 on the diagonal by ``arctan2(0, 0)`` convention).
+    """
+
+    __slots__ = ("dist", "ang")
+
+    def __init__(self, dist: np.ndarray, ang: np.ndarray):
+        self.dist = dist
+        self.ang = ang
+
+    @property
+    def n(self) -> int:
+        return int(self.dist.shape[0])
+
+    def __repr__(self) -> str:
+        return f"PolarTables(n={self.n})"
+
+
+def polar_tables(coords) -> PolarTables:
+    """Build the ``(n, n)`` angle/distance tables for ``coords``.
+
+    Filled in row blocks so the transient 3-D offset array never exceeds a
+    fixed element budget regardless of ``n``.
+    """
+    c = np.ascontiguousarray(np.asarray(coords, dtype=float))
+    if c.ndim != 2 or c.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) coordinates, got shape {c.shape}")
+    n = c.shape[0]
+    dist = np.empty((n, n), dtype=float)
+    ang = np.empty((n, n), dtype=float)
+    block = max(1, _ROW_BLOCK_ELEMS // max(n, 1))
+    for lo in range(0, n, block):
+        hi = min(lo + block, n)
+        off = c[None, :, :] - c[lo:hi, None, :]
+        dist[lo:hi] = np.hypot(off[..., 0], off[..., 1])
+        ang[lo:hi] = angle_of(off)
+    COUNTERS.polar_builds += 1
+    COUNTERS.trig_evals += n * n
+    # Read-only: the tables are shared across grid cells and worker-local
+    # coverage calls; nobody may mutate them in place.
+    dist.setflags(write=False)
+    ang.setflags(write=False)
+    return PolarTables(dist, ang)

@@ -1,0 +1,118 @@
+"""Reference (pre-vectorization) kernels, kept as test oracles.
+
+These are the exact implementations the batched kernel layer replaced: the
+per-antenna Python loop for coverage and the per-probe ``DiGraph`` rebuild
+for the critical-range search.  The randomized equivalence suite
+(``tests/test_kernels.py``) and ``benchmarks/bench_kernels.py`` run them
+against the vectorized kernels and assert bit-identical results — do not
+"optimize" this module; its value is being the unchanged original.
+
+Not imported by the library itself (tests/benchmarks only), so the import
+direction kernels → graph here does not create a cycle with
+``repro.graph.digraph``'s counter instrumentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.antenna.model import AntennaAssignment
+from repro.geometry.angles import TWO_PI, angle_of, ccw_angle
+from repro.geometry.points import PointSet
+from repro.graph.digraph import DiGraph
+from repro.kernels.instrument import COUNTERS
+
+__all__ = [
+    "coverage_matrix_loop",
+    "critical_range_rebuild",
+    "bfs_strongly_connected",
+]
+
+
+def _points_arr(points) -> np.ndarray:
+    return points.coords if isinstance(points, PointSet) else np.asarray(points, float)
+
+
+def coverage_matrix_loop(
+    points,
+    assignment: AntennaAssignment,
+    *,
+    eps: float = 1e-9,
+    ignore_radius: bool = False,
+) -> np.ndarray:
+    """The original per-antenna loop coverage matrix (one trig row per antenna)."""
+    coords = _points_arr(points)
+    n = coords.shape[0]
+    cover = np.zeros((n, n), dtype=bool)
+    if n == 0:
+        return cover
+    for u, sector in assignment:
+        off = coords - coords[u]
+        dist = np.hypot(off[:, 0], off[:, 1])
+        ang = angle_of(off)
+        rel = np.asarray(ccw_angle(sector.start, ang), dtype=float)
+        ang_ok = (rel <= sector.spread + eps) | (rel >= TWO_PI - eps)
+        if sector.spread >= TWO_PI - eps:
+            ang_ok = np.full(n, True)
+        if ignore_radius or not np.isfinite(sector.radius):
+            rad_ok = np.full(n, True)
+        else:
+            tol = eps * max(1.0, sector.radius)
+            rad_ok = dist <= sector.radius + tol
+        hit = ang_ok & rad_ok & (dist > 0.0)
+        cover[u] |= hit
+    np.fill_diagonal(cover, False)
+    return cover
+
+
+def bfs_strongly_connected(g: DiGraph) -> bool:
+    """The original two-pass BFS strong-connectivity check (no scipy).
+
+    Only the probe counter was added (so benchmarks can compare probe
+    counts across old and new paths); the algorithm is untouched.  Note the
+    reverse pass constructs a second ``DiGraph`` — part of the old path's
+    real cost, visible in its ``graph_builds`` count.
+    """
+    COUNTERS.connectivity_probes += 1
+    if g.n <= 1:
+        return True
+    if np.any(g.out_degrees() == 0) or np.any(g.in_degrees() == 0):
+        return False
+    if not bool(g.reachable_from(0).all()):
+        return False
+    return bool(g.reversed().reachable_from(0).all())
+
+
+def critical_range_rebuild(
+    points, assignment: AntennaAssignment, *, eps: float = 1e-9
+) -> float:
+    """The original critical-range search: one ``DiGraph`` rebuild per probe."""
+    coords = _points_arr(points)
+    n = coords.shape[0]
+    if n <= 1:
+        return 0.0
+    cover = coverage_matrix_loop(points, assignment, eps=eps, ignore_radius=True)
+    s, d = np.nonzero(cover)
+    if s.size == 0:
+        return float("inf")
+    pairs = np.stack([s, d], axis=1)
+    diff = coords[s] - coords[d]
+    dists = np.hypot(diff[:, 0], diff[:, 1])
+    candidates = np.unique(dists)
+
+    def connected_at(r: float) -> bool:
+        tol = eps * max(1.0, r)
+        mask = dists <= r + tol
+        g = DiGraph(n, pairs[mask])
+        return bfs_strongly_connected(g)
+
+    if not connected_at(float(candidates[-1])):
+        return float("inf")
+    lo, hi = 0, candidates.size - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if connected_at(float(candidates[mid])):
+            hi = mid
+        else:
+            lo = mid + 1
+    return float(candidates[hi])

@@ -48,6 +48,7 @@ class SpanningTree:
     edges: np.ndarray
     lengths: np.ndarray = field(default=None)  # type: ignore[assignment]
     _adj: list[list[int]] = field(default=None, repr=False)  # type: ignore[assignment]
+    _degrees: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         self.edges = np.asarray(self.edges, dtype=np.int64).reshape(-1, 2)
@@ -63,6 +64,7 @@ class SpanningTree:
             self.lengths = np.hypot(diff[:, 0], diff[:, 1])
         self.lengths = np.asarray(self.lengths, dtype=float)
         self._adj = None
+        self._degrees = None
         self._validate_tree()
 
     def _validate_tree(self) -> None:
@@ -101,10 +103,12 @@ class SpanningTree:
         return self._adj
 
     def degrees(self) -> np.ndarray:
-        deg = np.zeros(self.n, dtype=np.int64)
-        np.add.at(deg, self.edges[:, 0], 1)
-        np.add.at(deg, self.edges[:, 1], 1)
-        return deg
+        """Vertex degrees (cached; repeated ``leaves()``/``max_degree()`` are free)."""
+        if self._degrees is None:
+            deg = np.bincount(self.edges.ravel(), minlength=self.n)
+            deg.setflags(write=False)
+            self._degrees = deg
+        return self._degrees
 
     def max_degree(self) -> int:
         return int(self.degrees().max()) if self.n > 1 else 0
@@ -120,13 +124,9 @@ class SpanningTree:
 
     def replace_edge(self, old: tuple[int, int], new: tuple[int, int]) -> "SpanningTree":
         """Return a new tree with ``old`` swapped for ``new`` (must stay a tree)."""
-        old_s = tuple(sorted(old))
-        keep = [
-            i
-            for i in range(self.edges.shape[0])
-            if (int(self.edges[i, 0]), int(self.edges[i, 1])) != old_s
-        ]
-        if len(keep) == self.edges.shape[0]:
+        u, v = sorted(int(x) for x in old)
+        keep = ~((self.edges[:, 0] == u) & (self.edges[:, 1] == v))
+        if keep.all():
             raise KeyError(f"edge {old} not in tree")
         edges = np.vstack([self.edges[keep], np.sort(np.asarray(new, dtype=np.int64))])
         return SpanningTree(self.points, edges)
@@ -236,7 +236,13 @@ def euclidean_mst(
     if cand is not None:
         diff = coords[cand[:, 0]] - coords[cand[:, 1]]
         w = np.hypot(diff[:, 0], diff[:, 1])
-        edges = kruskal_on_edges(n, cand, w)
+        try:
+            edges = kruskal_on_edges(n, cand, w)
+        except InvalidPointSetError:
+            # Near-degenerate inputs (e.g. almost-collinear points) can make
+            # qhull return a triangulation whose edges miss some points
+            # entirely; dense Prim is always correct there.
+            edges = prim_mst_edges(coords)
     else:
         edges = prim_mst_edges(coords)
     tree = SpanningTree(ps, edges)

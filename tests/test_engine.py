@@ -160,8 +160,11 @@ class TestRunInstanceGrid:
             assert facts["lmax"] > 0
             assert facts["diameter"] >= facts["lmax"]
         assert cache.stats.tree_builds == 3
-        assert cache.stats.distance_builds == 3
-        # One miss per instance (first touch), then tree + distances hit.
+        # The engine now reads diameters from the kernel polar tables; the
+        # legacy einsum distance matrix is only built for callers who ask.
+        assert cache.stats.polar_builds == 3
+        assert cache.stats.distance_builds == 0
+        # One miss per instance (first touch), then tree + polar hit.
         assert cache.stats.misses == 3
         assert cache.stats.hits == 2 * 3
 

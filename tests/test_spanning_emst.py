@@ -119,3 +119,41 @@ class TestKruskalOnEdges:
         e1 = kruskal_on_edges(3, cand, w)
         e2 = kruskal_on_edges(3, cand, w)
         assert np.array_equal(e1, e2)
+
+
+class TestDegenerateDelaunayFallback:
+    def test_near_collinear_qhull_gap_falls_back_to_prim(self):
+        # Hypothesis-discovered: qhull triangulates this almost-collinear set
+        # but the resulting edges miss a point, so Delaunay-restricted
+        # Kruskal cannot span; euclidean_mst must fall back to dense Prim.
+        coords = [
+            (0.0, 0.0),
+            (0.0, 1.0),
+            (5.960464477539063e-08, 0.0),
+            (1e-07, 0.0),
+        ]
+        tree = euclidean_mst(PointSet(coords))
+        assert tree.n == 4
+        assert tree.max_degree() <= 5
+
+
+class TestSpanningTreeCaches:
+    def test_degrees_cached_and_reused(self):
+        ps = PointSet([[0, 0], [1, 0], [2, 0], [2, 1]])
+        tree = SpanningTree(ps, [[0, 1], [1, 2], [2, 3]])
+        d1 = tree.degrees()
+        assert d1 is tree.degrees()  # cached object, not recomputed
+        assert list(d1) == [1, 2, 2, 1]
+        assert list(tree.leaves()) == [0, 3]
+        assert tree.max_degree() == 2
+
+    def test_replace_edge_vectorized_semantics(self):
+        ps = PointSet([[0, 0], [1, 0], [2, 0], [2, 1]])
+        tree = SpanningTree(ps, [[0, 1], [1, 2], [2, 3]])
+        # Accepts either endpoint order for the old edge.
+        swapped = tree.replace_edge((2, 1), (0, 2))
+        assert {(0, 1), (0, 2), (2, 3)} == swapped.edge_set()
+        # Fresh caches on the new tree.
+        assert list(swapped.degrees()) == [2, 1, 2, 1]
+        with pytest.raises(KeyError):
+            tree.replace_edge((0, 3), (0, 2))
