@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from benchmarks.conftest import run_once
 from repro.experiments.ablations import run_ablations
 

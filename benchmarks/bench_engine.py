@@ -16,7 +16,9 @@ from repro.analysis.metrics import orientation_metrics
 from repro.core.planner import orient_antennae
 from repro.engine import GridCell, PlanRequest, Scenario, execute_plan
 from repro.geometry.points import PointSet
+from repro.kernels.instrument import recording
 from repro.spanning.emst import euclidean_mst
+from repro.store import RunStore
 from repro.utils.tables import format_ascii_table
 from repro.utils.timing import measure
 
@@ -91,3 +93,46 @@ def test_parallel_matches_serial_on_sweep():
         a.metrics.identical(b.metrics)
         for a, b in zip(serial.records, parallel.records)
     )
+
+
+def test_store_replay_skips_all_work(tmp_path, capsys):
+    """Benchmark E2 — resuming a fully-ledgered sweep re-executes nothing.
+
+    The acceptance workload routed through the run store: the 200-instance
+    sweep is checkpointed instance by instance, then resumed from a complete
+    ledger.  Per the single-core CI convention the claim is stated in *work*
+    counters, not wall-clock: the replay performs zero planner kernel
+    invocations and zero EMST builds, yet returns a bit-identical batch.
+    """
+    request = PlanRequest((SCENARIO,), GRID, compute_critical=False)
+    store = RunStore(tmp_path / "runs")
+    t_cold, cold = measure(lambda: execute_plan(request, store=store))
+    with recording() as rec:
+        t_warm, warm = measure(
+            lambda: execute_plan(request, store=store, resume=True)
+        )
+    assert warm.replayed_instances == SCENARIO.seeds
+    assert rec.coverage_calls == 0, "replay ran the coverage kernel"
+    assert rec.graph_builds == 0, "replay built transmission graphs"
+    assert rec.polar_builds == 0, "replay recomputed polar tables"
+    assert warm.cache_stats.as_dict() == cold.cache_stats.as_dict()
+    assert all(
+        a.metrics.identical(b.metrics)
+        for a, b in zip(cold.records, warm.records)
+    )
+    ledger_bytes = sum(
+        p.stat().st_size for p in (tmp_path / "runs").glob("ledger-*.jsonl")
+    )
+    with capsys.disabled():
+        print()
+        print(format_ascii_table(
+            ["path", "seconds", "kernel coverage calls", "EMST builds"],
+            [
+                ["cold run (ledgered)", round(t_cold, 3),
+                 "-", cold.cache_stats.tree_builds],
+                ["resume (full replay)", round(t_warm, 3),
+                 rec.coverage_calls, 0],
+                ["ledger size", f"{ledger_bytes / 1024:.0f} KiB", "", ""],
+            ],
+            title=f"[E2] {SCENARIO.seeds}-instance sweep replayed from the run store",
+        ))

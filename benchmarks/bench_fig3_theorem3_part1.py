@@ -14,8 +14,8 @@ def test_fig3_case_census(benchmark):
     print(rec.to_ascii())
     labels = {row[0] for row in rec.rows}
     # The census must exercise beyond-trivial degrees.
-    assert any(l.startswith("deg4") for l in labels)
-    assert any(l.startswith("deg5") for l in labels)
+    assert any(lbl.startswith("deg4") for lbl in labels)
+    assert any(lbl.startswith("deg5") for lbl in labels)
     assert "all validations passed: True" in rec.notes[-1]
 
 

@@ -8,8 +8,6 @@ the reproduced tables.
 
 from __future__ import annotations
 
-import pytest
-
 
 def run_once(benchmark, fn, **kwargs):
     """Run an experiment driver exactly once under the benchmark timer."""

@@ -36,6 +36,7 @@ from repro.engine import (
     GridCell,
     PlanRequest,
     Scenario,
+    Shard,
     execute_plan,
 )
 from repro.errors import ReproError
@@ -51,6 +52,7 @@ from repro.graph.connectivity import (
 from repro.graph.digraph import DiGraph
 from repro.spanning.emst import SpanningTree, euclidean_mst
 from repro.spanning.rooted import RootedTree
+from repro.store import RunStore
 
 __all__ = [
     "__version__",
@@ -64,8 +66,10 @@ __all__ = [
     "PointSet",
     "ReproError",
     "RootedTree",
+    "RunStore",
     "Scenario",
     "Sector",
+    "Shard",
     "SpanningTree",
     "choose_algorithm",
     "execute_plan",

@@ -7,6 +7,7 @@ bounds     print the paper's Table 1 (optionally evaluated at a phi)
 render     write an SVG picture of a saved orientation
 validate   re-check a saved orientation's certificate
 sweep      run a (workload × n) × (k × phi) batch through the engine
+merge      aggregate the shard ledgers of one or more run directories
 """
 
 from __future__ import annotations
@@ -14,8 +15,6 @@ from __future__ import annotations
 import argparse
 import math
 import sys
-
-import numpy as np
 
 
 def _parse_phi(text: str) -> float:
@@ -86,11 +85,77 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
+def _batch_rows(batch, aggregate: str) -> list[dict]:
+    return (
+        batch.aggregate_by_cell()
+        if aggregate == "cell"
+        else batch.aggregate_by_scenario_cell()
+    )
+
+
+def _require_rows(tag: str, rows: list[dict]) -> bool:
+    """False (with a clean stderr message) when there is nothing to tabulate
+    — a shard owning none of a small plan's instances, or an empty ledger."""
+    if rows:
+        return True
+    print(
+        f"error: no instances to aggregate (the {tag} covers no completed "
+        "plan instances)",
+        file=sys.stderr,
+    )
+    return False
+
+
+def _render_rows(batch, rows: list[dict], fmt: str) -> str:
+    """Render aggregate rows as a markdown table or a JSON document."""
     import json
 
-    from repro.engine import PlanRequest, execute_plan
     from repro.utils.tables import format_markdown_table
+
+    if fmt == "json":
+        return json.dumps(
+            {
+                "request": batch.request.describe(),
+                "jobs": batch.jobs_used,
+                "elapsed_s": round(batch.elapsed, 4),
+                "cache": batch.cache_stats.as_dict(),
+                "rows": rows,
+            },
+            indent=2,
+        )
+    headers = list(rows[0])
+    cells = [
+        [round(row[h], 4) if isinstance(row[h], float) else row[h] for h in headers]
+        for row in rows
+    ]
+    return format_markdown_table(headers, cells)
+
+
+def _emit_table(
+    tag: str, batch, rows: list[dict], body: str, output: str | None, run_dir
+) -> None:
+    """Write/print the table, then a one-line success summary to stderr."""
+    from repro.store import hit_rate
+
+    if output:
+        with open(output, "w", encoding="utf8") as fh:
+            fh.write(body + "\n")
+        destination = output
+    else:
+        print(body)
+        destination = "stdout"
+    where = f", run dir {run_dir}" if run_dir else ""
+    print(
+        f"[{tag}] wrote {len(rows)} rows x {len(rows[0])} cols to {destination} "
+        f"({len(batch.records)} runs, cache hit rate "
+        f"{hit_rate(batch.cache_stats):.0%}{where})",
+        file=sys.stderr, flush=True,
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine import PlanRequest, Shard, execute_plan
+    from repro.store import RunStore, StoreError
 
     try:
         request = PlanRequest.sweep(
@@ -102,8 +167,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             tag=args.tag,
             compute_critical=not args.no_critical,
         )
-    except Exception as exc:  # invalid workload/k/phi combinations
+        shard = Shard.parse(args.shard) if args.shard else Shard()
+    except Exception as exc:  # invalid workload/k/phi/shard combinations
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = RunStore(args.run_dir) if args.run_dir else None
+    if store is None and (args.resume or not shard.is_whole):
+        print("error: --resume and --shard require --run-dir", file=sys.stderr)
         return 2
     print(f"[sweep] {request.describe()}", file=sys.stderr, flush=True)
 
@@ -115,43 +185,49 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr, flush=True,
         )
 
-    batch = execute_plan(request, jobs=args.jobs, on_instance=progress)
+    try:
+        batch = execute_plan(
+            request, jobs=args.jobs, on_instance=progress,
+            store=store, shard=shard, resume=args.resume,
+        )
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if batch.fallback_reason:
         print(f"[sweep] {batch.fallback_reason}", file=sys.stderr)
     print(f"[sweep] {batch.summary()}", file=sys.stderr, flush=True)
 
-    rows = (
-        batch.aggregate_by_cell()
-        if args.aggregate == "cell"
-        else batch.aggregate_by_scenario_cell()
-    )
-    if args.format == "json":
-        body = json.dumps(
-            {
-                "request": request.describe(),
-                "jobs": batch.jobs_used,
-                "elapsed_s": round(batch.elapsed, 4),
-                "cache": batch.cache_stats.as_dict(),
-                "rows": rows,
-            },
-            indent=2,
+    rows = _batch_rows(batch, args.aggregate)
+    if not _require_rows("shard", rows):
+        return 2
+    body = _render_rows(batch, rows, args.format)
+    _emit_table("sweep", batch, rows, body, args.output, args.run_dir)
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    from repro.store import StoreError, assemble_batch, merge_stores
+
+    try:
+        key, request, ledger_rows = merge_stores(args.run_dir, args.plan)
+        batch = assemble_batch(
+            request, ledger_rows, allow_partial=args.allow_partial
         )
-    else:
-        headers = list(rows[0])
-        cells = [
-            [
-                round(row[h], 4) if isinstance(row[h], float) else row[h]
-                for h in headers
-            ]
-            for row in rows
-        ]
-        body = format_markdown_table(headers, cells)
-    if args.output:
-        with open(args.output, "w", encoding="utf8") as fh:
-            fh.write(body + "\n")
-        print(f"wrote {args.output}", file=sys.stderr)
-    else:
-        print(body)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"[merge] plan {key[:12]}: {request.describe()}",
+        file=sys.stderr, flush=True,
+    )
+    print(f"[merge] {batch.summary()}", file=sys.stderr, flush=True)
+
+    rows = _batch_rows(batch, args.aggregate)
+    if not _require_rows("ledger", rows):
+        return 2
+    body = _render_rows(batch, rows, args.format)
+    _emit_table("merge", batch, rows, body, args.output,
+                " + ".join(str(d) for d in args.run_dir))
     return 0
 
 
@@ -206,7 +282,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="one row per grid cell, or per (scenario, cell)")
     p.add_argument("--format", choices=("markdown", "json"), default="markdown")
     p.add_argument("--output", help="write the table/JSON here instead of stdout")
+    p.add_argument("--run-dir", default=None,
+                   help="persist a run ledger here (checkpoint per instance)")
+    p.add_argument("--resume", action="store_true",
+                   help="replay already-ledgered instances from --run-dir")
+    p.add_argument("--shard", default=None, metavar="I/M",
+                   help="execute one of M disjoint plan shards (e.g. 0/2)")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "merge",
+        help="aggregate the shard ledgers of one or more run directories",
+    )
+    p.add_argument("--run-dir", nargs="+", required=True,
+                   help="run directories holding shard ledgers of one plan")
+    p.add_argument("--plan", default=None,
+                   help="plan key (prefix) when a directory records several")
+    p.add_argument("--allow-partial", action="store_true",
+                   help="aggregate even if some plan instances are missing")
+    p.add_argument("--aggregate", choices=("cell", "scenario"), default="cell",
+                   help="one row per grid cell, or per (scenario, cell)")
+    p.add_argument("--format", choices=("markdown", "json"), default="markdown")
+    p.add_argument("--output", help="write the table/JSON here instead of stdout")
+    p.set_defaults(fn=cmd_merge)
     return parser
 
 

@@ -27,7 +27,6 @@ import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.geometry.angles import TWO_PI, ccw_angle, ccw_gaps, circular_windows_sum
-from repro.geometry.points import PointSet
 from repro.geometry.sectors import Sector
 
 __all__ = [

@@ -24,7 +24,7 @@ from repro.engine.executor import (
     execute_plan,
     run_instance_grid,
 )
-from repro.engine.spec import GridCell, PlanRequest, Scenario
+from repro.engine.spec import GridCell, PlanRequest, Scenario, Shard
 
 __all__ = [
     "ArtifactCache",
@@ -35,6 +35,7 @@ __all__ = [
     "PlanRequest",
     "RunRecord",
     "Scenario",
+    "Shard",
     "content_hash",
     "execute_plan",
     "run_instance_grid",

@@ -6,6 +6,13 @@ grid cell, reusing the instance's spanning tree through the
 ``ProcessPoolExecutor`` when ``jobs > 1`` and run inline otherwise.  Results
 are reassembled in plan order, so serial and parallel execution return
 bit-identical :class:`~repro.analysis.metrics.OrientationMetrics`.
+
+With a :class:`~repro.store.RunStore` the executor becomes durable: every
+completed instance chunk is checkpointed into the store's append-only
+ledger, ``resume=True`` replays ledgered chunks instead of re-executing
+them, and ``shard=(i, m)`` restricts execution to one of ``m`` disjoint,
+deterministic partitions of the plan's instances — the merged shards are
+bit-identical to an unsharded run.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ import numpy as np
 from repro.analysis.metrics import OrientationMetrics, orientation_metrics
 from repro.core.planner import orient_antennae
 from repro.engine.cache import ArtifactCache, CacheStats
-from repro.engine.spec import GridCell, PlanRequest, Scenario
+from repro.engine.spec import GridCell, PlanRequest, Scenario, Shard
 from repro.experiments.harness import aggregate_rows
 
 __all__ = [
@@ -40,6 +47,7 @@ class RunRecord:
     instance_index: int
     cell: GridCell
     metrics: OrientationMetrics
+    scenario_index: int = -1
 
 
 @dataclass(frozen=True)
@@ -94,29 +102,44 @@ def run_instance_grid(
 #: coords).  ``slot`` is the task's position in plan order.
 _Task = tuple[int, int, int, np.ndarray]
 
+#: One completed unit of work: (per-cell metrics, instance facts, elapsed
+#: seconds, per-instance CacheStats delta).  The delta is what makes cache
+#: accounting independent of chunking/sharding: totals are sums of deltas.
+_Payload = tuple[list[OrientationMetrics], dict[str, float], float, dict[str, int]]
+
 
 def _run_chunk(
     chunk: list[_Task], grid: tuple[GridCell, ...], compute_critical: bool
-) -> tuple[list[tuple[int, list[OrientationMetrics], dict[str, float], float]], CacheStats]:
+) -> list[tuple[int, _Payload]]:
     """Worker entry point: process a chunk of instances with a local cache."""
     cache = ArtifactCache()
     out = []
     for slot, _si, _ii, coords in chunk:
-        t0 = time.perf_counter()
-        metrics, facts = _run_one(coords, grid, compute_critical, cache)
-        out.append((slot, metrics, facts, time.perf_counter() - t0))
-    return out, cache.stats
+        out.append((slot, _run_task(coords, grid, compute_critical, cache)))
+    return out
 
 
-def _run_one(coords, grid, compute_critical, cache):
-    return run_instance_grid(
+def _run_task(coords, grid, compute_critical, cache) -> _Payload:
+    """Run one instance, measuring wall time and its cache-stats delta."""
+    before = cache.stats.as_dict()
+    t0 = time.perf_counter()
+    metrics, facts = run_instance_grid(
         coords, grid, compute_critical=compute_critical, cache=cache
     )
+    dt = time.perf_counter() - t0
+    after = cache.stats.as_dict()
+    delta = {k: after[k] - before[k] for k in after}
+    return metrics, facts, dt, delta
 
 
 @dataclass
 class BatchResult:
-    """All runs of a plan, in deterministic plan order, plus execution facts."""
+    """All runs of a plan, in deterministic plan order, plus execution facts.
+
+    For sharded runs the records cover exactly the shard's instances (still
+    whole instance × grid blocks, in plan order); ``replayed_instances``
+    counts chunks that came from a store ledger rather than execution.
+    """
 
     request: PlanRequest
     records: list[RunRecord]
@@ -125,40 +148,57 @@ class BatchResult:
     jobs_used: int
     elapsed: float
     fallback_reason: str | None = None
+    replayed_instances: int = 0
+    shard: Shard = field(default_factory=Shard)
     _by_cell: list[list[OrientationMetrics]] = field(default=None, repr=False)  # type: ignore[assignment]
 
     def metrics_by_cell(self) -> list[list[OrientationMetrics]]:
-        """Metrics grouped per grid position (plan order within each group)."""
+        """Metrics grouped per grid position (plan order within each group).
+
+        Records always arrive in whole per-instance blocks of
+        ``len(request.grid)`` cells, so the grouping is valid for sharded
+        and ledger-assembled results too.
+        """
         if self._by_cell is None:
-            groups: list[list[OrientationMetrics]] = [
-                [] for _ in self.request.grid
-            ]
             ncells = len(self.request.grid)
+            groups: list[list[OrientationMetrics]] = [[] for _ in range(ncells)]
             for i, rec in enumerate(self.records):
                 groups[i % ncells].append(rec.metrics)
             self._by_cell = groups
         return self._by_cell
 
     def aggregate_by_cell(self) -> list[dict[str, Any]]:
-        """One aggregate row per grid cell, over every scenario instance."""
-        return [aggregate_rows(ms) for ms in self.metrics_by_cell()]
+        """One aggregate row per grid cell, over every instance present.
+
+        Empty for a batch with no records (e.g. a shard that owns no
+        instances of a small plan).
+        """
+        return [aggregate_rows(ms) for ms in self.metrics_by_cell() if ms]
 
     def aggregate_by_scenario_cell(self) -> list[dict[str, Any]]:
-        """One aggregate row per (scenario, cell), labelled with the scenario."""
+        """One aggregate row per (scenario, cell), labelled with the scenario.
+
+        Scenarios with no instances present (possible in a sharded partial
+        result) are skipped rather than reported as empty rows.
+        """
         ncells = len(self.request.grid)
+        buckets: dict[tuple[int, int], list[OrientationMetrics]] = {}
+        for base in range(0, len(self.records), ncells):
+            block = self.records[base : base + ncells]
+            si = block[0].scenario_index
+            for ci, rec in enumerate(block):
+                buckets.setdefault((si, ci), []).append(rec.metrics)
         rows = []
-        base = 0  # index of the scenario's first instance in plan order
-        for scenario in self.request.scenarios:
+        for si in sorted({key[0] for key in buckets}):
+            scenario = self.request.scenarios[si]
             for ci in range(ncells):
-                ms = [
-                    self.records[(base + j) * ncells + ci].metrics
-                    for j in range(scenario.seeds)
-                ]
+                ms = buckets.get((si, ci))
+                if not ms:
+                    continue
                 row = aggregate_rows(ms)
                 row["workload"] = scenario.workload
                 row["n"] = scenario.n
                 rows.append(row)
-            base += scenario.seeds
         return rows
 
     def cache_summary(self) -> str:
@@ -172,7 +212,12 @@ class BatchResult:
 
     def summary(self) -> str:
         mode = f"{self.jobs_used} workers" if self.jobs_used > 1 else "serial"
-        return f"{self.cache_summary()} ({mode}, {self.elapsed:.2f}s)"
+        parts = [self.cache_summary()]
+        if not self.shard.is_whole:
+            parts.append(f"shard {self.shard.label}")
+        if self.replayed_instances:
+            parts.append(f"{self.replayed_instances} instances from ledger")
+        return f"{'; '.join(parts)} ({mode}, {self.elapsed:.2f}s)"
 
 
 def _chunk_tasks(tasks: list[_Task], jobs: int) -> list[list[_Task]]:
@@ -187,6 +232,9 @@ def execute_plan(
     jobs: int = 1,
     cache: ArtifactCache | None = None,
     on_instance: Callable[[InstanceReport], None] | None = None,
+    store: Any = None,
+    shard: "Shard | tuple[int, int] | None" = None,
+    resume: bool = False,
 ) -> BatchResult:
     """Run every (instance × cell) of ``request`` and collect the metrics.
 
@@ -205,78 +253,146 @@ def execute_plan(
     on_instance:
         Progress hook invoked with each :class:`InstanceReport` as it
         completes (arrival order; the result itself stays in plan order).
+        Not invoked for instances replayed from a store ledger.
+    store:
+        A :class:`~repro.store.RunStore`.  Every completed instance chunk is
+        appended to the plan's shard ledger as it finishes, so a killed run
+        can be resumed without losing completed work.
+    shard:
+        A :class:`~repro.engine.spec.Shard` (or ``(i, m)`` tuple): execute
+        only the instances with plan slot ``slot % m == i``.  The returned
+        records cover exactly those instances; the union over all shards is
+        bit-identical to an unsharded run.
+    resume:
+        With a ``store``: replay already-ledgered instance chunks (from any
+        shard's ledger in the run directory) instead of re-executing them.
+        Without ``resume``, a ledger that already has rows for this plan's
+        shard is an error — appending twice would corrupt the run.
     """
     t_start = time.perf_counter()
-    tasks: list[_Task] = [
+    shard = Shard.of(shard)
+    all_tasks: list[_Task] = [
         (slot, si, ii, coords)
         for slot, (si, ii, coords) in enumerate(request.instances())
     ]
     grid = request.grid
-    slots: list[tuple[list[OrientationMetrics], dict[str, float], float] | None]
-    slots = [None] * len(tasks)
-    stats = CacheStats()
+    payloads: dict[int, _Payload] = {}
+
+    ledger = None
+    replayed = 0
+    if store is not None:
+        from repro.store.ledger import LedgerRow, StoreError  # lazy: avoids cycle
+
+        key = store.write_plan(request)
+        if not resume and store.shard_rows(request, shard):
+            raise StoreError(
+                f"{store.ledger_path(key, shard)} already records completed "
+                "instances for this plan; pass resume=True (or --resume) to "
+                "continue it, or use a fresh run directory"
+            )
+        if resume:
+            for slot, row in store.load_rows(key).items():
+                if not shard.owns(slot) or not 0 <= slot < len(all_tasks):
+                    continue
+                if len(row.metrics) != len(grid):
+                    raise StoreError(
+                        f"ledger row for slot {slot} has {len(row.metrics)} "
+                        f"cell metrics, plan has {len(grid)} grid cells"
+                    )
+                payloads[slot] = (
+                    row.cell_metrics(), dict(row.facts), row.elapsed, row.cache
+                )
+            replayed = len(payloads)
+
+    todo = [t for t in all_tasks if shard.owns(t[0]) and t[0] not in payloads]
+
+    def checkpoint(slot: int, payload: _Payload) -> None:
+        nonlocal ledger
+        if store is None:
+            return
+        if ledger is None:
+            ledger = store.open_shard(request, shard)
+        metrics, facts, dt, delta = payload
+        _, si, ii, _ = all_tasks[slot]
+        ledger.append(
+            LedgerRow(
+                slot=slot,
+                scenario_index=si,
+                instance_index=ii,
+                elapsed=dt,
+                facts=facts,
+                metrics=[m.as_dict() for m in metrics],
+                cache=delta,
+            )
+        )
+
     fallback_reason = None
     jobs_used = 1
-
     pool = None
-    if jobs > 1 and len(tasks) > 1:
+    if jobs > 1 and len(todo) > 1:
         try:
-            pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
+            pool = ProcessPoolExecutor(max_workers=min(jobs, len(todo)))
         except (OSError, ValueError, PermissionError) as exc:
             fallback_reason = f"process pool unavailable ({exc}); ran serially"
 
     if pool is not None:
-        chunks = _chunk_tasks(tasks, min(jobs, len(tasks)))
+        chunks = _chunk_tasks(todo, min(jobs, len(todo)))
         try:
             futures = [
                 pool.submit(_run_chunk, chunk, grid, request.compute_critical)
                 for chunk in chunks
             ]
-            jobs_used = min(jobs, len(tasks))
+            jobs_used = min(jobs, len(todo))
             for future in as_completed(futures):
-                outcomes, worker_stats = future.result()
-                stats.merge(worker_stats)
-                for slot, metrics, facts, dt in outcomes:
-                    slots[slot] = (metrics, facts, dt)
+                for slot, payload in future.result():
+                    payloads[slot] = payload
+                    checkpoint(slot, payload)
                     if on_instance is not None:
-                        _, si, ii, _ = tasks[slot]
-                        on_instance(_report(si, ii, facts, dt))
+                        _, si, ii, _ = all_tasks[slot]
+                        on_instance(_report(si, ii, payload[1], payload[2]))
         finally:
             pool.shutdown(wait=True)
     else:
         local_cache = cache if cache is not None else ArtifactCache()
-        # Snapshot so the result records only this run's counter deltas even
-        # when the caller's cache is reused across several plans.
-        before = local_cache.stats.as_dict()
-        for slot, si, ii, coords in tasks:
-            t0 = time.perf_counter()
-            metrics, facts = _run_one(
-                coords, grid, request.compute_critical, local_cache
-            )
-            dt = time.perf_counter() - t0
-            slots[slot] = (metrics, facts, dt)
+        for slot, si, ii, coords in todo:
+            payload = _run_task(coords, grid, request.compute_critical, local_cache)
+            payloads[slot] = payload
+            checkpoint(slot, payload)
             if on_instance is not None:
-                on_instance(_report(si, ii, facts, dt))
-        after = local_cache.stats.as_dict()
-        stats = CacheStats(**{k: after[k] - before[k] for k in after})
+                on_instance(_report(si, ii, payload[1], payload[2]))
 
+    # Reassemble in plan order (restricted to the shard).  Cache stats are
+    # the sum of per-instance deltas — replayed instances contribute their
+    # ledgered deltas, so a resumed run reports the same totals as an
+    # uninterrupted one.
     records: list[RunRecord] = []
     reports: list[InstanceReport] = []
-    for (slot, si, ii, _coords), payload in zip(tasks, slots):
+    stats = CacheStats()
+    for slot, si, ii, _coords in all_tasks:
+        if not shard.owns(slot):
+            continue
+        payload = payloads.get(slot)
         assert payload is not None, f"missing result for task slot {slot}"
-        metrics, facts, dt = payload
+        metrics, facts, dt, delta = payload
         scenario = request.scenarios[si]
         reports.append(_report(si, ii, facts, dt))
+        stats.merge(CacheStats(**delta))
         for cell, m in zip(grid, metrics):
-            records.append(RunRecord(scenario, ii, cell, m))
+            records.append(RunRecord(scenario, ii, cell, m, scenario_index=si))
+    elapsed = time.perf_counter() - t_start
+    if ledger is not None:
+        ledger.finish(stats, elapsed)
+        ledger.close()
     return BatchResult(
         request=request,
         records=records,
         instance_reports=reports,
         cache_stats=stats,
         jobs_used=jobs_used,
-        elapsed=time.perf_counter() - t_start,
+        elapsed=elapsed,
         fallback_reason=fallback_reason,
+        replayed_instances=replayed,
+        shard=shard,
     )
 
 

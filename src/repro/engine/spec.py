@@ -20,7 +20,7 @@ from repro.errors import InvalidParameterError
 from repro.experiments.workloads import WORKLOADS, make_workload
 from repro.utils.rng import stable_seed
 
-__all__ = ["Scenario", "GridCell", "PlanRequest"]
+__all__ = ["Scenario", "GridCell", "PlanRequest", "Shard"]
 
 _TWO_PI = 2.0 * math.pi
 
@@ -104,6 +104,68 @@ class GridCell:
     @property
     def label(self) -> str:
         return f"k={self.k},phi={self.phi:.4f}"
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One of ``count`` disjoint partitions of a plan's instances.
+
+    Instances are assigned round-robin by plan-order slot
+    (``slot % count == index``), so the partition is a pure function of the
+    :class:`PlanRequest` — every shard of a plan can be computed on a
+    different machine and the union of the shards is exactly the plan.
+    ``Shard(0, 1)`` is the whole plan.
+    """
+
+    index: int = 0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise InvalidParameterError(
+                f"shard count must be >= 1, got {self.count}"
+            )
+        if not 0 <= self.index < self.count:
+            raise InvalidParameterError(
+                f"shard index {self.index} outside [0, {self.count})"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Shard":
+        """Parse the CLI spelling ``"i/m"`` (e.g. ``"0/2"``)."""
+        i, sep, m = text.partition("/")
+        if not sep:
+            raise InvalidParameterError(
+                f"shard spec must look like 'i/m', got {text!r}"
+            )
+        try:
+            return cls(int(i), int(m))
+        except ValueError as exc:
+            raise InvalidParameterError(
+                f"shard spec must be two integers 'i/m', got {text!r}"
+            ) from exc
+
+    @classmethod
+    def of(cls, value: "Shard | tuple[int, int] | None") -> "Shard":
+        """Normalize ``None`` / ``(i, m)`` / :class:`Shard` to a Shard."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        i, m = value
+        return cls(int(i), int(m))
+
+    @property
+    def is_whole(self) -> bool:
+        return self.count == 1
+
+    @property
+    def label(self) -> str:
+        return f"{self.index}/{self.count}"
+
+    def owns(self, slot: int) -> bool:
+        """Does this shard execute the instance at plan-order ``slot``?"""
+        return slot % self.count == self.index
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,6 @@ from repro.experiments.harness import ExperimentRecord
 from repro.experiments.workloads import (
     clustered_points,
     hexagonal_lattice,
-    make_workload,
     perturbed_star,
 )
 from repro.geometry.points import PointSet

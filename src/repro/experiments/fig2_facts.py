@@ -19,7 +19,7 @@ import numpy as np
 from repro.engine import ArtifactCache, Scenario
 from repro.experiments.harness import ExperimentRecord
 from repro.experiments.workloads import perturbed_star
-from repro.spanning.facts import adjacent_angle_report, check_fact1, check_fact2
+from repro.spanning.facts import check_fact1, check_fact2
 from repro.utils.rng import stable_seed
 
 __all__ = ["run_fig2"]

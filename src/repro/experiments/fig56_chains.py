@@ -19,7 +19,6 @@ from repro.core.theorem6 import orient_theorem6
 from repro.experiments.harness import ExperimentRecord
 from repro.experiments.workloads import clustered_points, perturbed_star
 from repro.geometry.points import PointSet
-from repro.spanning.emst import euclidean_mst
 from repro.utils.rng import stable_seed
 
 __all__ = ["run_fig5", "run_fig6", "adversarial_gap_star", "chain_census"]

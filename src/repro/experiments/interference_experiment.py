@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.capacity import capacity_gain_yi_pei
-from repro.analysis.interference import compare_interference, interference_report
+from repro.analysis.interference import compare_interference
 from repro.baselines.omni import orient_omnidirectional
 from repro.core.planner import orient_antennae
 from repro.experiments.harness import ExperimentRecord

@@ -18,7 +18,7 @@ from repro.experiments.scaling import run_scaling
 from repro.experiments.table1 import run_table1
 from repro.experiments.tradeoff import run_tradeoff
 
-__all__ = ["EXPERIMENTS", "run_experiment", "supports_jobs"]
+__all__ = ["EXPERIMENTS", "run_experiment", "supports_jobs", "supports_store"]
 
 #: id -> zero-argument driver returning an ExperimentRecord.
 EXPERIMENTS: dict[str, Callable[[], ExperimentRecord]] = {
@@ -49,14 +49,34 @@ def supports_jobs(experiment_id: str) -> bool:
     return "jobs" in inspect.signature(driver).parameters
 
 
-def run_experiment(experiment_id: str, *, jobs: int = 1) -> ExperimentRecord:
+def supports_store(experiment_id: str) -> bool:
+    """Does this experiment's driver checkpoint into a run store?
+
+    Engine-backed drivers accept ``store``/``resume`` and pass them to
+    :func:`repro.engine.execute_plan`, making the experiment durable and
+    restartable; the rest are cheap enough that a ledger buys nothing.
+    """
+    driver = EXPERIMENTS[experiment_id]
+    return "store" in inspect.signature(driver).parameters
+
+
+def run_experiment(
+    experiment_id: str, *, jobs: int = 1, store=None, resume: bool = False
+) -> ExperimentRecord:
     """Run one experiment by id (raises KeyError for unknown ids).
 
     ``jobs`` is forwarded to engine-backed drivers (see
     :func:`supports_jobs`); serial drivers produce identical records for
-    any value.
+    any value.  ``store``/``resume`` (a :class:`repro.store.RunStore`) are
+    forwarded to drivers that checkpoint through the engine (see
+    :func:`supports_store`) — each driver's plan gets its own ledger keyed
+    by the plan fingerprint, so one run directory serves a whole run_all.
     """
     driver = EXPERIMENTS[experiment_id]
+    kwargs = {}
     if jobs != 1 and supports_jobs(experiment_id):
-        return driver(jobs=jobs)
-    return driver()
+        kwargs["jobs"] = jobs
+    if store is not None and supports_store(experiment_id):
+        kwargs["store"] = store
+        kwargs["resume"] = resume
+    return driver(**kwargs)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.augmentation import augment_to_biconnectivity
-from repro.analysis.robustness import failure_sweep, strong_connectivity_order
+from repro.analysis.robustness import failure_sweep
 from repro.baselines.omni import orient_omnidirectional
 from repro.core.planner import orient_antennae
 from repro.experiments.harness import ExperimentRecord

@@ -4,6 +4,11 @@ Writes the markdown bodies consumed by EXPERIMENTS.md to stdout (or a file
 with ``--out``), and prints progress tables to stderr.  ``--jobs N`` fans
 engine-backed experiments out over N worker processes; the emitted rows are
 identical to a serial run (the engine orders results deterministically).
+
+``--run-dir DIR`` makes the engine-backed experiments durable: each plan
+checkpoints its completed instances into DIR's ledger, and re-running with
+``--resume`` replays the finished work instead of recomputing it — a killed
+run_all restarts where it died.
 """
 
 from __future__ import annotations
@@ -12,7 +17,13 @@ import argparse
 import sys
 import time
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment, supports_jobs
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    run_experiment,
+    supports_jobs,
+    supports_store,
+)
+from repro.store import StoreError
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -25,9 +36,24 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=1,
         help="worker processes for engine-backed experiments (default: 1)",
     )
+    parser.add_argument(
+        "--run-dir", default=None,
+        help="checkpoint engine-backed experiments into this run directory",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay instances already ledgered in --run-dir",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.resume and not args.run_dir:
+        parser.error("--resume requires --run-dir")
+    store = None
+    if args.run_dir:
+        from repro.store import RunStore
+
+        store = RunStore(args.run_dir)
     ids = args.only if args.only else list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
@@ -35,9 +61,20 @@ def main(argv: list[str] | None = None) -> int:
     sections: list[str] = []
     for eid in ids:
         t0 = time.perf_counter()
-        mode = f" (jobs={args.jobs})" if args.jobs > 1 and supports_jobs(eid) else ""
+        notes = []
+        if args.jobs > 1 and supports_jobs(eid):
+            notes.append(f"jobs={args.jobs}")
+        if store is not None and supports_store(eid):
+            notes.append(f"run-dir={args.run_dir}")
+        mode = f" ({', '.join(notes)})" if notes else ""
         print(f"[run_all] running {eid}{mode} ...", file=sys.stderr, flush=True)
-        rec = run_experiment(eid, jobs=args.jobs)
+        try:
+            rec = run_experiment(
+                eid, jobs=args.jobs, store=store, resume=args.resume
+            )
+        except StoreError as exc:
+            print(f"error: {eid}: {exc}", file=sys.stderr)
+            return 2
         dt = time.perf_counter() - t0
         print(rec.to_ascii(), file=sys.stderr, flush=True)
         print(f"[run_all] {eid} done in {dt:.1f}s", file=sys.stderr, flush=True)

@@ -15,8 +15,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from repro.core.bounds import table1_rows
 from repro.engine import GridCell, PlanRequest, Scenario, execute_plan
 from repro.experiments.harness import ExperimentRecord
@@ -43,13 +41,17 @@ def run_table1(
     seeds: int = 3,
     workloads: tuple[str, ...] = ("uniform", "clustered"),
     jobs: int = 1,
+    store=None,
+    resume: bool = False,
 ) -> ExperimentRecord:
     """Run every Table-1 row; returns the comparison table.
 
     The whole table is one :class:`PlanRequest`: the same instances are
     shared by every row, so the engine builds one EMST per (workload, n,
     seed) across all ~30 grid cells, and ``jobs > 1`` fans instances out to
-    worker processes.
+    worker processes.  With a ``store`` (:class:`repro.store.RunStore`)
+    each completed instance is checkpointed and ``resume=True`` restarts a
+    killed run without repeating finished work.
     """
     rec = ExperimentRecord(
         "T1",
@@ -70,7 +72,7 @@ def run_table1(
     request = PlanRequest(
         scenarios, tuple(GridCell(row.k, phi) for row, phi in cell_info)
     )
-    batch = execute_plan(request, jobs=jobs)
+    batch = execute_plan(request, jobs=jobs, store=store, resume=resume)
     for (row, phi), agg in zip(cell_info, batch.aggregate_by_cell()):
         is_btsp_row = row.k == 1 and row.range_formula == "2"
         bound_cell = agg["bound_ok"] or is_btsp_row

@@ -50,6 +50,8 @@ def run_tradeoff(
         np.pi, 1.1 * np.pi, 6 * np.pi / 5, 1.5 * np.pi,
     ),
     jobs: int = 1,
+    store=None,
+    resume: bool = False,
 ) -> ExperimentRecord:
     rec = ExperimentRecord(
         "X1",
@@ -61,7 +63,7 @@ def run_tradeoff(
         (Scenario("uniform", n, seeds=seeds, tag="tradeoff"),),
         tuple(GridCell(2, float(phi)) for phi in phis),
     )
-    batch = execute_plan(request, jobs=jobs)
+    batch = execute_plan(request, jobs=jobs, store=store, resume=resume)
     for phi, agg in zip(phis, batch.aggregate_by_cell()):
         rec.add(
             round(float(phi), 4), round(float(phi) / np.pi, 3),

@@ -9,8 +9,6 @@ optimization guide.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
-
 import numpy as np
 
 from repro.errors import InvalidPointSetError

@@ -8,7 +8,7 @@ arrays over pointer-chasing).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 

@@ -19,12 +19,10 @@ algorithms.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
-
 import numpy as np
 
 from repro.errors import DegreeBoundError, InvalidPointSetError
-from repro.geometry.points import PointSet, pairwise_distances
+from repro.geometry.points import PointSet
 from repro.spanning.union_find import UnionFind
 
 __all__ = ["SpanningTree", "euclidean_mst", "prim_mst_edges", "kruskal_on_edges"]

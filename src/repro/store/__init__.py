@@ -1,0 +1,42 @@
+"""Persistent run store: durable, resumable, shardable plan executions.
+
+:mod:`repro.store.ledger` implements the on-disk format — a run directory
+holding one ``plan-<key>.json`` spec per plan (keyed by the
+:func:`plan_fingerprint` content hash) and one append-only
+``ledger-<key>-s<i>of<m>.jsonl`` file per executed
+:class:`~repro.engine.spec.Shard`.  :func:`repro.engine.execute_plan`
+checkpoints each completed instance chunk into the store and replays
+ledgered rows on resume; :func:`merge_stores` + :func:`assemble_batch`
+rebuild the full :class:`~repro.engine.executor.BatchResult` from shard
+ledgers produced on different machines.
+"""
+
+from repro.store.ledger import (
+    LEDGER_VERSION,
+    LedgerRow,
+    RunStore,
+    ShardLedger,
+    StoreError,
+    assemble_batch,
+    hit_rate,
+    merge_stores,
+    plan_fingerprint,
+    request_from_dict,
+    request_to_dict,
+    rows_equal,
+)
+
+__all__ = [
+    "LEDGER_VERSION",
+    "LedgerRow",
+    "RunStore",
+    "ShardLedger",
+    "StoreError",
+    "assemble_batch",
+    "hit_rate",
+    "merge_stores",
+    "plan_fingerprint",
+    "request_from_dict",
+    "request_to_dict",
+    "rows_equal",
+]

@@ -1,0 +1,497 @@
+"""On-disk, content-addressed run ledger for plan execution.
+
+A *run directory* holds the durable record of one or more
+:class:`~repro.engine.spec.PlanRequest` executions:
+
+``plan-<key12>.json``
+    The full plan specification plus its content fingerprint (written once,
+    idempotently).  ``<key12>`` is the first 12 hex digits of the
+    fingerprint, so several distinct plans can share one run directory.
+
+``ledger-<key12>-s<i>of<m>.jsonl``
+    Append-only JSONL, one file per :class:`~repro.engine.spec.Shard` of the
+    plan.  Each ``instance`` row checkpoints one completed instance chunk:
+    its plan-order ``slot``, the per-instance facts
+    (:class:`~repro.engine.executor.InstanceReport`), one metrics dict per
+    grid cell (the :class:`~repro.engine.executor.RunRecord` payloads) and
+    the instance's :class:`~repro.engine.cache.CacheStats` delta.
+
+Rows are flushed as they are appended, so a killed run loses at most the
+row being written; the loader tolerates a torn trailing line.  Floats
+round-trip exactly through JSON (``repr`` is shortest-round-trip in
+Python 3), which is what makes a resumed or merged run bit-identical to an
+uninterrupted one — validated by determinism and kernel-counter assertions,
+never wall-clock (CI is single-core).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, IO, Iterable, Sequence
+
+from repro.analysis.metrics import OrientationMetrics
+from repro.engine.cache import CacheStats
+from repro.engine.executor import BatchResult, InstanceReport, RunRecord
+from repro.engine.spec import GridCell, PlanRequest, Scenario, Shard
+from repro.errors import ReproError
+
+__all__ = [
+    "LEDGER_VERSION",
+    "StoreError",
+    "plan_fingerprint",
+    "request_to_dict",
+    "request_from_dict",
+    "LedgerRow",
+    "ShardLedger",
+    "RunStore",
+    "merge_stores",
+    "assemble_batch",
+]
+
+LEDGER_VERSION = 1
+
+
+class StoreError(ReproError):
+    """A run directory is inconsistent with the requested operation."""
+
+
+# -- plan identity -----------------------------------------------------------------
+
+
+def request_to_dict(request: PlanRequest) -> dict[str, Any]:
+    """JSON-serializable plan spec; round-trips via :func:`request_from_dict`."""
+    return {
+        "scenarios": [
+            {
+                "workload": s.workload,
+                "n": s.n,
+                "seeds": s.seeds,
+                "tag": s.tag,
+                "seed_offset": s.seed_offset,
+            }
+            for s in request.scenarios
+        ],
+        "grid": [{"k": c.k, "phi": c.phi} for c in request.grid],
+        "compute_critical": request.compute_critical,
+    }
+
+
+def request_from_dict(data: dict[str, Any]) -> PlanRequest:
+    """Rebuild a :class:`PlanRequest` from :func:`request_to_dict` output."""
+    return PlanRequest(
+        scenarios=tuple(Scenario(**s) for s in data["scenarios"]),
+        grid=tuple(GridCell(c["k"], c["phi"]) for c in data["grid"]),
+        compute_critical=bool(data["compute_critical"]),
+    )
+
+
+def plan_fingerprint(request: PlanRequest) -> str:
+    """SHA-256 content hash of a plan (the ledger key).
+
+    Grid angles are hashed via ``float.hex`` so the key depends on the exact
+    float64 bit patterns — two plans share a ledger iff their instances and
+    cells are bit-identical, the only equality under which reusing ledgered
+    metrics is sound.
+    """
+    spec = request_to_dict(request)
+    spec["grid"] = [
+        {"k": c["k"], "phi": float(c["phi"]).hex()} for c in spec["grid"]
+    ]
+    spec["ledger_version"] = LEDGER_VERSION
+    blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf8")).hexdigest()
+
+
+# -- rows --------------------------------------------------------------------------
+
+
+@dataclass
+class LedgerRow:
+    """One checkpointed instance chunk: every grid cell of one instance."""
+
+    slot: int
+    scenario_index: int
+    instance_index: int
+    elapsed: float
+    facts: dict[str, float]
+    metrics: list[dict[str, Any]]
+    cache: dict[str, int]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "type": "instance",
+                "slot": self.slot,
+                "scenario_index": self.scenario_index,
+                "instance_index": self.instance_index,
+                "elapsed": self.elapsed,
+                "facts": self.facts,
+                "metrics": self.metrics,
+                "cache": self.cache,
+            }
+        )
+
+    @classmethod
+    def from_obj(cls, obj: dict[str, Any]) -> "LedgerRow":
+        return cls(
+            slot=int(obj["slot"]),
+            scenario_index=int(obj["scenario_index"]),
+            instance_index=int(obj["instance_index"]),
+            elapsed=float(obj["elapsed"]),
+            facts=dict(obj["facts"]),
+            metrics=list(obj["metrics"]),
+            cache={k: int(v) for k, v in obj["cache"].items()},
+        )
+
+    def report(self) -> InstanceReport:
+        return InstanceReport(
+            scenario_index=self.scenario_index,
+            instance_index=self.instance_index,
+            n=int(self.facts["n"]),
+            lmax=self.facts["lmax"],
+            mst_weight=self.facts["mst_weight"],
+            diameter=self.facts["diameter"],
+            elapsed=self.elapsed,
+        )
+
+    def cell_metrics(self) -> list[OrientationMetrics]:
+        return [OrientationMetrics(**m) for m in self.metrics]
+
+
+# -- files -------------------------------------------------------------------------
+
+
+class ShardLedger:
+    """Append handle for one ``(plan, shard)`` ledger file."""
+
+    def __init__(self, path: Path, plan_key: str, shard: Shard):
+        self.path = path
+        self.plan_key = plan_key
+        self.shard = shard
+        _drop_torn_tail(path)
+        self._fh: IO[str] | None = open(path, "a", encoding="utf8")
+
+    def append(self, row: LedgerRow) -> None:
+        assert self._fh is not None, "ledger already closed"
+        self._fh.write(row.to_json() + "\n")
+        self._fh.flush()
+
+    def finish(self, cache: CacheStats, elapsed: float) -> None:
+        """Append the shard-completion summary row (informational)."""
+        assert self._fh is not None, "ledger already closed"
+        self._fh.write(
+            json.dumps(
+                {
+                    "type": "shard_done",
+                    "shard": [self.shard.index, self.shard.count],
+                    "cache": cache.as_dict(),
+                    "elapsed": elapsed,
+                }
+            )
+            + "\n"
+        )
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ShardLedger":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def _drop_torn_tail(path: Path) -> None:
+    """Truncate a trailing line with no newline (a torn write from a kill).
+
+    Must run before re-opening a ledger for append: gluing a fresh row onto
+    the fragment would leave a corrupt row in the *middle* of the file,
+    which readers rightly refuse.  The fragment itself carries no completed
+    work (rows are flushed whole), so dropping it is lossless.
+    """
+    if not path.exists():
+        return
+    with open(path, "rb+") as fh:
+        data = fh.read()
+        if not data or data.endswith(b"\n"):
+            return
+        keep = data.rfind(b"\n") + 1  # 0 if the file is one torn line
+        fh.truncate(keep)
+
+
+def _read_rows(path: Path) -> dict[int, LedgerRow]:
+    """Parse one ledger file; tolerate a torn trailing line only."""
+    rows: dict[int, LedgerRow] = {}
+    with open(path, encoding="utf8") as fh:
+        lines = fh.read().split("\n")
+    # A complete file ends with "\n", leaving one trailing "" entry.
+    if lines and lines[-1] == "":
+        lines.pop()
+    for lineno, line in enumerate(lines):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines) - 1:
+                break  # torn write from a killed run; the row is simply lost
+            raise StoreError(
+                f"{path}: corrupt ledger row at line {lineno + 1}"
+            ) from None
+        if obj.get("type") != "instance":
+            continue  # shard_done summaries, future row types
+        row = LedgerRow.from_obj(obj)
+        rows[row.slot] = row
+    return rows
+
+
+# -- the store ---------------------------------------------------------------------
+
+
+@dataclass
+class RunStore:
+    """A run directory: durable, resumable, shardable plan executions.
+
+    The same directory can be shared by every shard of a plan (each shard
+    appends to its own file), by several distinct plans (files are keyed by
+    the plan fingerprint), and by repeated resumed runs.
+    """
+
+    run_dir: Path
+    _ledgers: list[ShardLedger] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self.run_dir = Path(self.run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+
+    @staticmethod
+    def _key12(plan_key: str) -> str:
+        return plan_key[:12]
+
+    def plan_path(self, plan_key: str) -> Path:
+        return self.run_dir / f"plan-{self._key12(plan_key)}.json"
+
+    def ledger_path(self, plan_key: str, shard: Shard) -> Path:
+        return self.run_dir / (
+            f"ledger-{self._key12(plan_key)}"
+            f"-s{shard.index:04d}of{shard.count:04d}.jsonl"
+        )
+
+    def ledger_paths(self, plan_key: str) -> list[Path]:
+        """Every shard ledger of the plan present in this directory."""
+        return sorted(self.run_dir.glob(f"ledger-{self._key12(plan_key)}-s*.jsonl"))
+
+    # -- plans ---------------------------------------------------------------
+
+    def write_plan(self, request: PlanRequest) -> str:
+        """Record the plan spec (idempotent); returns its fingerprint."""
+        key = plan_fingerprint(request)
+        path = self.plan_path(key)
+        payload = {
+            "ledger_version": LEDGER_VERSION,
+            "plan_key": key,
+            "request": request_to_dict(request),
+        }
+        if path.exists():
+            existing = json.loads(path.read_text(encoding="utf8"))
+            if existing.get("plan_key") != key:
+                raise StoreError(
+                    f"{path} records a different plan "
+                    f"(key {existing.get('plan_key', '?')[:12]} != {key[:12]})"
+                )
+            return key
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf8")
+        os.replace(tmp, path)
+        return key
+
+    def plan_keys(self) -> list[str]:
+        """Fingerprints of every plan recorded in this directory."""
+        keys = []
+        for path in sorted(self.run_dir.glob("plan-*.json")):
+            keys.append(json.loads(path.read_text(encoding="utf8"))["plan_key"])
+        return keys
+
+    def load_request(self, plan_key: str | None = None) -> tuple[str, PlanRequest]:
+        """Load the recorded plan (the only one, unless a key is given)."""
+        keys = self.plan_keys()
+        if plan_key is not None:
+            matches = [k for k in keys if k.startswith(plan_key)]
+            if not matches:
+                raise StoreError(
+                    f"{self.run_dir} has no plan matching key {plan_key[:12]!r}"
+                )
+            if len(matches) > 1:
+                raise StoreError(
+                    f"plan key prefix {plan_key!r} is ambiguous in "
+                    f"{self.run_dir}: matches "
+                    f"{', '.join(k[:12] for k in matches)}"
+                )
+            keys = matches
+        if not keys:
+            raise StoreError(f"{self.run_dir} records no plans")
+        if len(keys) > 1:
+            raise StoreError(
+                f"{self.run_dir} records {len(keys)} plans "
+                f"({', '.join(k[:12] for k in keys)}); pass a plan key"
+            )
+        key = keys[0]
+        data = json.loads(self.plan_path(key).read_text(encoding="utf8"))
+        request = request_from_dict(data["request"])
+        rebuilt = plan_fingerprint(request)
+        if rebuilt != key:
+            raise StoreError(
+                f"{self.plan_path(key)}: spec no longer hashes to its recorded "
+                f"key ({rebuilt[:12]} != {key[:12]}); the file was edited"
+            )
+        return key, request
+
+    # -- rows ----------------------------------------------------------------
+
+    def load_rows(self, plan_key: str) -> dict[int, LedgerRow]:
+        """All ledgered instance rows of the plan, across every shard file."""
+        rows: dict[int, LedgerRow] = {}
+        for path in self.ledger_paths(plan_key):
+            for slot, row in _read_rows(path).items():
+                rows[slot] = row
+        return rows
+
+    def completed_for(self, request: PlanRequest) -> dict[int, LedgerRow]:
+        """Ledgered rows for ``request`` (empty if never run here)."""
+        return self.load_rows(plan_fingerprint(request))
+
+    def shard_rows(self, request: PlanRequest, shard: Shard) -> dict[int, LedgerRow]:
+        """Instance rows recorded in one shard's own ledger file."""
+        path = self.ledger_path(plan_fingerprint(request), shard)
+        return _read_rows(path) if path.exists() else {}
+
+    def open_shard(self, request: PlanRequest, shard: Shard) -> ShardLedger:
+        """Open the append handle for one shard (recording the plan spec)."""
+        key = self.write_plan(request)
+        ledger = ShardLedger(self.ledger_path(key, shard), key, shard)
+        self._ledgers.append(ledger)
+        return ledger
+
+    def close(self) -> None:
+        for ledger in self._ledgers:
+            ledger.close()
+        self._ledgers.clear()
+
+
+# -- merge / reassembly ------------------------------------------------------------
+
+
+def merge_stores(
+    run_dirs: Sequence[str | Path], plan_key: str | None = None
+) -> tuple[str, PlanRequest, dict[int, LedgerRow]]:
+    """Union the ledgers of several run directories (one shard per CI job).
+
+    Every directory must record the same plan; rows are keyed by slot, so
+    overlapping shards are harmless (instance rows for a slot are identical
+    by determinism).
+    """
+    if not run_dirs:
+        raise StoreError("no run directories to merge")
+    key = None
+    request = None
+    rows: dict[int, LedgerRow] = {}
+    for run_dir in run_dirs:
+        store = RunStore(Path(run_dir))
+        k, req = store.load_request(plan_key)
+        if key is None:
+            key, request = k, req
+        elif k != key:
+            raise StoreError(
+                f"{run_dir} records plan {k[:12]}, expected {key[:12]}; "
+                "shards of different plans cannot be merged"
+            )
+        rows.update(store.load_rows(key))
+    assert key is not None and request is not None
+    return key, request, rows
+
+
+def assemble_batch(
+    request: PlanRequest,
+    rows: dict[int, LedgerRow],
+    *,
+    allow_partial: bool = False,
+) -> BatchResult:
+    """Reconstruct a :class:`BatchResult` purely from ledger rows.
+
+    The records come back in plan order, so the aggregate tables are
+    bit-identical to the ones an in-process :func:`execute_plan` of the
+    same plan would produce.
+    """
+    expected = request.total_instances
+    missing = [slot for slot in range(expected) if slot not in rows]
+    if missing and not allow_partial:
+        raise StoreError(
+            f"ledger covers {expected - len(missing)}/{expected} instances "
+            f"(first missing plan slot: {missing[0]}); run the remaining "
+            "shards or pass allow_partial"
+        )
+    ncells = len(request.grid)
+    records: list[RunRecord] = []
+    reports: list[InstanceReport] = []
+    stats = CacheStats()
+    elapsed = 0.0
+    for slot in sorted(rows):
+        row = rows[slot]
+        if not 0 <= row.slot < expected:
+            raise StoreError(f"ledger row slot {row.slot} outside the plan")
+        if len(row.metrics) != ncells:
+            raise StoreError(
+                f"ledger row for slot {row.slot} has {len(row.metrics)} cell "
+                f"metrics, plan has {ncells} grid cells"
+            )
+        scenario = request.scenarios[row.scenario_index]
+        reports.append(row.report())
+        for cell, m in zip(request.grid, row.cell_metrics()):
+            records.append(
+                RunRecord(scenario, row.instance_index, cell, m,
+                          scenario_index=row.scenario_index)
+            )
+        stats.merge(CacheStats(**row.cache))
+        elapsed += row.elapsed
+    return BatchResult(
+        request=request,
+        records=records,
+        instance_reports=reports,
+        cache_stats=stats,
+        jobs_used=1,
+        elapsed=elapsed,
+        replayed_instances=len(rows),
+    )
+
+
+def hit_rate(stats: CacheStats) -> float:
+    """Cache hit fraction in [0, 1] (0 when the cache was never touched)."""
+    touches = stats.hits + stats.misses
+    return stats.hits / touches if touches else 0.0
+
+
+def _isnan(x: float) -> bool:
+    return isinstance(x, float) and math.isnan(x)
+
+
+def rows_equal(a: Iterable[dict], b: Iterable[dict]) -> bool:
+    """NaN-tolerant equality of aggregate-row sequences (test helper)."""
+    la, lb = list(a), list(b)
+    if len(la) != len(lb):
+        return False
+    for ra, rb in zip(la, lb):
+        if ra.keys() != rb.keys():
+            return False
+        for k in ra:
+            if ra[k] != rb[k] and not (_isnan(ra[k]) and _isnan(rb[k])):
+                return False
+    return True

@@ -10,7 +10,7 @@ ad-hoc integer arithmetic on seeds.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Union
+from typing import Union
 
 import numpy as np
 

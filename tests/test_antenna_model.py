@@ -1,6 +1,5 @@
 """Unit tests for repro.antenna.model."""
 
-import numpy as np
 import pytest
 
 from repro.antenna.model import AntennaAssignment

@@ -1,7 +1,6 @@
 """Unit tests for repro.antenna.validate."""
 
 import numpy as np
-import pytest
 
 from repro.antenna.model import AntennaAssignment
 from repro.antenna.validate import validate_assignment

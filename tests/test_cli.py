@@ -102,6 +102,106 @@ class TestSweepCommand:
         assert main(["sweep", "--workload", "nope"]) == 2
         assert "unknown workload" in capsys.readouterr().err
 
+    def test_output_success_summary_on_stderr(self, tmp_path, capsys):
+        """--output must not be silent: one summary line goes to stderr."""
+        out = str(tmp_path / "sweep.md")
+        rc = main(["sweep", "--n", "16", "--seeds", "2", "--k", "1", "--phi",
+                   "pi", "--no-critical", "--output", out])
+        assert rc == 0
+        err = capsys.readouterr().err
+        summary = [ln for ln in err.splitlines() if "wrote" in ln]
+        assert len(summary) == 1
+        assert "1 rows" in summary[0]
+        assert out in summary[0]
+        assert "cache hit rate" in summary[0]
+
+    def test_shard_requires_run_dir(self, capsys):
+        assert main(["sweep", "--shard", "0/2"]) == 2
+        assert "--run-dir" in capsys.readouterr().err
+
+    def test_bad_shard_spec(self, tmp_path, capsys):
+        rc = main(["sweep", "--run-dir", str(tmp_path), "--shard", "2/2"])
+        assert rc == 2
+        assert "shard" in capsys.readouterr().err
+
+
+SWEEP_ARGS = ["--workload", "uniform", "--n", "16", "--seeds", "4",
+              "--k", "1", "2", "--phi", "pi", "--no-critical",
+              "--tag", "cli-store"]
+
+
+class TestSweepStoreAndMerge:
+    def test_sharded_sweeps_merge_to_unsharded_table(self, tmp_path, capsys):
+        ref = str(tmp_path / "ref.md")
+        merged = str(tmp_path / "merged.md")
+        assert main(["sweep", *SWEEP_ARGS, "--output", ref]) == 0
+        for i in range(2):
+            rc = main(["sweep", *SWEEP_ARGS,
+                       "--run-dir", str(tmp_path / f"shard{i}"),
+                       "--shard", f"{i}/2",
+                       "--output", str(tmp_path / f"s{i}.md")])
+            assert rc == 0
+        rc = main(["merge", "--run-dir", str(tmp_path / "shard0"),
+                   str(tmp_path / "shard1"), "--output", merged])
+        assert rc == 0
+        assert open(merged).read() == open(ref).read()
+
+    def test_resume_after_interruption_matches(self, tmp_path, capsys):
+        run_dir = tmp_path / "runs"
+        ref = str(tmp_path / "ref.md")
+        resumed = str(tmp_path / "resumed.md")
+        assert main(["sweep", *SWEEP_ARGS, "--output", ref]) == 0
+        assert main(["sweep", *SWEEP_ARGS, "--run-dir", str(run_dir),
+                     "--output", str(tmp_path / "first.md")]) == 0
+        # Simulate a kill after two completed instances: truncate the ledger.
+        (ledger,) = run_dir.glob("ledger-*.jsonl")
+        rows = [ln for ln in open(ledger).read().splitlines(True)
+                if '"type": "instance"' in ln]
+        open(str(ledger), "w").write("".join(rows[:2]))
+        rc = main(["sweep", *SWEEP_ARGS, "--run-dir", str(run_dir),
+                   "--resume", "--output", resumed])
+        assert rc == 0
+        assert "2 instances from ledger" in capsys.readouterr().err
+        assert open(resumed).read() == open(ref).read()
+
+    def test_rerun_without_resume_fails_cleanly(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "runs")
+        assert main(["sweep", *SWEEP_ARGS, "--run-dir", run_dir]) == 0
+        capsys.readouterr()
+        assert main(["sweep", *SWEEP_ARGS, "--run-dir", run_dir]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_merge_incomplete_needs_allow_partial(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "runs")
+        assert main(["sweep", *SWEEP_ARGS, "--run-dir", run_dir,
+                     "--shard", "0/2"]) == 0
+        capsys.readouterr()
+        assert main(["merge", "--run-dir", run_dir]) == 2
+        assert "2/4 instances" in capsys.readouterr().err
+        assert main(["merge", "--run-dir", run_dir, "--allow-partial"]) == 0
+        out = capsys.readouterr().out
+        assert "| algorithm |" in out
+
+    def test_merge_json_format(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "runs")
+        assert main(["sweep", *SWEEP_ARGS, "--run-dir", run_dir]) == 0
+        capsys.readouterr()
+        assert main(["merge", "--run-dir", run_dir, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["rows"][0]["runs"] == 4
+        assert data["cache"]["tree_builds"] == 4
+
+    def test_merge_empty_dir_fails_cleanly(self, tmp_path, capsys):
+        assert main(["merge", "--run-dir", str(tmp_path)]) == 2
+        assert "no plans" in capsys.readouterr().err
+
+    def test_shard_owning_no_instances_fails_cleanly(self, tmp_path, capsys):
+        # 4 seeds, shard 7/8 owns no slot: clean message, not a traceback.
+        rc = main(["sweep", *SWEEP_ARGS, "--run-dir", str(tmp_path / "runs"),
+                   "--shard", "7/8"])
+        assert rc == 2
+        assert "no instances to aggregate" in capsys.readouterr().err
+
 
 class TestRenderAndValidate:
     def test_full_workflow(self, csv_path, tmp_path, capsys):

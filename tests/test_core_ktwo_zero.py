@@ -1,7 +1,5 @@
 """Unit tests for repro.core.ktwo_zero (LCRS construction)."""
 
-import numpy as np
-import pytest
 
 from repro.core.ktwo_zero import orient_k2_zero_spread
 from repro.experiments.workloads import spider_points

@@ -1,6 +1,5 @@
 """Unit tests for repro.core.theorem2."""
 
-import numpy as np
 import pytest
 
 from repro.core.bounds import thm2_phi_threshold

@@ -6,7 +6,7 @@ import pytest
 from repro.core.bounds import thm3_part1_bound, thm3_part2_bound
 from repro.core.theorem3 import Theorem3Engine, orient_theorem3
 from repro.errors import InvalidParameterError
-from repro.experiments.workloads import clustered_points, perturbed_star
+from repro.experiments.workloads import perturbed_star
 from repro.geometry.points import PointSet
 from repro.spanning.emst import euclidean_mst
 from repro.spanning.rooted import RootedTree

@@ -6,7 +6,6 @@ resulting orientation is valid and the expected case label was recorded.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.theorem3 import orient_theorem3
 from repro.geometry.points import PointSet

@@ -11,7 +11,7 @@ from repro.experiments.ablations import run_ablations
 from repro.experiments.btsp_experiment import run_btsp
 from repro.experiments.fig1_lemma1 import run_fig1
 from repro.experiments.fig2_facts import run_fig2
-from repro.experiments.fig34_theorem3 import run_fig3, run_fig4, theorem3_case_census
+from repro.experiments.fig34_theorem3 import run_fig4, theorem3_case_census
 from repro.experiments.fig56_chains import adversarial_gap_star, run_fig5, run_fig6
 from repro.experiments.interference_experiment import run_interference
 from repro.experiments.registry import EXPERIMENTS, run_experiment

@@ -39,6 +39,23 @@ class TestRunAllCli:
         assert main(args + [str(parallel), "--jobs", "2"]) == 0
         assert serial.read_text() == parallel.read_text()
 
+    def test_run_dir_resume_replays_identically(self, tmp_path, capsys):
+        """A finished --run-dir run resumes from ledger with the same body."""
+        first, resumed = tmp_path / "a.md", tmp_path / "b.md"
+        run_dir = str(tmp_path / "runs")
+        args = ["--only", "X1", "--run-dir", run_dir, "--out"]
+        assert main(args + [str(first)]) == 0
+        assert main(args + [str(resumed), "--resume"]) == 0
+        assert first.read_text() == resumed.read_text()
+        # Forgetting --resume on a used run dir: clean error, not a traceback.
+        capsys.readouterr()
+        assert main(args + [str(tmp_path / "c.md")]) == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_resume_requires_run_dir(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--only", "X5", "--resume"])
+
     def test_bad_jobs_rejected(self):
         with pytest.raises(SystemExit):
             main(["--only", "F1", "--jobs", "0"])

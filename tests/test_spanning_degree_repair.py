@@ -5,7 +5,7 @@ import pytest
 
 from repro.geometry.points import PointSet
 from repro.spanning.degree_repair import find_tight_pair, repair_degree
-from repro.spanning.emst import SpanningTree, euclidean_mst
+from repro.spanning.emst import SpanningTree
 
 
 def perfect_hexagon_star() -> SpanningTree:

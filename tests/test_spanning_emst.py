@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.errors import InvalidPointSetError
-from repro.experiments.workloads import hexagonal_lattice, uniform_points
+from repro.experiments.workloads import hexagonal_lattice
 from repro.geometry.points import PointSet
 from repro.spanning.emst import (
     SpanningTree,

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import InvalidParameterError
 from repro.geometry.points import PointSet
-from repro.spanning.emst import SpanningTree, euclidean_mst
+from repro.spanning.emst import SpanningTree
 from repro.spanning.rooted import RootedTree
 
 

@@ -9,7 +9,6 @@ ray.  Each recipe pins the angles so exactly one branch can fire.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import theorem3_cases as cases
 from repro.core.bounds import thm3_part1_bound, thm3_part2_bound
@@ -64,7 +63,7 @@ def run_handler(child_pos, parent_pos, phi, part, handler):
 
 
 def fired(engine) -> str:
-    labels = [l for l in engine.stats["cases"] if l != "root"]
+    labels = [lbl for lbl in engine.stats["cases"] if lbl != "root"]
     assert len(labels) == 1, labels
     return labels[0]
 

@@ -1,10 +1,8 @@
 """Unit tests for the SVG renderer."""
 
 import numpy as np
-import pytest
 
 from repro.core.planner import orient_antennae
-from repro.spanning.emst import euclidean_mst
 from repro.viz.svg import render_orientation_svg, render_tree_svg
 
 
