@@ -33,6 +33,7 @@ from repro.core.theorem6 import orient_theorem6
 from repro.engine import (
     ArtifactCache,
     BatchResult,
+    FrontierRequest,
     GridCell,
     PlanRequest,
     Scenario,
@@ -40,6 +41,7 @@ from repro.engine import (
     execute_plan,
 )
 from repro.errors import ReproError
+from repro.frontier import FrontierBatch, execute_frontier
 from repro.io import load_result, save_result
 from repro.kernels import kernel_counters, polar_tables, reset_kernel_counters
 from repro.geometry.points import PointSet
@@ -60,6 +62,8 @@ __all__ = [
     "ArtifactCache",
     "BatchResult",
     "DiGraph",
+    "FrontierBatch",
+    "FrontierRequest",
     "GridCell",
     "OrientationResult",
     "PlanRequest",
@@ -72,6 +76,7 @@ __all__ = [
     "Shard",
     "SpanningTree",
     "choose_algorithm",
+    "execute_frontier",
     "execute_plan",
     "critical_range",
     "directed_vertex_connectivity",

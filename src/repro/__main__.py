@@ -7,6 +7,7 @@ bounds     print the paper's Table 1 (optionally evaluated at a phi)
 render     write an SVG picture of a saved orientation
 validate   re-check a saved orientation's certificate
 sweep      run a (workload × n) × (k × phi) batch through the engine
+frontier   adaptively bisect phi to a metric threshold (or map its staircase)
 merge      aggregate the shard ledgers of one or more run directories
 """
 
@@ -15,6 +16,12 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+
+
+#: Mirror of :data:`repro.engine.spec.FRONTIER_METRICS`, kept literal so
+#: ``repro --help`` does not pay the numpy/workloads import; the lockstep
+#: is asserted by ``test_metric_choices_track_the_spec``.
+_FRONTIER_METRIC_CHOICES = ("critical_range", "realized_range", "range_bound")
 
 
 def _parse_phi(text: str) -> float:
@@ -106,6 +113,13 @@ def _require_rows(tag: str, rows: list[dict]) -> bool:
     return False
 
 
+#: Columns whose value identifies a configuration (a grid cell's φ, a
+#: frontier target).  They render at full ``repr`` precision — two distinct
+#: φ values closer than 5e-5 must not collapse to one label in the table —
+#: while measurement columns keep the short 4-digit display form.
+_IDENTITY_COLUMNS = frozenset({"phi", "target"})
+
+
 def _render_rows(batch, rows: list[dict], fmt: str) -> str:
     """Render aggregate rows as a markdown table or a JSON document."""
     import json
@@ -123,11 +137,14 @@ def _render_rows(batch, rows: list[dict], fmt: str) -> str:
             },
             indent=2,
         )
+
+    def cell(h, v):
+        if isinstance(v, float):
+            return repr(v) if h in _IDENTITY_COLUMNS else round(v, 4)
+        return v
+
     headers = list(rows[0])
-    cells = [
-        [round(row[h], 4) if isinstance(row[h], float) else row[h] for h in headers]
-        for row in rows
-    ]
+    cells = [[cell(h, row[h]) for h in headers] for row in rows]
     return format_markdown_table(headers, cells)
 
 
@@ -145,28 +162,40 @@ def _emit_table(
         print(body)
         destination = "stdout"
     where = f", run dir {run_dir}" if run_dir else ""
+    if hasattr(batch, "records"):  # sweep: one run per (instance, cell)
+        runs = len(batch.records)
+    else:  # frontier: one solved frontier per (instance, k)
+        runs = sum(len(o.frontiers) for o in batch.outcomes)
     print(
         f"[{tag}] wrote {len(rows)} rows x {len(rows[0])} cols to {destination} "
-        f"({len(batch.records)} runs, cache hit rate "
+        f"({runs} runs, cache hit rate "
         f"{hit_rate(batch.cache_stats):.0%}{where})",
         file=sys.stderr, flush=True,
     )
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.engine import PlanRequest, Shard, execute_plan
+def _run_batch_command(
+    tag: str,
+    args: argparse.Namespace,
+    build_request,
+    execute,
+    unit: str,
+    unit_count,
+    rows_of,
+) -> int:
+    """Shared scaffolding of the ``sweep`` and ``frontier`` subcommands:
+    request/shard validation, the run-dir guard, progress reporting,
+    StoreError handling, and table emission.  The subcommands differ only
+    in how the request is built (``build_request``), which executor runs it
+    (``execute(request, **engine_kwargs)``), the per-instance work unit
+    (``unit_count(request)`` × ``unit``, e.g. grid "cells" or per-k
+    "frontiers"), and how aggregate rows come out of the batch
+    (``rows_of``)."""
+    from repro.engine import Shard
     from repro.store import RunStore, StoreError
 
     try:
-        request = PlanRequest.sweep(
-            workloads=args.workload,
-            sizes=args.n,
-            seeds=args.seeds,
-            ks=args.k,
-            phis=args.phi,
-            tag=args.tag,
-            compute_critical=not args.no_critical,
-        )
+        request = build_request()
         shard = Shard.parse(args.shard) if args.shard else Shard()
     except Exception as exc:  # invalid workload/k/phi/shard combinations
         print(f"error: {exc}", file=sys.stderr)
@@ -175,18 +204,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if store is None and (args.resume or not shard.is_whole):
         print("error: --resume and --shard require --run-dir", file=sys.stderr)
         return 2
-    print(f"[sweep] {request.describe()}", file=sys.stderr, flush=True)
+    print(f"[{tag}] {request.describe()}", file=sys.stderr, flush=True)
 
     def progress(report) -> None:
         scenario = request.scenarios[report.scenario_index]
         print(
-            f"[sweep] {scenario.label} seed {report.instance_index}: "
-            f"{len(request.grid)} cells in {report.elapsed:.2f}s",
+            f"[{tag}] {scenario.label} seed {report.instance_index}: "
+            f"{unit_count(request)} {unit} in {report.elapsed:.2f}s",
             file=sys.stderr, flush=True,
         )
 
     try:
-        batch = execute_plan(
+        batch = execute(
             request, jobs=args.jobs, on_instance=progress,
             store=store, shard=shard, resume=args.resume,
         )
@@ -194,25 +223,79 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if batch.fallback_reason:
-        print(f"[sweep] {batch.fallback_reason}", file=sys.stderr)
-    print(f"[sweep] {batch.summary()}", file=sys.stderr, flush=True)
+        print(f"[{tag}] {batch.fallback_reason}", file=sys.stderr)
+    print(f"[{tag}] {batch.summary()}", file=sys.stderr, flush=True)
 
-    rows = _batch_rows(batch, args.aggregate)
+    rows = rows_of(batch)
     if not _require_rows("shard", rows):
         return 2
     body = _render_rows(batch, rows, args.format)
-    _emit_table("sweep", batch, rows, body, args.output, args.run_dir)
+    _emit_table(tag, batch, rows, body, args.output, args.run_dir)
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine import PlanRequest, execute_plan
+
+    def build_request():
+        return PlanRequest.sweep(
+            workloads=args.workload,
+            sizes=args.n,
+            seeds=args.seeds,
+            ks=args.k,
+            phis=args.phi,
+            tag=args.tag,
+            compute_critical=not args.no_critical,
+        )
+
+    return _run_batch_command(
+        "sweep", args, build_request, execute_plan,
+        unit="cells", unit_count=lambda req: len(req.grid),
+        rows_of=lambda b: _batch_rows(b, args.aggregate),
+    )
+
+
+def cmd_frontier(args: argparse.Namespace) -> int:
+    from repro.engine import FrontierRequest, Scenario
+    from repro.frontier import execute_frontier
+
+    def build_request():
+        return FrontierRequest(
+            scenarios=tuple(
+                Scenario(w, int(n), seeds=args.seeds, tag=args.tag)
+                for w in args.workload
+                for n in args.n
+            ),
+            ks=tuple(args.k),
+            metric=args.metric,
+            target=args.target,
+            phi_lo=args.phi_lo,
+            phi_hi=args.phi_hi,
+            tol=args.tol,
+        )
+
+    return _run_batch_command(
+        "frontier", args, build_request, execute_frontier,
+        unit="frontiers", unit_count=lambda req: len(req.ks),
+        rows_of=lambda b: b.aggregate_rows(),
+    )
+
+
 def cmd_merge(args: argparse.Namespace) -> int:
+    from repro.engine import FrontierRequest
+    from repro.frontier import assemble_frontier
     from repro.store import StoreError, assemble_batch, merge_stores
 
     try:
         key, request, ledger_rows = merge_stores(args.run_dir, args.plan)
-        batch = assemble_batch(
-            request, ledger_rows, allow_partial=args.allow_partial
-        )
+        if isinstance(request, FrontierRequest):
+            batch = assemble_frontier(
+                request, ledger_rows, allow_partial=args.allow_partial
+            )
+        else:
+            batch = assemble_batch(
+                request, ledger_rows, allow_partial=args.allow_partial
+            )
     except StoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -222,7 +305,16 @@ def cmd_merge(args: argparse.Namespace) -> int:
     )
     print(f"[merge] {batch.summary()}", file=sys.stderr, flush=True)
 
-    rows = _batch_rows(batch, args.aggregate)
+    if isinstance(request, FrontierRequest):
+        if args.aggregate != "cell":
+            print(
+                "[merge] note: --aggregate is ignored for frontier plans "
+                "(rows are always one per scenario × k)",
+                file=sys.stderr,
+            )
+        rows = batch.aggregate_rows()
+    else:
+        rows = _batch_rows(batch, args.aggregate)
     if not _require_rows("ledger", rows):
         return 2
     body = _render_rows(batch, rows, args.format)
@@ -289,6 +381,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard", default=None, metavar="I/M",
                    help="execute one of M disjoint plan shards (e.g. 0/2)")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "frontier",
+        help="adaptively bisect phi to a metric threshold or map its staircase",
+    )
+    p.add_argument("--workload", nargs="+", default=["uniform"],
+                   help="workload generator names (default: uniform)")
+    p.add_argument("--n", nargs="+", type=int, default=[64],
+                   help="instance sizes (default: 64)")
+    p.add_argument("--seeds", type=int, default=3,
+                   help="instances per (workload, n) (default: 3)")
+    p.add_argument("--k", nargs="+", type=int, default=[1, 2],
+                   help="antennae-per-sensor values (default: 1 2)")
+    p.add_argument("--metric", choices=_FRONTIER_METRIC_CHOICES,
+                   default="critical_range",
+                   help="metric to bisect on (default: critical_range)")
+    p.add_argument("--target", type=float, default=None,
+                   help="find the smallest phi with metric <= TARGET; "
+                        "omit to map the metric-vs-phi staircase instead")
+    p.add_argument("--phi-lo", type=_parse_phi, default=0.0,
+                   help="lower end of the phi search interval (default: 0)")
+    p.add_argument("--phi-hi", type=_parse_phi, default=2 * math.pi,
+                   help="upper end of the phi search interval (default: 2pi)")
+    p.add_argument("--tol", type=float, default=1e-3,
+                   help="phi resolution of the search (default: 1e-3)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (default: 1 = serial)")
+    p.add_argument("--tag", default="frontier",
+                   help="seed namespace for the scenario instances")
+    p.add_argument("--format", choices=("markdown", "json"), default="markdown")
+    p.add_argument("--output", help="write the table/JSON here instead of stdout")
+    p.add_argument("--run-dir", default=None,
+                   help="persist a run ledger here (checkpoint per instance)")
+    p.add_argument("--resume", action="store_true",
+                   help="replay already-ledgered instances from --run-dir")
+    p.add_argument("--shard", default=None, metavar="I/M",
+                   help="execute one of M disjoint plan shards (e.g. 0/2)")
+    p.set_defaults(fn=cmd_frontier)
 
     p = sub.add_parser(
         "merge",

@@ -19,10 +19,11 @@ from repro.core.theorem5 import orient_theorem5
 from repro.core.theorem6 import orient_theorem6
 from repro.core.result import OrientationResult
 from repro.errors import InvalidParameterError
+from repro.geometry.angles import clamp_angular_budget
 from repro.geometry.points import PointSet
 from repro.spanning.emst import SpanningTree
 
-__all__ = ["choose_algorithm", "orient_antennae"]
+__all__ = ["choose_algorithm", "choose_dispatch", "orient_antennae"]
 
 _TWO_THIRDS_PI = 2.0 * np.pi / 3.0
 
@@ -44,20 +45,31 @@ def _algorithm_for_exact_k(k: int, phi: float) -> str:
     return "theorem6"  # k == 4 (k == 5 is covered by theorem2 above)
 
 
-def choose_algorithm(k: int, phi: float) -> str:
-    """Name of the algorithm :func:`orient_antennae` will dispatch to.
+def choose_dispatch(k: int, phi: float) -> tuple[str, int]:
+    """Full Table-1 dispatch for a ``(k, φ)`` budget: ``(algorithm, k_used)``.
 
     Minimizes the proven range over all ``k' ≤ k`` — Table 1 alone is not
     monotone in k (see :func:`repro.core.bounds.best_achievable_bound`), so
     e.g. ``k = 3, φ = 2.4`` dispatches to Theorem 3 part 2 with two antennae
     rather than the table's √3 row.
+
+    This is the single source of truth for dispatch, shared by
+    :func:`choose_algorithm`, :func:`orient_antennae` and the frontier
+    solver's warm-start regime memo
+    (:func:`repro.frontier.solver.dispatch_regime`) — the memo is sound
+    only because it classifies probes with exactly the dispatch the
+    planner runs.
     """
     if k < 1:
         raise InvalidParameterError(f"k must be >= 1, got {k}")
-    if phi < 0 or phi > 2.0 * np.pi + 1e-12:
-        raise InvalidParameterError(f"phi must be in [0, 2pi], got {phi}")
+    phi = clamp_angular_budget(phi)  # constructions assume phi <= 2pi exactly
     _, k_used, _ = best_achievable_bound(min(int(k), 5), phi)
-    return _algorithm_for_exact_k(k_used, phi)
+    return _algorithm_for_exact_k(k_used, phi), k_used
+
+
+def choose_algorithm(k: int, phi: float) -> str:
+    """Name of the algorithm :func:`orient_antennae` will dispatch to."""
+    return choose_dispatch(k, phi)[0]
 
 
 def orient_antennae(
@@ -87,8 +99,8 @@ def orient_antennae(
         calls by sweeps and benchmarks).
     """
     keff = min(int(k), 5)
-    _, k_used, _ = best_achievable_bound(keff, phi)
-    algo = _algorithm_for_exact_k(k_used, phi)
+    algo, k_used = choose_dispatch(keff, phi)
+    phi = clamp_angular_budget(phi)  # same rule the dispatch validated with
     if algo == "theorem2":
         result = orient_theorem2(points, k_used, phi=phi, tree=tree)
     elif algo == "theorem3.part1":

@@ -24,12 +24,19 @@ from repro.engine.executor import (
     execute_plan,
     run_instance_grid,
 )
-from repro.engine.spec import GridCell, PlanRequest, Scenario, Shard
+from repro.engine.spec import (
+    FrontierRequest,
+    GridCell,
+    PlanRequest,
+    Scenario,
+    Shard,
+)
 
 __all__ = [
     "ArtifactCache",
     "BatchResult",
     "CacheStats",
+    "FrontierRequest",
     "GridCell",
     "InstanceReport",
     "PlanRequest",

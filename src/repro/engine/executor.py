@@ -34,6 +34,7 @@ __all__ = [
     "RunRecord",
     "InstanceReport",
     "BatchResult",
+    "instance_artifacts",
     "run_instance_grid",
     "execute_plan",
 ]
@@ -63,6 +64,26 @@ class InstanceReport:
     elapsed: float
 
 
+def instance_artifacts(cache: ArtifactCache, coords: np.ndarray):
+    """``(pointset, tree, tables, facts)`` for one instance, via the cache.
+
+    The ``facts`` dict is the ledgered schema behind
+    :class:`InstanceReport` (``n``/``lmax``/``mst_weight``/``diameter``) —
+    shared by the sweep and frontier executors so their replay paths
+    cannot drift apart.
+    """
+    ps = cache.pointset(coords)
+    tree = cache.tree(ps)
+    tables = cache.polar(ps)
+    facts = {
+        "n": float(len(ps)),
+        "lmax": tree.lmax,
+        "mst_weight": tree.total_weight,
+        "diameter": float(tables.dist.max()) if tables.dist.size else 0.0,
+    }
+    return ps, tree, tables, facts
+
+
 def run_instance_grid(
     coords: np.ndarray,
     grid: Sequence[GridCell],
@@ -76,15 +97,7 @@ def run_instance_grid(
     derived from the cached artifacts (``lmax``, MST weight, diameter).
     """
     cache = cache if cache is not None else ArtifactCache()
-    ps = cache.pointset(coords)
-    tree = cache.tree(ps)
-    tables = cache.polar(ps)
-    facts = {
-        "n": float(len(ps)),
-        "lmax": tree.lmax,
-        "mst_weight": tree.total_weight,
-        "diameter": float(tables.dist.max()) if tables.dist.size else 0.0,
-    }
+    ps, tree, tables, facts = instance_artifacts(cache, coords)
     metrics = []
     for cell in grid:
         result = orient_antennae(ps, cell.k, cell.phi, tree=tree)
@@ -226,6 +239,104 @@ def _chunk_tasks(tasks: list[_Task], jobs: int) -> list[list[_Task]]:
     return [tasks[i : i + target] for i in range(0, len(tasks), target)]
 
 
+def _execute_durable(
+    request: Any,
+    all_tasks: list[_Task],
+    shard: Shard,
+    *,
+    jobs: int,
+    cache: "ArtifactCache | None",
+    on_instance: "Callable[[InstanceReport], None] | None",
+    store: Any,
+    resume: bool,
+    run_one: Callable[[Any, ArtifactCache], Any],
+    submit_chunk: Callable[[Any, list[_Task]], Any],
+    rows_for_resume: Callable[[Any, str], dict[int, Any]],
+    payload_of_row: Callable[[int, Any], Any],
+    row_of_payload: Callable[[int, int, int, Any], Any],
+) -> tuple[dict[int, Any], int, int, "str | None", Any]:
+    """The durable-execution skeleton shared by the sweep and frontier
+    executors: resume-guarded store handling, per-completion checkpointing,
+    process-pool fan-out with serial fallback, payloads keyed by plan slot.
+
+    Payloads are ``(result, facts, elapsed, cache_delta)`` tuples; only the
+    ``result`` element differs between executors, which is what the
+    ``run_one`` / ``submit_chunk`` / ``payload_of_row`` / ``row_of_payload``
+    hooks parameterize (``submit_chunk`` exists because pool workers must
+    be module-level picklable functions).  ``rows_for_resume`` loads the
+    plan's ledgered rows; ``payload_of_row`` validates one against the
+    request shape (raising ``StoreError``) and converts it.
+
+    Returns ``(payloads, replayed, jobs_used, fallback_reason, ledger)``;
+    the caller reassembles its result type in plan order and must
+    ``finish``/``close`` the ledger (if any) once its stats are summed —
+    any change to this orchestration (fallback policy, refusal rules,
+    checkpoint timing) applies to both executors by construction.
+    """
+    payloads: dict[int, Any] = {}
+    ledger = None
+    replayed = 0
+    if store is not None:
+        from repro.store.ledger import StoreError  # lazy: avoids cycle
+
+        key = store.write_plan(request)
+        if not resume and store.shard_rows(request, shard):
+            raise StoreError(
+                f"{store.ledger_path(key, shard)} already records completed "
+                "instances for this plan; pass resume=True (or --resume) to "
+                "continue it, or use a fresh run directory"
+            )
+        if resume:
+            for slot, row in rows_for_resume(store, key).items():
+                if not shard.owns(slot) or not 0 <= slot < len(all_tasks):
+                    continue
+                payloads[slot] = payload_of_row(slot, row)
+            replayed = len(payloads)
+
+    todo = [t for t in all_tasks if shard.owns(t[0]) and t[0] not in payloads]
+
+    def checkpoint(slot: int, payload: Any) -> None:
+        nonlocal ledger
+        if store is None:
+            return
+        if ledger is None:
+            ledger = store.open_shard(request, shard)
+        _, si, ii, _ = all_tasks[slot]
+        ledger.append(row_of_payload(slot, si, ii, payload))
+
+    def complete(slot: int, payload: Any) -> None:
+        payloads[slot] = payload
+        checkpoint(slot, payload)
+        if on_instance is not None:
+            _, si, ii, _ = all_tasks[slot]
+            on_instance(_report(si, ii, payload[1], payload[2]))
+
+    fallback_reason = None
+    jobs_used = 1
+    pool = None
+    if jobs > 1 and len(todo) > 1:
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(jobs, len(todo)))
+        except (OSError, ValueError, PermissionError) as exc:
+            fallback_reason = f"process pool unavailable ({exc}); ran serially"
+
+    if pool is not None:
+        chunks = _chunk_tasks(todo, min(jobs, len(todo)))
+        try:
+            futures = [submit_chunk(pool, chunk) for chunk in chunks]
+            jobs_used = min(jobs, len(todo))
+            for future in as_completed(futures):
+                for slot, payload in future.result():
+                    complete(slot, payload)
+        finally:
+            pool.shutdown(wait=True)
+    else:
+        local_cache = cache if cache is not None else ArtifactCache()
+        for slot, _si, _ii, coords in todo:
+            complete(slot, run_one(coords, local_cache))
+    return payloads, replayed, jobs_used, fallback_reason, ledger
+
+
 def execute_plan(
     request: PlanRequest,
     *,
@@ -276,90 +387,45 @@ def execute_plan(
         for slot, (si, ii, coords) in enumerate(request.instances())
     ]
     grid = request.grid
-    payloads: dict[int, _Payload] = {}
 
-    ledger = None
-    replayed = 0
-    if store is not None:
-        from repro.store.ledger import LedgerRow, StoreError  # lazy: avoids cycle
+    def payload_of_row(slot: int, row: Any) -> _Payload:
+        from repro.store.ledger import StoreError  # lazy: avoids cycle
 
-        key = store.write_plan(request)
-        if not resume and store.shard_rows(request, shard):
+        if len(row.metrics) != len(grid):
             raise StoreError(
-                f"{store.ledger_path(key, shard)} already records completed "
-                "instances for this plan; pass resume=True (or --resume) to "
-                "continue it, or use a fresh run directory"
+                f"ledger row for slot {slot} has {len(row.metrics)} "
+                f"cell metrics, plan has {len(grid)} grid cells"
             )
-        if resume:
-            for slot, row in store.load_rows(key).items():
-                if not shard.owns(slot) or not 0 <= slot < len(all_tasks):
-                    continue
-                if len(row.metrics) != len(grid):
-                    raise StoreError(
-                        f"ledger row for slot {slot} has {len(row.metrics)} "
-                        f"cell metrics, plan has {len(grid)} grid cells"
-                    )
-                payloads[slot] = (
-                    row.cell_metrics(), dict(row.facts), row.elapsed, row.cache
-                )
-            replayed = len(payloads)
+        return row.cell_metrics(), dict(row.facts), row.elapsed, row.cache
 
-    todo = [t for t in all_tasks if shard.owns(t[0]) and t[0] not in payloads]
+    def row_of_payload(slot: int, si: int, ii: int, payload: _Payload) -> Any:
+        from repro.store.ledger import LedgerRow  # lazy: avoids cycle
 
-    def checkpoint(slot: int, payload: _Payload) -> None:
-        nonlocal ledger
-        if store is None:
-            return
-        if ledger is None:
-            ledger = store.open_shard(request, shard)
         metrics, facts, dt, delta = payload
-        _, si, ii, _ = all_tasks[slot]
-        ledger.append(
-            LedgerRow(
-                slot=slot,
-                scenario_index=si,
-                instance_index=ii,
-                elapsed=dt,
-                facts=facts,
-                metrics=[m.as_dict() for m in metrics],
-                cache=delta,
-            )
+        return LedgerRow(
+            slot=slot,
+            scenario_index=si,
+            instance_index=ii,
+            elapsed=dt,
+            facts=facts,
+            metrics=[m.as_dict() for m in metrics],
+            cache=delta,
         )
 
-    fallback_reason = None
-    jobs_used = 1
-    pool = None
-    if jobs > 1 and len(todo) > 1:
-        try:
-            pool = ProcessPoolExecutor(max_workers=min(jobs, len(todo)))
-        except (OSError, ValueError, PermissionError) as exc:
-            fallback_reason = f"process pool unavailable ({exc}); ran serially"
-
-    if pool is not None:
-        chunks = _chunk_tasks(todo, min(jobs, len(todo)))
-        try:
-            futures = [
-                pool.submit(_run_chunk, chunk, grid, request.compute_critical)
-                for chunk in chunks
-            ]
-            jobs_used = min(jobs, len(todo))
-            for future in as_completed(futures):
-                for slot, payload in future.result():
-                    payloads[slot] = payload
-                    checkpoint(slot, payload)
-                    if on_instance is not None:
-                        _, si, ii, _ = all_tasks[slot]
-                        on_instance(_report(si, ii, payload[1], payload[2]))
-        finally:
-            pool.shutdown(wait=True)
-    else:
-        local_cache = cache if cache is not None else ArtifactCache()
-        for slot, si, ii, coords in todo:
-            payload = _run_task(coords, grid, request.compute_critical, local_cache)
-            payloads[slot] = payload
-            checkpoint(slot, payload)
-            if on_instance is not None:
-                on_instance(_report(si, ii, payload[1], payload[2]))
+    payloads, replayed, jobs_used, fallback_reason, ledger = _execute_durable(
+        request, all_tasks, shard,
+        jobs=jobs, cache=cache, on_instance=on_instance,
+        store=store, resume=resume,
+        run_one=lambda coords, c: _run_task(
+            coords, grid, request.compute_critical, c
+        ),
+        submit_chunk=lambda pool, chunk: pool.submit(
+            _run_chunk, chunk, grid, request.compute_critical
+        ),
+        rows_for_resume=lambda s, key: s.load_rows(key),
+        payload_of_row=payload_of_row,
+        row_of_payload=row_of_payload,
+    )
 
     # Reassemble in plan order (restricted to the shard).  Cache stats are
     # the sum of per-instance deltas — replayed instances contribute their

@@ -5,7 +5,9 @@ A :class:`Scenario` names a workload generator from
 expands into a reproducible sequence of point arrays (the same scenario
 always yields bit-identical instances, in any process).  A
 :class:`PlanRequest` crosses one or more scenarios with a grid of
-``(k, φ)`` cells — the unit of work the executor consumes.
+``(k, φ)`` cells — the unit of work the sweep executor consumes.  A
+:class:`FrontierRequest` instead pairs scenarios with an adaptive φ
+search per ``k`` (see :mod:`repro.frontier`).
 """
 
 from __future__ import annotations
@@ -18,9 +20,18 @@ import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.experiments.workloads import WORKLOADS, make_workload
+from repro.geometry.angles import clamp_angular_budget
 from repro.utils.rng import stable_seed
 
-__all__ = ["Scenario", "GridCell", "PlanRequest", "Shard"]
+__all__ = ["Scenario", "GridCell", "PlanRequest", "FrontierRequest", "Shard"]
+
+#: OrientationMetrics fields a frontier search may bisect on.  Each is
+#: (weakly) non-increasing in φ — the bisection invariant — with one
+#: documented exception: the k = 1 recorded bound below π carries the
+#: measured tour bottleneck (the paper's own row is loose there), which can
+#: sit below the π-side pairs bound.  The bisection still maintains its
+#: bracket (lo fails, hi meets) and returns a valid crossing.
+FRONTIER_METRICS = ("critical_range", "realized_range", "range_bound")
 
 _TWO_PI = 2.0 * math.pi
 
@@ -88,6 +99,13 @@ class Scenario:
             yield self.instance(i)
 
 
+#: The shared validate-and-clamp rule for angular budgets (snap the
+#: ``1e-12`` float slop above 2π to exactly 2π, reject anything further):
+#: a spec-accepted φ is fingerprinted/ledgered clamped and is never
+#: rejected or left unclamped by the planner at probe time.
+_clamp_phi = clamp_angular_budget
+
+
 @dataclass(frozen=True)
 class GridCell:
     """One planner configuration: ``k`` antennae with angular-sum budget φ."""
@@ -98,11 +116,15 @@ class GridCell:
     def __post_init__(self) -> None:
         if self.k < 1:
             raise InvalidParameterError(f"k must be >= 1, got {self.k}")
-        if not 0.0 <= self.phi <= _TWO_PI + 1e-12:
-            raise InvalidParameterError(f"phi must be in [0, 2pi], got {self.phi}")
+        object.__setattr__(self, "phi", _clamp_phi(self.phi))
 
     @property
     def label(self) -> str:
+        """Short display form — NOT an identity: distinct φ closer than
+        5e-5 collide.  Anywhere a cell's φ identifies a row (the CLI
+        tables), it is rendered at full ``repr`` precision instead (see
+        ``_IDENTITY_COLUMNS`` in :mod:`repro.__main__`); fingerprints hash
+        the exact float bits (:func:`repro.store.plan_fingerprint`)."""
         return f"k={self.k},phi={self.phi:.4f}"
 
 
@@ -238,4 +260,103 @@ class PlanRequest:
         return (
             f"{self.total_instances} instances [{scen}] × grid [{cells}] "
             f"= {self.total_runs} runs"
+        )
+
+
+@dataclass(frozen=True)
+class FrontierRequest:
+    """Scenarios × ks: an adaptive φ-frontier search (see :mod:`repro.frontier`).
+
+    For every instance of every scenario and every ``k`` in ``ks``, the
+    frontier solver bisects φ over ``[phi_lo, phi_hi]`` to resolution
+    ``tol`` instead of evaluating a dense grid:
+
+    * with a ``target``, it locates the smallest angular sum at which
+      ``metric(φ) ≤ target`` (*threshold* mode);
+    * without one, it maps the metric-vs-φ staircase — every φ interval on
+      which the metric is constant, with each transition bracketed to
+      ``tol`` (*staircase* mode).
+
+    ``metric`` names an :class:`~repro.analysis.metrics.OrientationMetrics`
+    field (one of :data:`FRONTIER_METRICS`); all are weakly non-increasing
+    in φ, which is the bisection invariant.
+    """
+
+    scenarios: tuple[Scenario, ...]
+    ks: tuple[int, ...]
+    metric: str = "critical_range"
+    target: float | None = None
+    phi_lo: float = 0.0
+    phi_hi: float = _TWO_PI
+    tol: float = 1e-3
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(self, "ks", tuple(int(k) for k in self.ks))
+        if not self.scenarios:
+            raise InvalidParameterError("a FrontierRequest needs at least one scenario")
+        if not self.ks:
+            raise InvalidParameterError("a FrontierRequest needs at least one k")
+        if any(k < 1 for k in self.ks):
+            raise InvalidParameterError(f"every k must be >= 1, got {self.ks}")
+        if self.metric not in FRONTIER_METRICS:
+            raise InvalidParameterError(
+                f"unknown frontier metric {self.metric!r}; "
+                f"choose from {FRONTIER_METRICS}"
+            )
+        object.__setattr__(self, "phi_lo", _clamp_phi(self.phi_lo, "phi_lo"))
+        object.__setattr__(self, "phi_hi", _clamp_phi(self.phi_hi, "phi_hi"))
+        if not self.phi_lo < self.phi_hi:
+            raise InvalidParameterError(
+                f"need phi_lo < phi_hi, got [{self.phi_lo}, {self.phi_hi}]"
+            )
+        if not 0.0 < self.tol < self.phi_hi - self.phi_lo:
+            raise InvalidParameterError(
+                f"tol must be in (0, phi_hi - phi_lo), got {self.tol}"
+            )
+        if self.target is not None:
+            target = float(self.target)
+            # NaN would skip both bisection guards (every comparison is
+            # False) and fabricate a "located" result at phi_hi.
+            if not math.isfinite(target):
+                raise InvalidParameterError(f"target must be finite, got {target}")
+            object.__setattr__(self, "target", target)
+
+    @property
+    def mode(self) -> str:
+        """``"threshold"`` (a target bound is given) or ``"staircase"``."""
+        return "threshold" if self.target is not None else "staircase"
+
+    @property
+    def compute_critical(self) -> bool:
+        """Probes measure the critical range only when the metric needs it."""
+        return self.metric == "critical_range"
+
+    @property
+    def total_instances(self) -> int:
+        return sum(s.seeds for s in self.scenarios)
+
+    def instances(self) -> Iterator[tuple[int, int, np.ndarray]]:
+        """Yield ``(scenario_index, instance_index, coords)`` in plan order.
+
+        The same deterministic enumeration :meth:`PlanRequest.instances`
+        uses; shard partitions and ledger slots are defined against it.
+        """
+        for si, scenario in enumerate(self.scenarios):
+            for ii in range(scenario.seeds):
+                yield si, ii, scenario.instance(ii)
+
+    def describe(self) -> str:
+        scen = ", ".join(s.label for s in self.scenarios[:4])
+        if len(self.scenarios) > 4:
+            scen += f", … ({len(self.scenarios)} scenarios)"
+        goal = (
+            f"{self.metric} <= {self.target:g}"
+            if self.target is not None
+            else f"{self.metric} staircase"
+        )
+        return (
+            f"{self.total_instances} instances [{scen}] × k∈{list(self.ks)}: "
+            f"{goal} over phi∈[{self.phi_lo:.4f}, {self.phi_hi:.4f}] "
+            f"to tol {self.tol:g}"
         )

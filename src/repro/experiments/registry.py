@@ -11,6 +11,7 @@ from repro.experiments.fig1_lemma1 import run_fig1
 from repro.experiments.fig2_facts import run_fig2
 from repro.experiments.fig34_theorem3 import run_fig3, run_fig4
 from repro.experiments.fig56_chains import run_fig5, run_fig6
+from repro.experiments.frontier_experiment import run_frontier
 from repro.experiments.harness import ExperimentRecord
 from repro.experiments.interference_experiment import run_interference
 from repro.experiments.robustness_experiment import run_robustness
@@ -35,6 +36,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentRecord]] = {
     "X4": run_interference,
     "X5": run_scaling,
     "X6": run_ablations,
+    "X7": run_frontier,
 }
 
 

@@ -13,10 +13,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import InvalidParameterError
+
 TWO_PI = 2.0 * np.pi
+
+#: Acceptance slop above 2π for angular *budgets*: accumulated float error
+#: (e.g. ``4 * pi / 2``) is tolerated and snapped to 2π by
+#: :func:`clamp_angular_budget`; anything larger is a caller bug.
+BUDGET_SLOP = 1e-12
 
 __all__ = [
     "TWO_PI",
+    "BUDGET_SLOP",
+    "clamp_angular_budget",
     "normalize_angle",
     "ccw_angle",
     "signed_angle_diff",
@@ -27,6 +36,27 @@ __all__ = [
     "circular_windows_sum",
     "bisector",
 ]
+
+
+def clamp_angular_budget(phi: float, what: str = "phi") -> float:
+    """Validate an angular-sum budget and clamp it to ``[0, 2π]`` exactly.
+
+    The single validate-and-clamp rule shared by the spec layer
+    (``GridCell`` / ``FrontierRequest``) and the planner
+    (:func:`repro.core.planner.choose_dispatch` / ``orient_antennae``):
+    values within :data:`BUDGET_SLOP` above 2π snap to 2π — downstream
+    sector construction assumes φ ≤ 2π exactly, and the clamped value is
+    what gets fingerprinted and ledgered — while anything further out
+    raises.  Keeping one implementation guarantees a φ the spec accepts is
+    never rejected (or left unclamped) at probe time.
+
+    Raises :class:`~repro.errors.InvalidParameterError` outside
+    ``[0, 2π + BUDGET_SLOP]``.
+    """
+    phi = float(phi)
+    if not 0.0 <= phi <= TWO_PI + BUDGET_SLOP:
+        raise InvalidParameterError(f"{what} must be in [0, 2pi], got {phi}")
+    return min(phi, TWO_PI)
 
 
 def normalize_angle(theta):

@@ -8,19 +8,26 @@ holding one ``plan-<key>.json`` spec per plan (keyed by the
 checkpoints each completed instance chunk into the store and replays
 ledgered rows on resume; :func:`merge_stores` + :func:`assemble_batch`
 rebuild the full :class:`~repro.engine.executor.BatchResult` from shard
-ledgers produced on different machines.
+ledgers produced on different machines.  Frontier runs
+(:func:`repro.frontier.execute_frontier`) share the same directory
+layout and fingerprint scheme with ``"type": "frontier"`` ledger rows;
+:func:`repro.frontier.assemble_frontier` is their reassembler.
 """
 
 from repro.store.ledger import (
     LEDGER_VERSION,
+    FrontierRow,
     LedgerRow,
     RunStore,
     ShardLedger,
     StoreError,
     assemble_batch,
+    frontier_from_dict,
+    frontier_to_dict,
     hit_rate,
     merge_stores,
     plan_fingerprint,
+    plan_kind,
     request_from_dict,
     request_to_dict,
     rows_equal,
@@ -28,14 +35,18 @@ from repro.store.ledger import (
 
 __all__ = [
     "LEDGER_VERSION",
+    "FrontierRow",
     "LedgerRow",
     "RunStore",
     "ShardLedger",
     "StoreError",
     "assemble_batch",
+    "frontier_from_dict",
+    "frontier_to_dict",
     "hit_rate",
     "merge_stores",
     "plan_fingerprint",
+    "plan_kind",
     "request_from_dict",
     "request_to_dict",
     "rows_equal",

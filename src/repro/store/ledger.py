@@ -32,21 +32,31 @@ import math
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, IO, Iterable, Sequence
+from typing import Any, ClassVar, IO, Iterable, Sequence
 
 from repro.analysis.metrics import OrientationMetrics
 from repro.engine.cache import CacheStats
 from repro.engine.executor import BatchResult, InstanceReport, RunRecord
-from repro.engine.spec import GridCell, PlanRequest, Scenario, Shard
+from repro.engine.spec import (
+    FrontierRequest,
+    GridCell,
+    PlanRequest,
+    Scenario,
+    Shard,
+)
 from repro.errors import ReproError
 
 __all__ = [
     "LEDGER_VERSION",
     "StoreError",
     "plan_fingerprint",
+    "plan_kind",
     "request_to_dict",
     "request_from_dict",
+    "frontier_to_dict",
+    "frontier_from_dict",
     "LedgerRow",
+    "FrontierRow",
     "ShardLedger",
     "RunStore",
     "merge_stores",
@@ -90,18 +100,68 @@ def request_from_dict(data: dict[str, Any]) -> PlanRequest:
     )
 
 
-def plan_fingerprint(request: PlanRequest) -> str:
-    """SHA-256 content hash of a plan (the ledger key).
+def frontier_to_dict(request: FrontierRequest) -> dict[str, Any]:
+    """JSON-serializable frontier spec; round-trips via :func:`frontier_from_dict`."""
+    return {
+        "scenarios": [
+            {
+                "workload": s.workload,
+                "n": s.n,
+                "seeds": s.seeds,
+                "tag": s.tag,
+                "seed_offset": s.seed_offset,
+            }
+            for s in request.scenarios
+        ],
+        "ks": list(request.ks),
+        "metric": request.metric,
+        "target": request.target,
+        "phi_lo": request.phi_lo,
+        "phi_hi": request.phi_hi,
+        "tol": request.tol,
+    }
 
-    Grid angles are hashed via ``float.hex`` so the key depends on the exact
-    float64 bit patterns — two plans share a ledger iff their instances and
-    cells are bit-identical, the only equality under which reusing ledgered
-    metrics is sound.
+
+def frontier_from_dict(data: dict[str, Any]) -> FrontierRequest:
+    """Rebuild a :class:`FrontierRequest` from :func:`frontier_to_dict` output."""
+    return FrontierRequest(
+        scenarios=tuple(Scenario(**s) for s in data["scenarios"]),
+        ks=tuple(int(k) for k in data["ks"]),
+        metric=str(data["metric"]),
+        target=None if data["target"] is None else float(data["target"]),
+        phi_lo=float(data["phi_lo"]),
+        phi_hi=float(data["phi_hi"]),
+        tol=float(data["tol"]),
+    )
+
+
+def plan_kind(request: PlanRequest | FrontierRequest) -> str:
+    """``"sweep"`` for a :class:`PlanRequest`, ``"frontier"`` otherwise."""
+    return "frontier" if isinstance(request, FrontierRequest) else "sweep"
+
+
+def plan_fingerprint(request: PlanRequest | FrontierRequest) -> str:
+    """SHA-256 content hash of a plan or frontier spec (the ledger key).
+
+    Angles (grid φ, frontier interval/tolerance/target) are hashed via
+    ``float.hex`` so the key depends on the exact float64 bit patterns —
+    two specs share a ledger iff their instances and cells are
+    bit-identical, the only equality under which reusing ledgered results
+    is sound.  Frontier keys additionally mix in the spec kind, so a sweep
+    and a frontier over the same scenarios never collide.
     """
-    spec = request_to_dict(request)
-    spec["grid"] = [
-        {"k": c["k"], "phi": float(c["phi"]).hex()} for c in spec["grid"]
-    ]
+    if isinstance(request, FrontierRequest):
+        spec = frontier_to_dict(request)
+        spec["kind"] = "frontier"
+        for f in ("phi_lo", "phi_hi", "tol"):
+            spec[f] = float(spec[f]).hex()
+        if spec["target"] is not None:
+            spec["target"] = float(spec["target"]).hex()
+    else:
+        spec = request_to_dict(request)
+        spec["grid"] = [
+            {"k": c["k"], "phi": float(c["phi"]).hex()} for c in spec["grid"]
+        ]
     spec["ledger_version"] = LEDGER_VERSION
     blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf8")).hexdigest()
@@ -111,41 +171,49 @@ def plan_fingerprint(request: PlanRequest) -> str:
 
 
 @dataclass
-class LedgerRow:
-    """One checkpointed instance chunk: every grid cell of one instance."""
+class _InstanceRowBase:
+    """Shared shape of one checkpointed instance chunk.
+
+    Subclasses declare ``ROW_TYPE`` (the JSON ``"type"`` tag) and
+    ``PAYLOAD`` (the name of their one extra list field); serialization,
+    parsing and the :class:`InstanceReport` projection live here once, so
+    the sweep and frontier replay paths cannot drift apart.
+    """
+
+    ROW_TYPE: ClassVar[str]
+    PAYLOAD: ClassVar[str]
 
     slot: int
     scenario_index: int
     instance_index: int
     elapsed: float
     facts: dict[str, float]
-    metrics: list[dict[str, Any]]
     cache: dict[str, int]
 
     def to_json(self) -> str:
         return json.dumps(
             {
-                "type": "instance",
+                "type": self.ROW_TYPE,
                 "slot": self.slot,
                 "scenario_index": self.scenario_index,
                 "instance_index": self.instance_index,
                 "elapsed": self.elapsed,
                 "facts": self.facts,
-                "metrics": self.metrics,
+                self.PAYLOAD: getattr(self, self.PAYLOAD),
                 "cache": self.cache,
             }
         )
 
     @classmethod
-    def from_obj(cls, obj: dict[str, Any]) -> "LedgerRow":
+    def from_obj(cls, obj: dict[str, Any]) -> "_InstanceRowBase":
         return cls(
             slot=int(obj["slot"]),
             scenario_index=int(obj["scenario_index"]),
             instance_index=int(obj["instance_index"]),
             elapsed=float(obj["elapsed"]),
             facts=dict(obj["facts"]),
-            metrics=list(obj["metrics"]),
             cache={k: int(v) for k, v in obj["cache"].items()},
+            **{cls.PAYLOAD: list(obj[cls.PAYLOAD])},
         )
 
     def report(self) -> InstanceReport:
@@ -159,8 +227,48 @@ class LedgerRow:
             elapsed=self.elapsed,
         )
 
+
+@dataclass
+class LedgerRow(_InstanceRowBase):
+    """One checkpointed sweep chunk: every grid cell of one instance."""
+
+    ROW_TYPE: ClassVar[str] = "instance"
+    PAYLOAD: ClassVar[str] = "metrics"
+
+    metrics: list[dict[str, Any]] = field(default_factory=list)
+
     def cell_metrics(self) -> list[OrientationMetrics]:
         return [OrientationMetrics(**m) for m in self.metrics]
+
+
+@dataclass
+class FrontierRow(_InstanceRowBase):
+    """One checkpointed frontier chunk: every ``k`` of one instance.
+
+    ``frontiers`` holds one :meth:`repro.frontier.solver.KFrontier.as_dict`
+    payload per requested ``k`` (request order); probe φ values and solved
+    φ* round-trip exactly through JSON, which is what makes a resumed or
+    merged frontier run bit-identical to an uninterrupted one.
+    """
+
+    ROW_TYPE: ClassVar[str] = "frontier"
+    PAYLOAD: ClassVar[str] = "frontiers"
+
+    frontiers: list[dict[str, Any]] = field(default_factory=list)
+
+
+#: Ledger row type tag -> row class; a ledger file may only mix row types
+#: with distinct tags (``shard_done`` summaries ride along untyped).
+_ROW_TYPES = {cls.ROW_TYPE: cls for cls in (LedgerRow, FrontierRow)}
+
+#: Plan kind -> row type tag.  The single request→rows mapping: a new plan
+#: kind must be registered here (and in :func:`plan_kind`) or resume would
+#: silently parse zero rows and re-execute everything.
+_KIND_ROW_TYPES = {"sweep": LedgerRow.ROW_TYPE, "frontier": FrontierRow.ROW_TYPE}
+
+
+def _row_type_for(request: PlanRequest | FrontierRequest) -> str:
+    return _KIND_ROW_TYPES[plan_kind(request)]
 
 
 # -- files -------------------------------------------------------------------------
@@ -228,9 +336,15 @@ def _drop_torn_tail(path: Path) -> None:
         fh.truncate(keep)
 
 
-def _read_rows(path: Path) -> dict[int, LedgerRow]:
-    """Parse one ledger file; tolerate a torn trailing line only."""
-    rows: dict[int, LedgerRow] = {}
+def _read_rows(path: Path, row_type: str = "instance") -> dict[int, Any]:
+    """Parse one ledger file; tolerate a torn trailing line only.
+
+    ``row_type`` selects the row class (see ``_ROW_TYPES``); rows of other
+    types — ``shard_done`` summaries, rows of a different spec kind — are
+    skipped.
+    """
+    row_cls = _ROW_TYPES[row_type]
+    rows: dict[int, Any] = {}
     with open(path, encoding="utf8") as fh:
         lines = fh.read().split("\n")
     # A complete file ends with "\n", leaving one trailing "" entry.
@@ -245,9 +359,9 @@ def _read_rows(path: Path) -> dict[int, LedgerRow]:
             raise StoreError(
                 f"{path}: corrupt ledger row at line {lineno + 1}"
             ) from None
-        if obj.get("type") != "instance":
-            continue  # shard_done summaries, future row types
-        row = LedgerRow.from_obj(obj)
+        if obj.get("type") != row_type:
+            continue  # shard_done summaries, other row types
+        row = row_cls.from_obj(obj)
         rows[row.slot] = row
     return rows
 
@@ -292,14 +406,20 @@ class RunStore:
 
     # -- plans ---------------------------------------------------------------
 
-    def write_plan(self, request: PlanRequest) -> str:
-        """Record the plan spec (idempotent); returns its fingerprint."""
+    def write_plan(self, request: PlanRequest | FrontierRequest) -> str:
+        """Record the plan/frontier spec (idempotent); returns its fingerprint."""
         key = plan_fingerprint(request)
+        kind = plan_kind(request)
         path = self.plan_path(key)
         payload = {
             "ledger_version": LEDGER_VERSION,
             "plan_key": key,
-            "request": request_to_dict(request),
+            "kind": kind,
+            "request": (
+                frontier_to_dict(request)
+                if kind == "frontier"
+                else request_to_dict(request)
+            ),
         }
         if path.exists():
             existing = json.loads(path.read_text(encoding="utf8"))
@@ -321,8 +441,13 @@ class RunStore:
             keys.append(json.loads(path.read_text(encoding="utf8"))["plan_key"])
         return keys
 
-    def load_request(self, plan_key: str | None = None) -> tuple[str, PlanRequest]:
-        """Load the recorded plan (the only one, unless a key is given)."""
+    def load_request(
+        self, plan_key: str | None = None
+    ) -> "tuple[str, PlanRequest | FrontierRequest]":
+        """Load the recorded plan or frontier spec (the only one, unless a
+        key is given).  The returned request's type reflects the recorded
+        ``kind`` (plan files without one predate frontiers and are sweeps).
+        """
         keys = self.plan_keys()
         if plan_key is not None:
             matches = [k for k in keys if k.startswith(plan_key)]
@@ -346,7 +471,11 @@ class RunStore:
             )
         key = keys[0]
         data = json.loads(self.plan_path(key).read_text(encoding="utf8"))
-        request = request_from_dict(data["request"])
+        kind = data.get("kind", "sweep")
+        if kind == "frontier":
+            request = frontier_from_dict(data["request"])
+        else:
+            request = request_from_dict(data["request"])
         rebuilt = plan_fingerprint(request)
         if rebuilt != key:
             raise StoreError(
@@ -365,16 +494,30 @@ class RunStore:
                 rows[slot] = row
         return rows
 
+    def load_frontier_rows(self, plan_key: str) -> dict[int, FrontierRow]:
+        """All ledgered frontier rows of the spec, across every shard file."""
+        rows: dict[int, FrontierRow] = {}
+        for path in self.ledger_paths(plan_key):
+            for slot, row in _read_rows(path, row_type="frontier").items():
+                rows[slot] = row
+        return rows
+
     def completed_for(self, request: PlanRequest) -> dict[int, LedgerRow]:
         """Ledgered rows for ``request`` (empty if never run here)."""
         return self.load_rows(plan_fingerprint(request))
 
-    def shard_rows(self, request: PlanRequest, shard: Shard) -> dict[int, LedgerRow]:
-        """Instance rows recorded in one shard's own ledger file."""
+    def shard_rows(
+        self, request: PlanRequest | FrontierRequest, shard: Shard
+    ) -> dict[int, Any]:
+        """Rows recorded in one shard's own ledger file (kind-matched)."""
         path = self.ledger_path(plan_fingerprint(request), shard)
-        return _read_rows(path) if path.exists() else {}
+        if not path.exists():
+            return {}
+        return _read_rows(path, row_type=_row_type_for(request))
 
-    def open_shard(self, request: PlanRequest, shard: Shard) -> ShardLedger:
+    def open_shard(
+        self, request: "PlanRequest | FrontierRequest", shard: Shard
+    ) -> ShardLedger:
         """Open the append handle for one shard (recording the plan spec)."""
         key = self.write_plan(request)
         ledger = ShardLedger(self.ledger_path(key, shard), key, shard)
@@ -392,18 +535,19 @@ class RunStore:
 
 def merge_stores(
     run_dirs: Sequence[str | Path], plan_key: str | None = None
-) -> tuple[str, PlanRequest, dict[int, LedgerRow]]:
+) -> "tuple[str, PlanRequest | FrontierRequest, dict[int, Any]]":
     """Union the ledgers of several run directories (one shard per CI job).
 
-    Every directory must record the same plan; rows are keyed by slot, so
-    overlapping shards are harmless (instance rows for a slot are identical
-    by determinism).
+    Every directory must record the same plan (sweep or frontier — the row
+    type follows the recorded spec kind); rows are keyed by slot, so
+    overlapping shards are harmless (rows for a slot are identical by
+    determinism).
     """
     if not run_dirs:
         raise StoreError("no run directories to merge")
     key = None
     request = None
-    rows: dict[int, LedgerRow] = {}
+    rows: dict[int, Any] = {}
     for run_dir in run_dirs:
         store = RunStore(Path(run_dir))
         k, req = store.load_request(plan_key)
@@ -414,7 +558,10 @@ def merge_stores(
                 f"{run_dir} records plan {k[:12]}, expected {key[:12]}; "
                 "shards of different plans cannot be merged"
             )
-        rows.update(store.load_rows(key))
+        if isinstance(request, FrontierRequest):
+            rows.update(store.load_frontier_rows(key))
+        else:
+            rows.update(store.load_rows(key))
     assert key is not None and request is not None
     return key, request, rows
 

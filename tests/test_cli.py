@@ -115,6 +115,19 @@ class TestSweepCommand:
         assert out in summary[0]
         assert "cache hit rate" in summary[0]
 
+    def test_close_phi_values_stay_distinct_in_markdown(self, capsys):
+        """Regression: two grid φ closer than 5e-5 used to collapse to the
+        same 4-digit label; identity columns now render at repr precision."""
+        rc = main(["sweep", "--n", "12", "--seeds", "1", "--k", "2",
+                   "--phi", "3.14159", "3.14161", "--no-critical",
+                   "--tag", "cli-phi-id"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3.14159" in out and "3.14161" in out
+        rows = [ln for ln in out.splitlines() if ln.startswith("|")]
+        phi_cells = [ln.split("|")[3].strip() for ln in rows[2:]]
+        assert len(set(phi_cells)) == len(phi_cells), phi_cells
+
     def test_shard_requires_run_dir(self, capsys):
         assert main(["sweep", "--shard", "0/2"]) == 2
         assert "--run-dir" in capsys.readouterr().err

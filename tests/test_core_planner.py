@@ -80,3 +80,25 @@ class TestOrientAntennae:
         res = orient_antennae(uniform50, 2, PI)
         text = res.summary()
         assert "theorem3.part1" in text and "k=2" in text
+
+
+class TestPhiBoundaryClamp:
+    """The 2π clamp holds on the direct planner entrance too, not only in
+    the spec layer: values inside the 1e-12 acceptance slop above 2π must
+    never reach a construction (sectors assume φ ≤ 2π exactly)."""
+
+    def test_orient_antennae_clamps_slop_above_two_pi(self, uniform50):
+        two_pi = 2.0 * np.pi
+        result = orient_antennae(uniform50, 1, two_pi + 1e-12)
+        assert result.phi == two_pi
+        clean = orient_antennae(uniform50, 1, two_pi)
+        assert result.phi == clean.phi
+        assert result.algorithm == clean.algorithm
+
+    def test_choose_dispatch_accepts_slop_rejects_beyond(self):
+        from repro.core.planner import choose_dispatch
+
+        two_pi = 2.0 * np.pi
+        assert choose_dispatch(1, two_pi + 1e-12) == choose_dispatch(1, two_pi)
+        with pytest.raises(InvalidParameterError):
+            choose_dispatch(1, two_pi + 1e-9)

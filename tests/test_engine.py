@@ -83,6 +83,30 @@ class TestGridCell:
         with pytest.raises(InvalidParameterError):
             GridCell(1, 7.0)
 
+    def test_phi_clamped_at_two_pi(self):
+        """Values inside the acceptance slop above 2π snap to 2π exactly —
+        downstream sector construction assumes φ ≤ 2π."""
+        two_pi = 2.0 * np.pi
+        assert GridCell(1, two_pi).phi == two_pi
+        assert GridCell(1, two_pi + 1e-13).phi == two_pi
+        assert GridCell(1, np.nextafter(two_pi, 7.0)).phi == two_pi
+        with pytest.raises(InvalidParameterError):
+            GridCell(1, two_pi + 1e-9)  # outside the slop: still rejected
+
+    def test_label_is_display_only_identity_lives_elsewhere(self):
+        """Two φ values closer than the 4-digit display precision collide in
+        the display label — identity is carried by full-precision rendering
+        (CLI tables, see test_cli) and by the exact-bits plan fingerprint."""
+        from repro.store import plan_fingerprint
+
+        a = GridCell(2, 3.14159)
+        b = GridCell(2, 3.14161)
+        assert a.label == b.label
+        scenario = (Scenario("uniform", 8, tag="label-id"),)
+        assert plan_fingerprint(PlanRequest(scenario, (a,))) != plan_fingerprint(
+            PlanRequest(scenario, (b,))
+        )
+
 
 class TestPlanRequest:
     def test_counts(self):

@@ -98,3 +98,68 @@ class TestRegistry:
     def test_unknown_name(self):
         with pytest.raises(InvalidParameterError):
             make_workload("nope", 10)
+
+
+class TestClusteredClipping:
+    """``clustered_points`` Gaussian tails vs the ``scale × scale`` field."""
+
+    def test_default_output_is_bit_identical_to_historical(self):
+        """The fix hides behind a flag: existing tags/seeds keep producing
+        the exact arrays already fingerprinted in ledgers."""
+        a = clustered_points(200, seed=11)
+        b = clustered_points(200, clip=False, seed=11)
+        assert np.array_equal(a, b)
+
+    def test_unclipped_tails_escape_the_field(self):
+        # The motivating skew: with enough draws some coordinate leaves
+        # [0, scale] (negative values from blobs centred near the edge).
+        pts = np.vstack([
+            clustered_points(300, seed=s) for s in range(8)
+        ])
+        assert ((pts < 0.0) | (pts > 10.0)).any()
+
+    def test_clip_keeps_every_point_in_field(self):
+        for s in range(8):
+            pts = clustered_points(300, clip=True, seed=s)
+            assert pts.shape == (300, 2)
+            assert (pts >= 0.0).all() and (pts <= 10.0).all()
+
+    def test_clip_preserves_in_field_points(self):
+        raw = clustered_points(200, seed=11)
+        clipped = clustered_points(200, clip=True, seed=11)
+        inside = ((raw >= 0.0) & (raw <= 10.0)).all(axis=1)
+        assert np.array_equal(raw[inside], clipped[inside])
+
+    def test_registry_exposes_clipped_variant(self):
+        pts = make_workload("clustered-clip", 300, seed=2)
+        assert (pts >= 0.0).all() and (pts <= 10.0).all()
+        raw = make_workload("clustered", 300, seed=2)
+        assert np.array_equal(pts, np.clip(raw, 0.0, 10.0))
+
+
+class TestDegenerateEdges:
+    """Smallest-parameter corners every generator must survive: finite
+    ``(n, 2)`` arrays that ``euclidean_mst`` spans."""
+
+    @pytest.mark.parametrize(
+        "pts,expected_n",
+        [
+            (regular_polygon_star(1), 2),        # hub + a 1-gon "ring"
+            (spider_points(legs=1, leg_len=1), 2),
+            (spider_points(legs=1), 3),          # one leg, default 2 hops
+            (annulus_points(9, r_inner=0.0, r_outer=3.0, seed=4), 9),
+        ],
+    )
+    def test_degenerate_generators_span(self, pts, expected_n):
+        assert pts.shape == (expected_n, 2)
+        assert np.isfinite(pts).all()
+        tree = euclidean_mst(PointSet(pts))
+        assert tree.edges.shape[0] == expected_n - 1
+        # A spanning tree touches every vertex.
+        assert set(tree.edges.ravel().tolist()) == set(range(expected_n))
+
+    def test_annulus_inner_zero_is_a_disc(self):
+        pts = annulus_points(500, r_inner=0.0, r_outer=2.0, seed=1)
+        r = np.hypot(pts[:, 0], pts[:, 1])
+        assert (r <= 2.0 + 1e-12).all()
+        assert r.min() < 0.5  # points actually reach the centre region

@@ -313,3 +313,46 @@ class TestLedgerRobustness:
                 other = getattr(b.metrics, name)
                 if isinstance(value, float) and not np.isnan(value):
                     assert value == other and type(other) is type(value)
+
+
+class TestPhiBoundaryRoundTrip:
+    """Regression: φ = 2π grid cells survive spec → ledger JSON → merge.
+
+    ``GridCell`` accepted ``2π + 1e-12`` but stored it unclamped, so the
+    full-circle boundary could reach sector construction (which assumes
+    φ ≤ 2π exactly) and fingerprint differently from a clean 2π spec."""
+
+    def test_two_pi_cell_round_trips_through_ledger_and_merge(self, tmp_path):
+        two_pi = 2.0 * np.pi
+        req = PlanRequest(
+            (Scenario("uniform", 12, seeds=2, tag="test-2pi"),),
+            (GridCell(1, two_pi), GridCell(2, np.pi)),
+            compute_critical=False,
+        )
+        store = RunStore(tmp_path / "runs")
+        live = execute_plan(req, store=store)
+        key, loaded, rows = merge_stores([tmp_path / "runs"])
+        assert loaded == req
+        assert loaded.grid[0].phi == two_pi
+        assert key == plan_fingerprint(req)
+        merged = assemble_batch(loaded, rows)
+        assert_batches_identical(live, merged)
+
+    def test_slop_value_fingerprints_like_exact_two_pi(self):
+        """Clamping happens before hashing: a spec built from a float that
+        accumulated error above 2π shares the clean spec's ledger."""
+        two_pi = 2.0 * np.pi
+        exact = PlanRequest(
+            (Scenario("uniform", 12, seeds=1, tag="test-2pi"),),
+            (GridCell(1, two_pi),),
+        )
+        sloppy = PlanRequest(
+            (Scenario("uniform", 12, seeds=1, tag="test-2pi"),),
+            (GridCell(1, two_pi + 1e-13),),
+        )
+        assert sloppy.grid[0].phi == two_pi
+        assert plan_fingerprint(sloppy) == plan_fingerprint(exact)
+        again = request_from_dict(
+            json.loads(json.dumps(request_to_dict(sloppy)))
+        )
+        assert again == exact
