@@ -95,6 +95,46 @@ def test_parallel_matches_serial_on_sweep():
     )
 
 
+def test_batched_launches_beat_per_instance_loop(capsys):
+    """Benchmark E3 — the one-launch multi-instance batch path.
+
+    The acceptance workload for the backend seam: a 200-instance sweep
+    evaluated through the packed kernels (one coverage launch and one
+    critical search per chunk per cell) vs the per-instance Python loop.
+    Per the single-core CI convention the claim is a *work counter* ratio —
+    ≥10× fewer Python-level kernel launches — with bit-identical metrics;
+    wall-clock is reported for context only.
+    """
+    request = PlanRequest((SCENARIO,), GRID, compute_critical=False)
+    with recording() as rec_batched:
+        t_batched, batched = measure(lambda: execute_plan(request))
+    with recording() as rec_loop:
+        t_loop, loop = measure(
+            lambda: execute_plan(request, batch_instances=False)
+        )
+    assert all(
+        a.metrics.identical(b.metrics)
+        for a, b in zip(batched.records, loop.records)
+    ), "batching changed the results"
+    assert rec_batched.batched_instances == SCENARIO.seeds
+    assert rec_loop.coverage_calls >= 10 * rec_batched.coverage_calls
+    with capsys.disabled():
+        print()
+        print(format_ascii_table(
+            ["path", "seconds", "coverage launches", "instances/launch"],
+            [
+                ["per-instance loop", round(t_loop, 3),
+                 rec_loop.coverage_calls, 1],
+                ["packed batch", round(t_batched, 3),
+                 rec_batched.coverage_calls,
+                 round(SCENARIO.seeds * len(GRID)
+                       / max(rec_batched.coverage_calls, 1), 1)],
+            ],
+            title=f"[E3] {SCENARIO.seeds}-instance sweep: "
+                  "one-launch batch path vs per-instance loop",
+        ))
+
+
 def test_store_replay_skips_all_work(tmp_path, capsys):
     """Benchmark E2 — resuming a fully-ledgered sweep re-executes nothing.
 

@@ -110,6 +110,87 @@ def test_rebuild_free_critical_range(instances, n, capsys):
         ))
 
 
+def test_backend_axis_emits_machine_readable_report(
+    instances, kernel_backend, capsys
+):
+    """Time the hot kernels under ``--backend`` and write BENCH_kernels.json.
+
+    The JSON document pairs wall-clock with the instrumentation counters
+    per size, plus one packed multi-instance sweep (the one-launch batch
+    path vs the per-instance loop), so CI jobs can diff backend runs
+    mechanically.  Counters are the comparable quantity across machines;
+    wall-clock is informational.
+    """
+    import json
+
+    from repro.engine import GridCell, PlanRequest, execute_plan
+
+    per_size = []
+    for n in SIZES:
+        ps, assignment = instances[n]
+        tables = kernel_backend.polar_tables(ps.coords)
+        with recording() as rec:
+            t_cov, _ = measure(
+                lambda: coverage_matrix(ps, assignment, tables=tables)
+            )
+            t_cr, _ = measure(
+                lambda: critical_range(ps, assignment, tables=tables)
+            )
+        per_size.append({
+            "n": n,
+            "coverage_s": round(t_cov, 6),
+            "critical_s": round(t_cr, 6),
+            "counters": rec.as_dict(),
+        })
+
+    batch_req = PlanRequest(
+        (Scenario("uniform", 24, seeds=64, tag="bench-batch"),),
+        (GridCell(2, np.pi),),
+    )
+    with recording() as rec_batched:
+        t_batched, _ = measure(
+            lambda: execute_plan(batch_req, backend=kernel_backend.name)
+        )
+    with recording() as rec_loop:
+        t_loop, _ = measure(
+            lambda: execute_plan(
+                batch_req, backend=kernel_backend.name, batch_instances=False
+            )
+        )
+    report = {
+        "backend": kernel_backend.name,
+        "sizes": per_size,
+        "batch_sweep": {
+            "instances": batch_req.total_instances,
+            "batched_s": round(t_batched, 6),
+            "per_instance_s": round(t_loop, 6),
+            "batched_counters": rec_batched.as_dict(),
+            "per_instance_counters": rec_loop.as_dict(),
+        },
+    }
+    out = "BENCH_kernels.json"
+    with open(out, "w", encoding="utf8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    launches = rec_batched.coverage_calls
+    assert rec_loop.coverage_calls >= 10 * launches, (
+        "batch path lost its one-launch-per-chunk property"
+    )
+    with capsys.disabled():
+        print()
+        print(format_ascii_table(
+            ["path", "seconds", "coverage launches", "critical searches"],
+            [
+                ["per-instance loop", round(t_loop, 4),
+                 rec_loop.coverage_calls, rec_loop.critical_searches],
+                [f"batched ({kernel_backend.name})", round(t_batched, 4),
+                 rec_batched.coverage_calls, rec_batched.critical_searches],
+            ],
+            title=f"[K1] {batch_req.total_instances}-instance sweep, "
+                  f"backend={kernel_backend.name} -> {out}",
+        ))
+
+
 def test_counters_report(capsys):
     """Not a benchmark: show the cumulative kernel counters for this run."""
     with capsys.disabled():

@@ -9,6 +9,11 @@ validate   re-check a saved orientation's certificate
 sweep      run a (workload × n) × (k × phi) batch through the engine
 frontier   adaptively bisect phi to a metric threshold (or map its staircase)
 merge      aggregate the shard ledgers of one or more run directories
+store      maintain a run directory (compact shard ledgers, gc leftovers)
+
+``sweep`` and ``frontier`` accept ``--backend`` to pick the kernel backend
+(also selectable via the ``REPRO_BACKEND`` environment variable); results
+are bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -192,12 +197,13 @@ def _run_batch_command(
     "frontiers"), and how aggregate rows come out of the batch
     (``rows_of``)."""
     from repro.engine import Shard
+    from repro.kernels import BackendUnavailable
     from repro.store import RunStore, StoreError
 
     try:
         request = build_request()
         shard = Shard.parse(args.shard) if args.shard else Shard()
-    except Exception as exc:  # invalid workload/k/phi/shard combinations
+    except Exception as exc:  # invalid workload/k/phi/shard/backend combos
         print(f"error: {exc}", file=sys.stderr)
         return 2
     store = RunStore(args.run_dir) if args.run_dir else None
@@ -219,7 +225,7 @@ def _run_batch_command(
             request, jobs=args.jobs, on_instance=progress,
             store=store, shard=shard, resume=args.resume,
         )
-    except StoreError as exc:
+    except (StoreError, BackendUnavailable) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if batch.fallback_reason:
@@ -246,10 +252,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             phis=args.phi,
             tag=args.tag,
             compute_critical=not args.no_critical,
+            backend=args.backend,
+        )
+
+    def execute(request, **kw):
+        return execute_plan(
+            request, batch_instances=not args.per_instance, **kw
         )
 
     return _run_batch_command(
-        "sweep", args, build_request, execute_plan,
+        "sweep", args, build_request, execute,
         unit="cells", unit_count=lambda req: len(req.grid),
         rows_of=lambda b: _batch_rows(b, args.aggregate),
     )
@@ -272,6 +284,7 @@ def cmd_frontier(args: argparse.Namespace) -> int:
             phi_lo=args.phi_lo,
             phi_hi=args.phi_hi,
             tol=args.tol,
+            backend=args.backend,
         )
 
     return _run_batch_command(
@@ -323,6 +336,23 @@ def cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import RunStore, StoreError, compact_plan, gc_store
+
+    store = RunStore(args.run_dir)
+    try:
+        if args.action == "compact":
+            report = compact_plan(store, args.plan, dry_run=args.dry_run)
+        else:
+            report = gc_store(store, args.plan, dry_run=args.dry_run)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    prefix = "[store] (dry run) " if args.dry_run else "[store] "
+    print(prefix + report.summary())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -370,6 +400,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed namespace for the scenario instances")
     p.add_argument("--no-critical", action="store_true",
                    help="skip the (expensive) critical-range measurement")
+    p.add_argument("--backend", default=None,
+                   help="kernel backend: numpy or numba (default: the "
+                        "REPRO_BACKEND environment variable, else numpy)")
+    p.add_argument("--per-instance", action="store_true",
+                   help="evaluate instances one at a time instead of the "
+                        "packed multi-instance batch path (bit-identical)")
     p.add_argument("--aggregate", choices=("cell", "scenario"), default="cell",
                    help="one row per grid cell, or per (scenario, cell)")
     p.add_argument("--format", choices=("markdown", "json"), default="markdown")
@@ -406,6 +442,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="upper end of the phi search interval (default: 2pi)")
     p.add_argument("--tol", type=float, default=1e-3,
                    help="phi resolution of the search (default: 1e-3)")
+    p.add_argument("--backend", default=None,
+                   help="kernel backend: numpy or numba (default: the "
+                        "REPRO_BACKEND environment variable, else numpy)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (default: 1 = serial)")
     p.add_argument("--tag", default="frontier",
@@ -435,6 +474,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("markdown", "json"), default="markdown")
     p.add_argument("--output", help="write the table/JSON here instead of stdout")
     p.set_defaults(fn=cmd_merge)
+
+    p = sub.add_parser(
+        "store",
+        help="maintain a run directory (compact shard ledgers, gc leftovers)",
+    )
+    p.add_argument("action", choices=("compact", "gc"),
+                   help="compact: archive a plan's shard ledgers into one "
+                        "file; gc: drop tmp leftovers and row-less plans")
+    p.add_argument("--run-dir", required=True,
+                   help="run directory to maintain")
+    p.add_argument("--plan", default=None,
+                   help="plan key (prefix); compact: required when several "
+                        "plans share the directory; gc: remove this plan "
+                        "entirely")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report what would change without touching files")
+    p.set_defaults(fn=cmd_store)
     return parser
 
 

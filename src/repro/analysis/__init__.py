@@ -7,7 +7,11 @@ from repro.analysis.robustness import (
 )
 from repro.analysis.interference import interference_report, InterferenceReport
 from repro.analysis.capacity import capacity_gain_yi_pei, transport_capacity_gupta_kumar
-from repro.analysis.metrics import orientation_metrics, OrientationMetrics
+from repro.analysis.metrics import (
+    batched_orientation_metrics,
+    orientation_metrics,
+    OrientationMetrics,
+)
 
 __all__ = [
     "strong_connectivity_order",
@@ -17,6 +21,7 @@ __all__ = [
     "InterferenceReport",
     "capacity_gain_yi_pei",
     "transport_capacity_gupta_kumar",
+    "batched_orientation_metrics",
     "orientation_metrics",
     "OrientationMetrics",
 ]

@@ -8,6 +8,9 @@ in pure array ops, and the critical-range search bisects a once-sorted edge
 list with zero per-probe graph rebuilds.  Pass ``tables=`` (e.g. from the
 engine's :class:`~repro.engine.cache.ArtifactCache`) to share the polar
 geometry across calls on the same point set.
+
+Kernel calls dispatch through :func:`repro.kernels.backend.active_backend`,
+so the same code path runs on the numpy or numba backend unchanged.
 """
 
 from __future__ import annotations
@@ -17,9 +20,8 @@ import numpy as np
 from repro.antenna.model import AntennaAssignment
 from repro.geometry.points import PointSet
 from repro.graph.digraph import DiGraph
-from repro.kernels.coverage import batched_coverage
-from repro.kernels.critical import critical_range_search
-from repro.kernels.geometry import PolarTables, polar_tables
+from repro.kernels.backend import active_backend
+from repro.kernels.geometry import PolarTables
 
 __all__ = [
     "coverage_matrix",
@@ -36,7 +38,7 @@ def _points_arr(points) -> np.ndarray:
 
 def _tables_for(coords: np.ndarray, tables: PolarTables | None) -> PolarTables:
     if tables is None:
-        return polar_tables(coords)
+        return active_backend().polar_tables(coords)
     if tables.n != coords.shape[0]:
         raise ValueError(
             f"polar tables are for n={tables.n}, point set has n={coords.shape[0]}"
@@ -66,7 +68,7 @@ def coverage_matrix(
     idx, start, spread, radius = assignment.flattened()
     if idx.size == 0:
         return np.zeros((n, n), dtype=bool)
-    return batched_coverage(
+    return active_backend().coverage(
         _tables_for(coords, tables),
         idx,
         start,
@@ -148,4 +150,4 @@ def critical_range(
     if n <= 1:
         return 0.0
     pairs, dists = covered_pairs(points, assignment, eps=eps, tables=tables)
-    return critical_range_search(n, pairs, dists, eps=eps)
+    return active_backend().critical_range(n, pairs, dists, eps=eps)

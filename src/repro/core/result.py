@@ -12,6 +12,7 @@ from repro.antenna.model import AntennaAssignment
 from repro.antenna.validate import ValidationReport, validate_assignment
 from repro.geometry.points import PointSet
 from repro.graph.digraph import DiGraph
+from repro.kernels.backend import active_backend
 from repro.kernels.geometry import PolarTables
 from repro.kernels.instrument import recording
 
@@ -82,12 +83,16 @@ class OrientationResult:
 
         Records the kernel work it performed (connectivity probes, graph
         builds — zero by construction — trig evaluations) under
-        ``stats["critical_range_kernels"]``.  ``tables`` is the optional
+        ``stats["critical_range_kernels"]``, tagged with the name of the
+        kernel backend that produced it.  ``tables`` is the optional
         shared polar geometry (one trig pass per instance when provided).
         """
         with recording() as rec:
             cr = critical_range(self.points, self.assignment, tables=tables)
-        self.stats["critical_range_kernels"] = rec.as_dict()
+        self.stats["critical_range_kernels"] = {
+            "backend": active_backend().name,
+            **rec.as_dict(),
+        }
         return cr
 
     def measured_critical_range_normalized(

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.geometry.points import PointSet, pairwise_distances
+from repro.kernels.backend import active_backend
+from repro.kernels.batch import BatchedInstances, PackedPolarTables
 from repro.kernels.geometry import PolarTables, polar_tables
 from repro.spanning.emst import SpanningTree, euclidean_mst
 
@@ -73,6 +75,21 @@ class CacheStats:
             "evictions": self.evictions,
         }
 
+    _FIELDS = (
+        "hits", "misses", "pointset_builds", "tree_builds",
+        "distance_builds", "polar_builds", "evictions",
+    )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheStats":
+        """Rebuild stats from :meth:`as_dict` output, tolerantly.
+
+        Unknown keys (counters added by a future version whose ledger we
+        are replaying) are ignored instead of raising ``TypeError`` —
+        part of the ledger forward-compatibility contract.
+        """
+        return cls(**{k: int(data[k]) for k in cls._FIELDS if k in data})
+
 
 @dataclass
 class _Entry:
@@ -97,6 +114,9 @@ class ArtifactCache:
     maxsize: int | None = None
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: "OrderedDict[str, _Entry]" = field(default_factory=OrderedDict, repr=False)
+    _packed: "OrderedDict[str, PackedPolarTables]" = field(
+        default_factory=OrderedDict, repr=False
+    )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -153,5 +173,29 @@ class ArtifactCache:
             self.stats.polar_builds += 1
         return entry.polar
 
+    def packed_polar(self, batch: BatchedInstances) -> PackedPolarTables:
+        """Packed polar tables for a whole chunk, keyed by the batch hash.
+
+        Deliberately NOT tracked in :class:`CacheStats`: packed tables are
+        *chunk*-scoped artifacts, and chunk boundaries depend on job count
+        and resume state.  Folding their builds into the per-instance stat
+        deltas would make ledgered totals depend on how a run was chunked —
+        breaking the restart-invariance guarantee (a resumed run reports
+        the same stats as an uninterrupted one).  Their accounting lives in
+        the kernel counters instead (``packed_polar_builds``,
+        ``batched_instances``), which are launch-level by design.
+        """
+        key = batch.key
+        tables = self._packed.get(key)
+        if tables is not None:
+            self._packed.move_to_end(key)
+            return tables
+        tables = active_backend().packed_polar(batch)
+        self._packed[key] = tables
+        if self.maxsize is not None and len(self._packed) > self.maxsize:
+            self._packed.popitem(last=False)
+        return tables
+
     def clear(self) -> None:
         self._entries.clear()
+        self._packed.clear()

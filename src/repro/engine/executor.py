@@ -24,11 +24,17 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.analysis.metrics import OrientationMetrics, orientation_metrics
+from repro.analysis.metrics import (
+    OrientationMetrics,
+    batched_orientation_metrics,
+    orientation_metrics,
+)
 from repro.core.planner import orient_antennae
 from repro.engine.cache import ArtifactCache, CacheStats
 from repro.engine.spec import GridCell, PlanRequest, Scenario, Shard
 from repro.experiments.harness import aggregate_rows
+from repro.kernels.backend import resolve_backend, use_backend
+from repro.kernels.batch import pack_instances
 
 __all__ = [
     "RunRecord",
@@ -116,23 +122,47 @@ def run_instance_grid(
 _Task = tuple[int, int, int, np.ndarray]
 
 #: One completed unit of work: (per-cell metrics, instance facts, elapsed
-#: seconds, per-instance CacheStats delta).  The delta is what makes cache
-#: accounting independent of chunking/sharding: totals are sums of deltas.
-_Payload = tuple[list[OrientationMetrics], dict[str, float], float, dict[str, int]]
+#: seconds, per-instance CacheStats delta, backend name).  The delta is what
+#: makes cache accounting independent of chunking/sharding: totals are sums
+#: of deltas.  The backend name records which kernel backend produced the
+#: metrics (provenance for the ledger row).
+_Payload = tuple[
+    list[OrientationMetrics], dict[str, float], float, dict[str, int], str
+]
+
+#: Cap on ``m * n_max**2`` elements per packed batch: a sub-batch of this
+#: size costs ~64 MB in float64 polar tables, so huge-n chunks degrade to
+#: smaller launches instead of exhausting memory.  Sub-batch boundaries are
+#: a pure function of the chunk's contents, so metrics stay bit-identical
+#: and counter totals stay reproducible for a given chunking.
+_BATCH_MAX_ELEMS = 4_000_000
 
 
 def _run_chunk(
-    chunk: list[_Task], grid: tuple[GridCell, ...], compute_critical: bool
+    chunk: list[_Task],
+    grid: tuple[GridCell, ...],
+    compute_critical: bool,
+    backend_name: str,
+    batched: bool,
+    cache: ArtifactCache | None = None,
 ) -> list[tuple[int, _Payload]]:
-    """Worker entry point: process a chunk of instances with a local cache."""
-    cache = ArtifactCache()
-    out = []
-    for slot, _si, _ii, coords in chunk:
-        out.append((slot, _run_task(coords, grid, compute_critical, cache)))
-    return out
+    """Worker entry point: process a chunk of instances with a local cache.
+
+    All kernel work (per-instance or batched) runs under ``backend_name``.
+    """
+    cache = cache if cache is not None else ArtifactCache()
+    with use_backend(backend_name):
+        if batched:
+            return _run_chunk_batched(
+                chunk, grid, compute_critical, cache, backend_name
+            )
+        return [
+            (slot, _run_task(coords, grid, compute_critical, cache, backend_name))
+            for slot, _si, _ii, coords in chunk
+        ]
 
 
-def _run_task(coords, grid, compute_critical, cache) -> _Payload:
+def _run_task(coords, grid, compute_critical, cache, backend_name) -> _Payload:
     """Run one instance, measuring wall time and its cache-stats delta."""
     before = cache.stats.as_dict()
     t0 = time.perf_counter()
@@ -142,7 +172,74 @@ def _run_task(coords, grid, compute_critical, cache) -> _Payload:
     dt = time.perf_counter() - t0
     after = cache.stats.as_dict()
     delta = {k: after[k] - before[k] for k in after}
-    return metrics, facts, dt, delta
+    return metrics, facts, dt, delta, backend_name
+
+
+def _run_chunk_batched(
+    chunk: list[_Task],
+    grid: tuple[GridCell, ...],
+    compute_critical: bool,
+    cache: ArtifactCache,
+    backend_name: str,
+) -> list[tuple[int, _Payload]]:
+    """Process a chunk through the packed multi-instance kernels.
+
+    Per-instance artifacts (pointset, spanning tree) are still built one at
+    a time inside per-instance cache-stat delta windows — so ledgered cache
+    accounting is identical to the per-instance path — but measurement is
+    one packed kernel launch per grid cell for the whole chunk instead of a
+    Python-level launch per instance.  Packed polar tables are chunk-scoped
+    (see :meth:`ArtifactCache.packed_polar`) and kept out of the deltas.
+
+    Metrics are bit-identical to the per-instance path; elapsed time is
+    attributed evenly across the chunk's instances (per-instance wall time
+    is not separable when launches are fused).
+    """
+    t0 = time.perf_counter()
+    entries = []  # (slot, pointset, tree, cache-stats delta)
+    for slot, _si, _ii, coords in chunk:
+        before = cache.stats.as_dict()
+        ps = cache.pointset(coords)
+        tree = cache.tree(ps)
+        after = cache.stats.as_dict()
+        entries.append(
+            (slot, ps, tree, {k: after[k] - before[k] for k in after})
+        )
+
+    n_max = max(len(ps) for _, ps, _, _ in entries)
+    per = max(1, _BATCH_MAX_ELEMS // max(n_max * n_max, 1))
+    payload_parts: list[tuple[int, list[OrientationMetrics], dict, dict]] = []
+    for base in range(0, len(entries), per):
+        sub = entries[base : base + per]
+        batch = pack_instances([ps.coords for _, ps, _, _ in sub])
+        tables = cache.packed_polar(batch)
+        cell_metrics: list[list[OrientationMetrics]] = [[] for _ in sub]
+        for cell in grid:
+            results = [
+                orient_antennae(ps, cell.k, cell.phi, tree=tree)
+                for _, ps, tree, _ in sub
+            ]
+            for j, m in enumerate(
+                batched_orientation_metrics(
+                    results, batch, tables, compute_critical=compute_critical
+                )
+            ):
+                cell_metrics[j].append(m)
+        for j, (slot, ps, tree, delta) in enumerate(sub):
+            n = len(ps)
+            facts = {
+                "n": float(n),
+                "lmax": tree.lmax,
+                "mst_weight": tree.total_weight,
+                "diameter": float(tables.dist[j, :n, :n].max()) if n else 0.0,
+            }
+            payload_parts.append((slot, cell_metrics[j], facts, delta))
+
+    dt = (time.perf_counter() - t0) / max(len(chunk), 1)
+    return [
+        (slot, (metrics, facts, dt, delta, backend_name))
+        for slot, metrics, facts, delta in payload_parts
+    ]
 
 
 @dataclass
@@ -163,6 +260,7 @@ class BatchResult:
     fallback_reason: str | None = None
     replayed_instances: int = 0
     shard: Shard = field(default_factory=Shard)
+    backend: str | None = None
     _by_cell: list[list[OrientationMetrics]] = field(default=None, repr=False)  # type: ignore[assignment]
 
     def metrics_by_cell(self) -> list[list[OrientationMetrics]]:
@@ -249,7 +347,7 @@ def _execute_durable(
     on_instance: "Callable[[InstanceReport], None] | None",
     store: Any,
     resume: bool,
-    run_one: Callable[[Any, ArtifactCache], Any],
+    run_chunk_serial: Callable[[list[_Task], ArtifactCache], Any],
     submit_chunk: Callable[[Any, list[_Task]], Any],
     rows_for_resume: Callable[[Any, str], dict[int, Any]],
     payload_of_row: Callable[[int, Any], Any],
@@ -259,13 +357,17 @@ def _execute_durable(
     executors: resume-guarded store handling, per-completion checkpointing,
     process-pool fan-out with serial fallback, payloads keyed by plan slot.
 
-    Payloads are ``(result, facts, elapsed, cache_delta)`` tuples; only the
-    ``result`` element differs between executors, which is what the
-    ``run_one`` / ``submit_chunk`` / ``payload_of_row`` / ``row_of_payload``
-    hooks parameterize (``submit_chunk`` exists because pool workers must
-    be module-level picklable functions).  ``rows_for_resume`` loads the
-    plan's ledgered rows; ``payload_of_row`` validates one against the
-    request shape (raising ``StoreError``) and converts it.
+    Payloads are ``(result, facts, elapsed, cache_delta, backend)`` tuples;
+    only the ``result`` element differs between executors, which is what the
+    ``run_chunk_serial`` / ``submit_chunk`` / ``payload_of_row`` /
+    ``row_of_payload`` hooks parameterize (``submit_chunk`` exists because
+    pool workers must be module-level picklable functions;
+    ``run_chunk_serial`` yields completed ``(slot, payload)`` pairs for one
+    chunk inline, so a batched executor can fuse kernel launches across the
+    chunk while a per-instance one checkpoints as each instance lands).
+    ``rows_for_resume`` loads the plan's ledgered rows; ``payload_of_row``
+    validates one against the request shape (raising ``StoreError``) and
+    converts it.
 
     Returns ``(payloads, replayed, jobs_used, fallback_reason, ledger)``;
     the caller reassembles its result type in plan order and must
@@ -332,8 +434,9 @@ def _execute_durable(
             pool.shutdown(wait=True)
     else:
         local_cache = cache if cache is not None else ArtifactCache()
-        for slot, _si, _ii, coords in todo:
-            complete(slot, run_one(coords, local_cache))
+        for serial_chunk in _chunk_tasks(todo, 1):
+            for slot, payload in run_chunk_serial(serial_chunk, local_cache):
+                complete(slot, payload)
     return payloads, replayed, jobs_used, fallback_reason, ledger
 
 
@@ -346,6 +449,8 @@ def execute_plan(
     store: Any = None,
     shard: "Shard | tuple[int, int] | None" = None,
     resume: bool = False,
+    backend: str | None = None,
+    batch_instances: bool = True,
 ) -> BatchResult:
     """Run every (instance × cell) of ``request`` and collect the metrics.
 
@@ -379,8 +484,19 @@ def execute_plan(
         shard's ledger in the run directory) instead of re-executing them.
         Without ``resume``, a ledger that already has rows for this plan's
         shard is an error — appending twice would corrupt the run.
+    backend:
+        Kernel backend name for all measurement work.  ``None`` defers to
+        ``request.backend``, then the ``REPRO_BACKEND`` environment
+        variable, then the numpy default.  Unknown or unavailable backends
+        raise :class:`~repro.kernels.backend.BackendUnavailable` up front.
+    batch_instances:
+        Evaluate each chunk of instances through the packed multi-instance
+        kernels (one launch per grid cell per chunk) instead of a Python
+        loop of per-instance launches.  Metrics are bit-identical either
+        way; ``False`` is the per-instance escape hatch.
     """
     t_start = time.perf_counter()
+    backend_name = resolve_backend(backend or request.backend).name
     shard = Shard.of(shard)
     all_tasks: list[_Task] = [
         (slot, si, ii, coords)
@@ -396,12 +512,18 @@ def execute_plan(
                 f"ledger row for slot {slot} has {len(row.metrics)} "
                 f"cell metrics, plan has {len(grid)} grid cells"
             )
-        return row.cell_metrics(), dict(row.facts), row.elapsed, row.cache
+        return (
+            row.cell_metrics(),
+            dict(row.facts),
+            row.elapsed,
+            row.cache,
+            getattr(row, "backend", "numpy"),
+        )
 
     def row_of_payload(slot: int, si: int, ii: int, payload: _Payload) -> Any:
         from repro.store.ledger import LedgerRow  # lazy: avoids cycle
 
-        metrics, facts, dt, delta = payload
+        metrics, facts, dt, delta, row_backend = payload
         return LedgerRow(
             slot=slot,
             scenario_index=si,
@@ -410,17 +532,20 @@ def execute_plan(
             facts=facts,
             metrics=[m.as_dict() for m in metrics],
             cache=delta,
+            backend=row_backend,
         )
 
     payloads, replayed, jobs_used, fallback_reason, ledger = _execute_durable(
         request, all_tasks, shard,
         jobs=jobs, cache=cache, on_instance=on_instance,
         store=store, resume=resume,
-        run_one=lambda coords, c: _run_task(
-            coords, grid, request.compute_critical, c
+        run_chunk_serial=lambda chunk, c: _run_chunk(
+            chunk, grid, request.compute_critical,
+            backend_name, batch_instances, cache=c,
         ),
         submit_chunk=lambda pool, chunk: pool.submit(
-            _run_chunk, chunk, grid, request.compute_critical
+            _run_chunk, chunk, grid, request.compute_critical,
+            backend_name, batch_instances,
         ),
         rows_for_resume=lambda s, key: s.load_rows(key),
         payload_of_row=payload_of_row,
@@ -439,10 +564,10 @@ def execute_plan(
             continue
         payload = payloads.get(slot)
         assert payload is not None, f"missing result for task slot {slot}"
-        metrics, facts, dt, delta = payload
+        metrics, facts, dt, delta, _row_backend = payload
         scenario = request.scenarios[si]
         reports.append(_report(si, ii, facts, dt))
-        stats.merge(CacheStats(**delta))
+        stats.merge(CacheStats.from_dict(delta))
         for cell, m in zip(grid, metrics):
             records.append(RunRecord(scenario, ii, cell, m, scenario_index=si))
     elapsed = time.perf_counter() - t_start
@@ -459,6 +584,7 @@ def execute_plan(
         fallback_reason=fallback_reason,
         replayed_instances=replayed,
         shard=shard,
+        backend=backend_name,
     )
 
 

@@ -21,6 +21,7 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.experiments.workloads import WORKLOADS, make_workload
 from repro.geometry.angles import clamp_angular_budget
+from repro.kernels.backend import KNOWN_BACKENDS
 from repro.utils.rng import stable_seed
 
 __all__ = ["Scenario", "GridCell", "PlanRequest", "FrontierRequest", "Shard"]
@@ -34,6 +35,24 @@ __all__ = ["Scenario", "GridCell", "PlanRequest", "FrontierRequest", "Shard"]
 FRONTIER_METRICS = ("critical_range", "realized_range", "range_bound")
 
 _TWO_PI = 2.0 * math.pi
+
+
+def _validate_backend(backend: "str | None") -> "str | None":
+    """Spec-level backend validation (availability is checked at run time).
+
+    The field is deliberately EXCLUDED from serialization and from
+    :func:`repro.store.plan_fingerprint`: backends are bit-exact, so the
+    same plan computed on any backend is the same plan — the per-row
+    ``backend`` tag in the ledger records provenance instead.
+    """
+    if backend is None:
+        return None
+    if backend not in KNOWN_BACKENDS:
+        raise InvalidParameterError(
+            f"unknown kernel backend {backend!r}; "
+            f"choose from {', '.join(KNOWN_BACKENDS)}"
+        )
+    return backend
 
 
 @dataclass(frozen=True)
@@ -202,10 +221,15 @@ class PlanRequest:
     scenarios: tuple[Scenario, ...]
     grid: tuple[GridCell, ...]
     compute_critical: bool = True
+    #: Kernel backend to execute with (``None`` = env var / default).  Not
+    #: part of the plan's identity: excluded from serialization and the
+    #: fingerprint (see :func:`_validate_backend`).
+    backend: "str | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
         object.__setattr__(self, "grid", tuple(self.grid))
+        object.__setattr__(self, "backend", _validate_backend(self.backend))
         if not self.scenarios:
             raise InvalidParameterError("a PlanRequest needs at least one scenario")
         if not self.grid:
@@ -222,6 +246,7 @@ class PlanRequest:
         phis: Sequence[float],
         tag: str = "sweep",
         compute_critical: bool = True,
+        backend: "str | None" = None,
     ) -> "PlanRequest":
         """Build the dense cross product (workloads × sizes) × (ks × phis)."""
         scenarios = tuple(
@@ -230,7 +255,9 @@ class PlanRequest:
             for n in sizes
         )
         grid = tuple(GridCell(int(k), float(p)) for k in ks for p in phis)
-        return cls(scenarios, grid, compute_critical=compute_critical)
+        return cls(
+            scenarios, grid, compute_critical=compute_critical, backend=backend
+        )
 
     @property
     def total_instances(self) -> int:
@@ -289,10 +316,15 @@ class FrontierRequest:
     phi_lo: float = 0.0
     phi_hi: float = _TWO_PI
     tol: float = 1e-3
+    #: Kernel backend to execute with (``None`` = env var / default);
+    #: excluded from serialization and the fingerprint like
+    #: :attr:`PlanRequest.backend`.
+    backend: "str | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
         object.__setattr__(self, "ks", tuple(int(k) for k in self.ks))
+        object.__setattr__(self, "backend", _validate_backend(self.backend))
         if not self.scenarios:
             raise InvalidParameterError("a FrontierRequest needs at least one scenario")
         if not self.ks:

@@ -21,6 +21,7 @@ from repro.engine.cache import ArtifactCache, CacheStats
 from repro.engine.executor import InstanceReport, _execute_durable, _report
 from repro.engine.spec import FrontierRequest, Shard
 from repro.frontier.solver import KFrontier, solve_instance_frontier
+from repro.kernels.backend import resolve_backend, use_backend
 
 __all__ = [
     "InstanceOutcome",
@@ -42,29 +43,53 @@ class InstanceOutcome:
 #: One unit of work: (slot, scenario_index, instance_index, coords).
 _Task = tuple[int, int, int, Any]
 
-#: One completed unit: (per-k frontier dicts, facts, elapsed, cache delta).
-_Payload = tuple[list[dict], dict[str, float], float, dict[str, int]]
+#: One completed unit: (per-k frontier dicts, facts, elapsed, cache delta,
+#: backend name).
+_Payload = tuple[list[dict], dict[str, float], float, dict[str, int], str]
 
 
-def _run_task(coords, request: FrontierRequest, cache: ArtifactCache) -> _Payload:
+def _run_task(
+    coords, request: FrontierRequest, cache: ArtifactCache, backend_name: str
+) -> _Payload:
     before = cache.stats.as_dict()
     t0 = time.perf_counter()
     frontiers, facts = solve_instance_frontier(coords, request, cache=cache)
     dt = time.perf_counter() - t0
     after = cache.stats.as_dict()
     delta = {k: after[k] - before[k] for k in after}
-    return [f.as_dict() for f in frontiers], facts, dt, delta
+    return [f.as_dict() for f in frontiers], facts, dt, delta, backend_name
 
 
 def _run_chunk(
-    chunk: list[_Task], request: FrontierRequest
+    chunk: list[_Task],
+    request: FrontierRequest,
+    backend_name: str,
+    cache: ArtifactCache | None = None,
 ) -> list[tuple[int, _Payload]]:
     """Worker entry point: solve a chunk of instances with a local cache."""
-    cache = ArtifactCache()
-    return [
-        (slot, _run_task(coords, request, cache))
-        for slot, _si, _ii, coords in chunk
-    ]
+    cache = cache if cache is not None else ArtifactCache()
+    with use_backend(backend_name):
+        return [
+            (slot, _run_task(coords, request, cache, backend_name))
+            for slot, _si, _ii, coords in chunk
+        ]
+
+
+def _iter_chunk_serial(
+    chunk: list[_Task],
+    request: FrontierRequest,
+    backend_name: str,
+    cache: ArtifactCache,
+):
+    """Serial twin of :func:`_run_chunk` that yields per instance.
+
+    Frontier solving stays per-instance (the adaptive bisection is
+    inherently sequential per ``(instance, k)``), so yielding lazily keeps
+    the durable skeleton's per-instance checkpointing behaviour.
+    """
+    with use_backend(backend_name):
+        for slot, _si, _ii, coords in chunk:
+            yield slot, _run_task(coords, request, cache, backend_name)
 
 
 @dataclass
@@ -80,6 +105,7 @@ class FrontierBatch:
     fallback_reason: str | None = None
     replayed_instances: int = 0
     shard: Shard = field(default_factory=Shard)
+    backend: str | None = None
 
     def probe_totals(self) -> tuple[int, int]:
         """``(total probes, reused probes)`` over every (instance, k)."""
@@ -165,16 +191,20 @@ def execute_frontier(
     store: Any = None,
     shard: "Shard | tuple[int, int] | None" = None,
     resume: bool = False,
+    backend: str | None = None,
 ) -> FrontierBatch:
     """Solve every (instance × k) frontier of ``request``.
 
     The parameters mirror :func:`repro.engine.execute_plan`: ``jobs`` for
     process-pool fan-out (serial fallback recorded in ``fallback_reason``),
     ``store``/``shard``/``resume`` for durable, partitioned, replayable
-    execution.  Results are reassembled in plan order, so serial, parallel,
-    sharded-and-merged and resumed runs are all bit-identical.
+    execution, ``backend`` to pick the kernel backend (``None`` defers to
+    ``request.backend``, then ``REPRO_BACKEND``, then numpy).  Results are
+    reassembled in plan order, so serial, parallel, sharded-and-merged and
+    resumed runs are all bit-identical.
     """
     t_start = time.perf_counter()
+    backend_name = resolve_backend(backend or request.backend).name
     shard = Shard.of(shard)
     all_tasks: list[_Task] = [
         (slot, si, ii, coords)
@@ -189,12 +219,18 @@ def execute_frontier(
                 f"ledger row for slot {slot} has {len(row.frontiers)} "
                 f"k-frontiers, request has {len(request.ks)} ks"
             )
-        return list(row.frontiers), dict(row.facts), row.elapsed, row.cache
+        return (
+            list(row.frontiers),
+            dict(row.facts),
+            row.elapsed,
+            row.cache,
+            getattr(row, "backend", "numpy"),
+        )
 
     def row_of_payload(slot: int, si: int, ii: int, payload: _Payload) -> Any:
         from repro.store.ledger import FrontierRow  # lazy: avoids cycle
 
-        frontier_dicts, facts, dt, delta = payload
+        frontier_dicts, facts, dt, delta, row_backend = payload
         return FrontierRow(
             slot=slot,
             scenario_index=si,
@@ -203,14 +239,19 @@ def execute_frontier(
             facts=facts,
             frontiers=frontier_dicts,
             cache=delta,
+            backend=row_backend,
         )
 
     payloads, replayed, jobs_used, fallback_reason, ledger = _execute_durable(
         request, all_tasks, shard,
         jobs=jobs, cache=cache, on_instance=on_instance,
         store=store, resume=resume,
-        run_one=lambda coords, c: _run_task(coords, request, c),
-        submit_chunk=lambda pool, chunk: pool.submit(_run_chunk, chunk, request),
+        run_chunk_serial=lambda chunk, c: _iter_chunk_serial(
+            chunk, request, backend_name, c
+        ),
+        submit_chunk=lambda pool, chunk: pool.submit(
+            _run_chunk, chunk, request, backend_name
+        ),
         rows_for_resume=lambda s, key: s.load_frontier_rows(key),
         payload_of_row=payload_of_row,
         row_of_payload=row_of_payload,
@@ -224,10 +265,10 @@ def execute_frontier(
             continue
         payload = payloads.get(slot)
         assert payload is not None, f"missing result for task slot {slot}"
-        frontier_dicts, facts, dt, delta = payload
+        frontier_dicts, facts, dt, delta, _row_backend = payload
         outcomes.append(_outcome(si, ii, frontier_dicts))
         reports.append(_report(si, ii, facts, dt))
-        stats.merge(CacheStats(**delta))
+        stats.merge(CacheStats.from_dict(delta))
     elapsed = time.perf_counter() - t_start
     if ledger is not None:
         ledger.finish(stats, elapsed)
@@ -242,6 +283,7 @@ def execute_frontier(
         fallback_reason=fallback_reason,
         replayed_instances=replayed,
         shard=shard,
+        backend=backend_name,
     )
 
 
@@ -284,7 +326,7 @@ def assemble_frontier(
             _outcome(row.scenario_index, row.instance_index, row.frontiers)
         )
         reports.append(row.report())
-        stats.merge(CacheStats(**row.cache))
+        stats.merge(CacheStats.from_dict(row.cache))
         elapsed += row.elapsed
     return FrontierBatch(
         request=request,

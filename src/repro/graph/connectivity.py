@@ -21,7 +21,7 @@ from repro.errors import InvalidParameterError
 from repro.graph.digraph import DiGraph
 from repro.graph.maxflow import Dinic
 from repro.graph.scc import strongly_connected_components
-from repro.kernels.connectivity import strongly_connected_csr
+from repro.kernels.backend import active_backend
 
 __all__ = [
     "is_strongly_connected",
@@ -35,11 +35,12 @@ __all__ = [
 def is_strongly_connected(g: DiGraph) -> bool:
     """True iff every vertex reaches every other vertex.
 
-    Delegates to the CSR kernel (scipy ``csgraph`` fast path; degree-based
-    quick rejects and a BFS fallback live there) — one connectivity probe
-    on the instrumentation counters, zero graph copies.
+    Delegates to the active backend's CSR kernel (scipy ``csgraph`` fast
+    path with degree-based quick rejects on numpy, a JIT'd two-pass BFS on
+    numba) — one connectivity probe on the instrumentation counters, zero
+    graph copies.
     """
-    return strongly_connected_csr(g.n, *g.csr())
+    return active_backend().strongly_connected(g.n, *g.csr())
 
 
 @dataclass

@@ -14,6 +14,14 @@ array programs over shared per-instance geometry:
   arrays, no graph objects;
 * :mod:`repro.kernels.critical` — :func:`critical_range_search`, the
   rebuild-free bottleneck-radius bisection over a once-sorted edge list;
+* :mod:`repro.kernels.batch` — packed multi-instance kernels: a whole
+  chunk of instances (:class:`BatchedInstances` + packed polar tables)
+  evaluated per Python-level launch;
+* :mod:`repro.kernels.backend` — the :class:`KernelBackend` seam: the
+  four hot primitives behind a narrow protocol, with the numpy kernels as
+  the default implementation and an optional numba JIT backend
+  (:mod:`repro.kernels.numba_backend`) selected by ``REPRO_BACKEND``, a
+  request flag, or ``--backend``;
 * :mod:`repro.kernels.instrument` — process-wide work counters (graph
   builds, connectivity probes, trig evaluations) that perf-regression
   tests assert on instead of wall-clock;
@@ -26,6 +34,24 @@ numpy/scipy); :mod:`repro.graph`, :mod:`repro.antenna` and everything
 above import the kernels, never the other way around.
 """
 
+from repro.kernels.backend import (
+    KNOWN_BACKENDS,
+    BackendUnavailable,
+    KernelBackend,
+    active_backend,
+    available_backends,
+    resolve_backend,
+    use_backend,
+)
+from repro.kernels.batch import (
+    BatchedInstances,
+    PackedPolarTables,
+    pack_instances,
+    packed_coverage,
+    packed_critical,
+    packed_polar_tables,
+    packed_strongly_connected,
+)
 from repro.kernels.connectivity import (
     reverse_csr,
     scc_count_csr,
@@ -43,16 +69,30 @@ from repro.kernels.instrument import (
 )
 
 __all__ = [
+    "KNOWN_BACKENDS",
+    "BackendUnavailable",
+    "BatchedInstances",
+    "KernelBackend",
     "KernelCounters",
+    "PackedPolarTables",
     "PolarTables",
+    "active_backend",
+    "available_backends",
     "batched_coverage",
     "critical_range_search",
     "kernel_counters",
+    "pack_instances",
+    "packed_coverage",
+    "packed_critical",
+    "packed_polar_tables",
+    "packed_strongly_connected",
     "polar_tables",
     "recording",
     "reset_kernel_counters",
-    "reverse_csr",
-    "scc_count_csr",
+    "resolve_backend",
     "strongly_connected_csr",
     "strongly_connected_edges",
+    "reverse_csr",
+    "scc_count_csr",
+    "use_backend",
 ]

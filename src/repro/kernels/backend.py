@@ -1,0 +1,246 @@
+"""The kernel backend seam: one narrow protocol, swappable implementations.
+
+Every measurement in the codebase funnels through four hot primitives —
+polar-table construction, batched sector coverage, the CSR strong-
+connectivity probe, and the sorted-edge prefix-mask bisection behind
+``critical_range`` — plus their packed multi-instance variants.
+:class:`KernelBackend` names exactly those operations; call sites dispatch
+through :func:`active_backend` instead of importing kernel functions
+directly, so alternative implementations (numba JIT today, GPU kernels
+tomorrow) plug in without touching callers.
+
+Selection precedence (first match wins):
+
+1. an explicit name handed to :func:`use_backend` / :func:`resolve_backend`
+   (the CLI ``--backend`` flag and the engine executors land here);
+2. the ``backend`` field on a :class:`~repro.engine.spec.PlanRequest` /
+   ``FrontierRequest`` (the executor resolves it and wraps execution in
+   :func:`use_backend`);
+3. the ``REPRO_BACKEND`` environment variable;
+4. the default ``numpy`` backend.
+
+Exactness contract: every backend must be bit-exact against
+:mod:`repro.kernels.reference` on valid inputs.  The numpy backend *is*
+the reference-equivalent vectorized code; the numba backend delegates all
+trigonometry to the shared numpy table builders and JITs only the pure
+comparison/arithmetic passes, which are reproducible bit-for-bit (see
+:mod:`repro.kernels.numba_backend`).  Because results are bit-identical,
+ledgers written by one backend are valid resume/merge material for any
+other — the per-row ``backend`` tag records provenance, not meaning.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.kernels.batch import (
+    BatchedInstances,
+    PackedPolarTables,
+    packed_coverage,
+    packed_critical,
+    packed_polar_tables,
+    packed_strongly_connected,
+)
+from repro.kernels.coverage import batched_coverage
+from repro.kernels.critical import critical_range_search
+from repro.kernels.geometry import PolarTables, polar_tables
+from repro.kernels.connectivity import strongly_connected_csr
+
+__all__ = [
+    "KNOWN_BACKENDS",
+    "DEFAULT_BACKEND",
+    "BACKEND_ENV_VAR",
+    "BackendUnavailable",
+    "KernelBackend",
+    "NumpyBackend",
+    "active_backend",
+    "available_backends",
+    "resolve_backend",
+    "use_backend",
+]
+
+#: Names the registry knows how to construct (construction may still fail
+#: when the backing package is absent — see :func:`available_backends`).
+KNOWN_BACKENDS = ("numpy", "numba")
+DEFAULT_BACKEND = "numpy"
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+class BackendUnavailable(ReproError):
+    """The requested kernel backend is unknown or cannot be constructed."""
+
+
+@runtime_checkable
+class KernelBackend(Protocol):
+    """The four hot kernel primitives plus their packed chunk variants."""
+
+    name: str
+
+    # -- per-instance primitives ------------------------------------------
+    def polar_tables(self, coords) -> PolarTables: ...
+
+    def coverage(
+        self,
+        tables: PolarTables,
+        sensor_idx: np.ndarray,
+        start: np.ndarray,
+        spread: np.ndarray,
+        radius: np.ndarray,
+        *,
+        eps: float = 1e-9,
+        ignore_radius: bool = False,
+    ) -> np.ndarray: ...
+
+    def strongly_connected(
+        self, n: int, indptr: np.ndarray, indices: np.ndarray
+    ) -> bool: ...
+
+    def critical_range(
+        self, n: int, pairs: np.ndarray, dists: np.ndarray, *, eps: float = 1e-9
+    ) -> float: ...
+
+    # -- packed multi-instance variants -----------------------------------
+    def packed_polar(self, batch: BatchedInstances) -> PackedPolarTables: ...
+
+    def packed_coverage(
+        self,
+        tables: PackedPolarTables,
+        inst_idx: np.ndarray,
+        sensor_idx: np.ndarray,
+        start: np.ndarray,
+        spread: np.ndarray,
+        radius: np.ndarray,
+        *,
+        eps: float = 1e-9,
+        ignore_radius: bool = False,
+    ) -> np.ndarray: ...
+
+    def packed_strongly_connected(
+        self, cover: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray: ...
+
+    def packed_critical(
+        self, tables: PackedPolarTables, cover_ang: np.ndarray, *, eps: float = 1e-9
+    ) -> np.ndarray: ...
+
+
+class NumpyBackend:
+    """The default backend: the vectorized numpy kernels as-is."""
+
+    name = "numpy"
+
+    def polar_tables(self, coords):
+        return polar_tables(coords)
+
+    def coverage(self, tables, sensor_idx, start, spread, radius, *,
+                 eps=1e-9, ignore_radius=False):
+        return batched_coverage(tables, sensor_idx, start, spread, radius,
+                                eps=eps, ignore_radius=ignore_radius)
+
+    def strongly_connected(self, n, indptr, indices):
+        return strongly_connected_csr(n, indptr, indices)
+
+    def critical_range(self, n, pairs, dists, *, eps=1e-9):
+        return critical_range_search(n, pairs, dists, eps=eps)
+
+    def packed_polar(self, batch):
+        return packed_polar_tables(batch)
+
+    def packed_coverage(self, tables, inst_idx, sensor_idx, start, spread,
+                        radius, *, eps=1e-9, ignore_radius=False):
+        return packed_coverage(tables, inst_idx, sensor_idx, start, spread,
+                               radius, eps=eps, ignore_radius=ignore_radius)
+
+    def packed_strongly_connected(self, cover, counts):
+        return packed_strongly_connected(cover, counts)
+
+    def packed_critical(self, tables, cover_ang, *, eps=1e-9):
+        return packed_critical(tables, cover_ang, eps=eps)
+
+    def __repr__(self) -> str:
+        return "NumpyBackend()"
+
+
+def _load_numba() -> KernelBackend:
+    from repro.kernels.numba_backend import NumbaBackend
+
+    return NumbaBackend()
+
+
+_FACTORIES = {"numpy": NumpyBackend, "numba": _load_numba}
+_instances: dict[str, KernelBackend] = {}
+#: Override stack pushed by :func:`use_backend`; top wins over the env var.
+_override: list[KernelBackend] = []
+
+
+def resolve_backend(name: str | None = None) -> KernelBackend:
+    """Construct (or fetch the cached) backend for ``name``.
+
+    ``None`` falls back to ``$REPRO_BACKEND`` and then to the default
+    numpy backend.  Raises :class:`BackendUnavailable` for unknown names
+    and for known backends whose package is not installed.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    if name not in _FACTORIES:
+        raise BackendUnavailable(
+            f"unknown kernel backend {name!r}; known backends: "
+            f"{', '.join(KNOWN_BACKENDS)}"
+        )
+    backend = _instances.get(name)
+    if backend is None:
+        try:
+            backend = _FACTORIES[name]()
+        except BackendUnavailable:
+            raise
+        except ImportError as exc:  # pragma: no cover - env dependent
+            raise BackendUnavailable(
+                f"kernel backend {name!r} failed to import: {exc}"
+            ) from exc
+        _instances[name] = backend
+    return backend
+
+
+def active_backend() -> KernelBackend:
+    """The backend kernel call sites should dispatch through right now.
+
+    The innermost :func:`use_backend` override wins; otherwise the env
+    var / default resolution of :func:`resolve_backend` applies per call.
+    """
+    if _override:
+        return _override[-1]
+    return resolve_backend(None)
+
+
+@contextmanager
+def use_backend(backend: str | KernelBackend | None) -> Iterator[KernelBackend]:
+    """Pin :func:`active_backend` to ``backend`` within the ``with`` body.
+
+    Accepts a backend name, an already-constructed backend, or ``None``
+    (resolve env/default now and pin that — useful to freeze the choice
+    for a whole run even if the environment changes midway).
+    """
+    if isinstance(backend, str) or backend is None:
+        backend = resolve_backend(backend)
+    _override.append(backend)
+    try:
+        yield backend
+    finally:
+        _override.pop()
+
+
+def available_backends() -> list[str]:
+    """Known backend names whose construction actually succeeds here."""
+    out = []
+    for name in KNOWN_BACKENDS:
+        try:
+            resolve_backend(name)
+        except BackendUnavailable:
+            continue
+        out.append(name)
+    return out

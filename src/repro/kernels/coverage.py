@@ -114,8 +114,27 @@ def _coverage_block(
     out: np.ndarray,
 ) -> None:
     """Fill ``out[i, v]`` = antenna ``i`` covers point ``v``, for one block."""
-    ang = tables.ang[idx]  # (b, n) gathers
-    dist = tables.dist[idx]
+    _fill_block(tables.ang[idx], tables.dist[idx], start, spread, radius,
+                eps, ignore_radius, out)
+
+
+def _fill_block(
+    ang: np.ndarray,
+    dist: np.ndarray,
+    start: np.ndarray,
+    spread: np.ndarray,
+    radius: np.ndarray,
+    eps: float,
+    ignore_radius: bool,
+    out: np.ndarray,
+) -> None:
+    """The block body on pre-gathered ``(b, n)`` angle/distance rows.
+
+    Shared with the packed multi-instance kernel in
+    :mod:`repro.kernels.batch` — one set of elementwise expressions keeps
+    the two paths bit-identical by construction (elementwise float ops are
+    shape-independent).
+    """
     b, n = out.shape
 
     # Full-circle sectors short-circuit before any angular arithmetic: an

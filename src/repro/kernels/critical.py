@@ -39,14 +39,28 @@ def critical_range_search(
         return 0.0
     pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
     dists = np.asarray(dists, dtype=float)
-    m = pairs.shape[0]
-    if m == 0:
+    if pairs.shape[0] == 0:
         return float("inf")
     COUNTERS.critical_searches += 1
+    return _critical_search_impl(n, pairs[:, 0], pairs[:, 1], dists, eps)
+
+
+def _critical_search_impl(
+    n: int, src_all: np.ndarray, dst_all: np.ndarray, dists: np.ndarray, eps: float
+) -> float:
+    """The search body, free of launch accounting (``critical_searches``).
+
+    Shared by the per-instance entry point above and the packed
+    multi-instance kernel (:func:`repro.kernels.batch.packed_critical`),
+    which counts one launch for a whole chunk.  Connectivity probes are
+    still counted inside :func:`strongly_connected_csr`.  Requires
+    ``n >= 2`` and at least one edge.
+    """
+    m = src_all.shape[0]
 
     # One sort by distance; every probe is a prefix of these arrays.
     by_dist = np.argsort(dists, kind="stable")
-    src = pairs[by_dist, 0]
+    src = src_all[by_dist]
     sorted_dists = dists[by_dist]
 
     # One regrouping into the CSR scaffold: edges grouped by source, and
@@ -54,7 +68,7 @@ def critical_range_search(
     # the distance order).  ``ranks[i]`` is the distance rank of scaffold
     # edge i, so the probe mask ``ranks < cnt`` selects per-row prefixes.
     by_src = np.argsort(src, kind="stable")
-    indices_all = pairs[by_dist, 1][by_src]
+    indices_all = dst_all[by_dist][by_src]
     ranks = np.arange(m, dtype=np.int64)[by_src]
 
     zero = np.zeros(1, dtype=np.int64)

@@ -54,7 +54,15 @@ class KernelCounters:
         (``antennae x points``; the same work the old per-antenna Python
         loop did one row at a time).
     critical_searches:
-        Rebuild-free critical-range searches performed.
+        Rebuild-free critical-range searches performed.  A packed search
+        over a whole chunk of instances counts as *one* launch.
+    packed_polar_builds:
+        Packed ``(M, n_max, n_max)`` polar-table constructions
+        (:func:`repro.kernels.batch.packed_polar_tables`) — one per chunk
+        of instances, regardless of the chunk size.
+    batched_instances:
+        Instances folded into packed polar builds (the ``M`` summed over
+        every ``packed_polar_builds`` launch).
     """
 
     graph_builds: int = 0
@@ -66,6 +74,8 @@ class KernelCounters:
     coverage_calls: int = 0
     sector_evals: int = 0
     critical_searches: int = 0
+    packed_polar_builds: int = 0
+    batched_instances: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,454 @@
+"""Numba-JIT kernel backend: compiled loops behind the backend seam.
+
+Construction is gated on the ``numba`` package (raise
+:class:`~repro.kernels.backend.BackendUnavailable` when absent) so the
+module always imports cleanly; when numba is missing the ``@njit``
+decorators below degrade to no-ops on functions that are never called.
+
+Bit-exactness contract (asserted by ``tests/test_backends.py`` and the CI
+``backend-parity`` job):
+
+* **Trigonometry is delegated, not recompiled.**  ``polar_tables`` /
+  ``packed_polar`` call the shared numpy builders — libm's ``arctan2`` /
+  ``hypot`` and numba's are not guaranteed to round identically, so the
+  one lossy step stays on a single code path for every backend.
+* Everything JIT'd here is pure ``+ - * <= >= %``-free comparison
+  arithmetic on float64 (sector containment, prefix CSR assembly, BFS
+  reachability, bisection), evaluated in the same order and dtype as the
+  numpy expressions — IEEE-754 makes those reproducible bit-for-bit, so
+  no per-op tolerance carve-outs are needed.
+* Connectivity probes are answered by the two-pass BFS (counted as
+  ``bfs_fallbacks``) instead of scipy — same boolean, different counter
+  row, which is why parity tests compare *launch* counters
+  (``coverage_calls``, ``critical_searches``) across backends but never
+  the scipy/BFS split.
+
+``cache=True`` persists compiled machine code next to this file;
+``parallel=True``/``prange`` is used only where iterations write disjoint
+rows (per-(instance, sensor) groups, per-instance searches).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.angles import TWO_PI
+from repro.kernels.batch import (
+    BatchedInstances,
+    PackedPolarTables,
+    packed_polar_tables,
+)
+from repro.kernels.geometry import PolarTables, polar_tables
+from repro.kernels.instrument import COUNTERS
+
+__all__ = ["HAVE_NUMBA", "NumbaBackend"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the default in slim environments
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):  # noqa: D103 - inert decorator stand-in
+        def deco(fn):
+            return fn
+
+        if args and callable(args[0]):
+            return args[0]
+        return deco
+
+    prange = range
+
+
+@njit(cache=True, parallel=True)
+def _nb_coverage(ang, dist, g_sensor, g_ptr, start, spread, radius,
+                 eps, ignore_radius, out):  # pragma: no cover - JIT
+    n = out.shape[1]
+    for g in prange(g_sensor.shape[0]):
+        u = g_sensor[g]
+        for a in range(g_ptr[g], g_ptr[g + 1]):
+            st = start[a]
+            sp = spread[a]
+            ra = radius[a]
+            full = sp >= TWO_PI - eps
+            finite = np.isfinite(ra)
+            # radius_tolerance(): eps * max(1.0, r), inf contributes 1.0.
+            scale = ra if (finite and ra > 1.0) else 1.0
+            lim = ra + eps * scale
+            for v in range(n):
+                d = dist[u, v]
+                if d <= 0.0:
+                    continue
+                if not full:
+                    rel = ang[u, v] - st
+                    if rel < 0.0:
+                        rel += TWO_PI
+                    if rel >= TWO_PI:
+                        rel -= TWO_PI
+                    if not (rel <= sp + eps or rel >= TWO_PI - eps):
+                        continue
+                if ignore_radius or not finite or d <= lim:
+                    out[u, v] = True
+
+
+@njit(cache=True, parallel=True)
+def _nb_packed_coverage(ang, dist, counts, g_inst, g_sensor, g_ptr, start,
+                        spread, radius, eps, ignore_radius,
+                        out):  # pragma: no cover - JIT
+    for g in prange(g_inst.shape[0]):
+        m = g_inst[g]
+        u = g_sensor[g]
+        n = counts[m]
+        for a in range(g_ptr[g], g_ptr[g + 1]):
+            st = start[a]
+            sp = spread[a]
+            ra = radius[a]
+            full = sp >= TWO_PI - eps
+            finite = np.isfinite(ra)
+            scale = ra if (finite and ra > 1.0) else 1.0
+            lim = ra + eps * scale
+            for v in range(n):
+                d = dist[m, u, v]
+                if d <= 0.0:
+                    continue
+                if not full:
+                    rel = ang[m, u, v] - st
+                    if rel < 0.0:
+                        rel += TWO_PI
+                    if rel >= TWO_PI:
+                        rel -= TWO_PI
+                    if not (rel <= sp + eps or rel >= TWO_PI - eps):
+                        continue
+                if ignore_radius or not finite or d <= lim:
+                    out[m, u, v] = True
+
+
+@njit(cache=True)
+def _nb_csr_reaches_all(n, indptr, indices):  # pragma: no cover - JIT
+    seen = np.zeros(n, np.bool_)
+    stack = np.empty(n, np.int64)
+    seen[0] = True
+    stack[0] = 0
+    top = 1
+    remaining = n - 1
+    while top > 0:
+        top -= 1
+        u = stack[top]
+        for j in range(indptr[u], indptr[u + 1]):
+            v = indices[j]
+            if not seen[v]:
+                seen[v] = True
+                remaining -= 1
+                stack[top] = v
+                top += 1
+    return remaining == 0
+
+
+@njit(cache=True)
+def _nb_sc_csr(n, indptr, indices):  # pragma: no cover - JIT
+    if n <= 1:
+        return True
+    m = indices.shape[0]
+    if m < n:
+        return False
+    for u in range(n):
+        if indptr[u + 1] == indptr[u]:
+            return False
+    indeg = np.zeros(n, np.int64)
+    for j in range(m):
+        indeg[indices[j]] += 1
+    for u in range(n):
+        if indeg[u] == 0:
+            return False
+    if not _nb_csr_reaches_all(n, indptr, indices):
+        return False
+    rptr = np.zeros(n + 1, np.int64)
+    for j in range(m):
+        rptr[indices[j] + 1] += 1
+    for u in range(n):
+        rptr[u + 1] += rptr[u]
+    pos = rptr[:n].copy()
+    ridx = np.empty(m, np.int64)
+    for u in range(n):
+        for j in range(indptr[u], indptr[u + 1]):
+            v = indices[j]
+            ridx[pos[v]] = u
+            pos[v] += 1
+    return _nb_csr_reaches_all(n, rptr, ridx)
+
+
+@njit(cache=True)
+def _nb_connected_prefix(n, ssrc, sdst, cnt):  # pragma: no cover - JIT
+    # Strong connectivity of the first ``cnt`` distance-ranked edges.
+    rc = np.zeros(n, np.int64)
+    for j in range(cnt):
+        rc[ssrc[j]] += 1
+    indptr = np.zeros(n + 1, np.int64)
+    for u in range(n):
+        indptr[u + 1] = indptr[u] + rc[u]
+    pos = indptr[:n].copy()
+    indices = np.empty(cnt, np.int64)
+    for j in range(cnt):
+        u = ssrc[j]
+        indices[pos[u]] = sdst[j]
+        pos[u] += 1
+    return _nb_sc_csr(n, indptr, indices)
+
+
+@njit(cache=True)
+def _nb_critical(n, src, dst, dists, eps):  # pragma: no cover - JIT
+    """Bisection body; returns ``(value, probes)``.  Needs n>=2, m>=1."""
+    m = src.shape[0]
+    order = np.argsort(dists, kind="mergesort")
+    ssrc = np.empty(m, np.int64)
+    sdst = np.empty(m, np.int64)
+    sd = np.empty(m, np.float64)
+    for i in range(m):
+        j = order[i]
+        ssrc[i] = src[j]
+        sdst[i] = dst[j]
+        sd[i] = dists[j]
+    cand = np.unique(dists)
+    probes = 0
+    top = cand[cand.shape[0] - 1]
+    scale = top if top > 1.0 else 1.0
+    cnt = np.searchsorted(sd, top + eps * scale, side="right")
+    probes += 1
+    if not _nb_connected_prefix(n, ssrc, sdst, cnt):
+        return np.inf, probes
+    lo = 0
+    hi = cand.shape[0] - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        r = cand[mid]
+        scale = r if r > 1.0 else 1.0
+        cnt = np.searchsorted(sd, r + eps * scale, side="right")
+        probes += 1
+        if _nb_connected_prefix(n, ssrc, sdst, cnt):
+            hi = mid
+        else:
+            lo = mid + 1
+    return cand[hi], probes
+
+
+@njit(cache=True)
+def _nb_dense_sc(cov, n):  # pragma: no cover - JIT
+    # Two-pass BFS on one instance's dense boolean block.
+    seen = np.zeros(n, np.bool_)
+    stack = np.empty(n, np.int64)
+    seen[0] = True
+    stack[0] = 0
+    top = 1
+    remaining = n - 1
+    while top > 0:
+        top -= 1
+        u = stack[top]
+        for v in range(n):
+            if cov[u, v] and not seen[v]:
+                seen[v] = True
+                remaining -= 1
+                stack[top] = v
+                top += 1
+    if remaining != 0:
+        return False
+    seen = np.zeros(n, np.bool_)
+    seen[0] = True
+    stack[0] = 0
+    top = 1
+    remaining = n - 1
+    while top > 0:
+        top -= 1
+        u = stack[top]
+        for v in range(n):
+            if cov[v, u] and not seen[v]:
+                seen[v] = True
+                remaining -= 1
+                stack[top] = v
+                top += 1
+    return remaining == 0
+
+
+@njit(cache=True, parallel=True)
+def _nb_packed_sc(cover, counts, out):  # pragma: no cover - JIT
+    for m in prange(counts.shape[0]):
+        n = counts[m]
+        if n <= 1:
+            out[m] = True
+        else:
+            out[m] = _nb_dense_sc(cover[m], n)
+
+
+@njit(cache=True, parallel=True)
+def _nb_packed_critical(dist, cover, counts, eps, out,
+                        probes):  # pragma: no cover - JIT
+    for m in prange(counts.shape[0]):
+        n = counts[m]
+        if n <= 1:
+            out[m] = 0.0
+            probes[m] = 0
+        else:
+            cnt = 0
+            for u in range(n):
+                for v in range(n):
+                    if cover[m, u, v]:
+                        cnt += 1
+            if cnt == 0:
+                out[m] = np.inf
+                probes[m] = 0
+            else:
+                src = np.empty(cnt, np.int64)
+                dst = np.empty(cnt, np.int64)
+                dd = np.empty(cnt, np.float64)
+                i = 0
+                for u in range(n):
+                    for v in range(n):
+                        if cover[m, u, v]:
+                            src[i] = u
+                            dst[i] = v
+                            dd[i] = dist[m, u, v]
+                            i += 1
+                r, p = _nb_critical(n, src, dst, dd, eps)
+                out[m] = r
+                probes[m] = p
+
+
+class NumbaBackend:
+    """JIT'd kernels; requires the ``numba`` package at construction."""
+
+    name = "numba"
+
+    def __init__(self):
+        if not HAVE_NUMBA:
+            from repro.kernels.backend import BackendUnavailable
+
+            raise BackendUnavailable(
+                "the 'numba' kernel backend requires the numba package "
+                "(not installed in this environment); use the default "
+                "numpy backend instead"
+            )
+
+    # -- per-instance primitives ------------------------------------------
+    def polar_tables(self, coords) -> PolarTables:
+        # Delegated: one trig code path for all backends (see module doc).
+        return polar_tables(coords)
+
+    def coverage(self, tables, sensor_idx, start, spread, radius, *,
+                 eps=1e-9, ignore_radius=False):
+        n = tables.n
+        cover = np.zeros((n, n), dtype=bool)
+        a = int(sensor_idx.shape[0])
+        if a == 0 or n == 0:
+            return cover
+        COUNTERS.coverage_calls += 1
+        COUNTERS.sector_evals += a * n
+        sensor_idx = np.ascontiguousarray(sensor_idx, dtype=np.int64)
+        start = np.ascontiguousarray(start, dtype=np.float64)
+        spread = np.ascontiguousarray(spread, dtype=np.float64)
+        radius = np.ascontiguousarray(radius, dtype=np.float64)
+        if np.any(np.diff(sensor_idx) < 0):
+            order = np.argsort(sensor_idx, kind="stable")
+            sensor_idx = sensor_idx[order]
+            start, spread, radius = start[order], spread[order], radius[order]
+        sensors, first = np.unique(sensor_idx, return_index=True)
+        g_ptr = np.append(first, a).astype(np.int64)
+        _nb_coverage(tables.ang, tables.dist, sensors.astype(np.int64), g_ptr,
+                     start, spread, radius, float(eps), bool(ignore_radius),
+                     cover)
+        return cover
+
+    def strongly_connected(self, n, indptr, indices):
+        COUNTERS.connectivity_probes += 1
+        if n <= 1:
+            return True
+        COUNTERS.bfs_fallbacks += 1
+        return bool(
+            _nb_sc_csr(
+                int(n),
+                np.ascontiguousarray(indptr, dtype=np.int64),
+                np.ascontiguousarray(indices, dtype=np.int64),
+            )
+        )
+
+    def critical_range(self, n, pairs, dists, *, eps=1e-9):
+        if n <= 1:
+            return 0.0
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if pairs.shape[0] == 0:
+            return float("inf")
+        COUNTERS.critical_searches += 1
+        value, probes = _nb_critical(
+            int(n),
+            np.ascontiguousarray(pairs[:, 0]),
+            np.ascontiguousarray(pairs[:, 1]),
+            np.ascontiguousarray(dists, dtype=np.float64),
+            float(eps),
+        )
+        COUNTERS.connectivity_probes += int(probes)
+        COUNTERS.bfs_fallbacks += int(probes)
+        return float(value)
+
+    # -- packed multi-instance variants -----------------------------------
+    def packed_polar(self, batch: BatchedInstances) -> PackedPolarTables:
+        return packed_polar_tables(batch)
+
+    def packed_coverage(self, tables, inst_idx, sensor_idx, start, spread,
+                        radius, *, eps=1e-9, ignore_radius=False):
+        m, n_max = tables.m, tables.n_max
+        cover = np.zeros((m, n_max, n_max), dtype=bool)
+        a = int(inst_idx.shape[0])
+        if a == 0 or n_max == 0:
+            return cover
+        COUNTERS.coverage_calls += 1
+        COUNTERS.sector_evals += a * n_max
+        inst_idx = np.ascontiguousarray(inst_idx, dtype=np.int64)
+        sensor_idx = np.ascontiguousarray(sensor_idx, dtype=np.int64)
+        start = np.ascontiguousarray(start, dtype=np.float64)
+        spread = np.ascontiguousarray(spread, dtype=np.float64)
+        radius = np.ascontiguousarray(radius, dtype=np.float64)
+        key = inst_idx * n_max + sensor_idx
+        if np.any(np.diff(key) < 0):
+            order = np.argsort(key, kind="stable")
+            key = key[order]
+            inst_idx, sensor_idx = inst_idx[order], sensor_idx[order]
+            start, spread, radius = start[order], spread[order], radius[order]
+        groups, first = np.unique(key, return_index=True)
+        g_ptr = np.append(first, a).astype(np.int64)
+        _nb_packed_coverage(
+            tables.ang, tables.dist,
+            np.ascontiguousarray(tables.counts, dtype=np.int64),
+            (groups // n_max).astype(np.int64),
+            (groups % n_max).astype(np.int64),
+            g_ptr, start, spread, radius, float(eps), bool(ignore_radius),
+            cover,
+        )
+        return cover
+
+    def packed_strongly_connected(self, cover, counts):
+        counts = np.ascontiguousarray(counts, dtype=np.int64)
+        m = int(counts.shape[0])
+        out = np.zeros(m, dtype=bool)
+        if m == 0:
+            return out
+        COUNTERS.connectivity_probes += m
+        COUNTERS.bfs_fallbacks += m
+        _nb_packed_sc(cover, counts, out)
+        return out
+
+    def packed_critical(self, tables, cover_ang, *, eps=1e-9):
+        counts = np.ascontiguousarray(tables.counts, dtype=np.int64)
+        m = int(counts.shape[0])
+        out = np.empty(m, dtype=float)
+        if m == 0:
+            return out
+        COUNTERS.critical_searches += 1
+        probes = np.zeros(m, dtype=np.int64)
+        _nb_packed_critical(tables.dist, cover_ang, counts, float(eps), out,
+                            probes)
+        total = int(probes.sum())
+        COUNTERS.connectivity_probes += total
+        COUNTERS.bfs_fallbacks += total
+        return out
+
+    def __repr__(self) -> str:
+        return "NumbaBackend()"

@@ -12,6 +12,10 @@ ledgers produced on different machines.  Frontier runs
 (:func:`repro.frontier.execute_frontier`) share the same directory
 layout and fingerprint scheme with ``"type": "frontier"`` ledger rows;
 :func:`repro.frontier.assemble_frontier` is their reassembler.
+
+:mod:`repro.store.lifecycle` adds maintenance: :func:`compact_plan`
+archives a finished plan's shard ledgers into one file (row bytes and
+fingerprints unchanged) and :func:`gc_store` drops superseded artifacts.
 """
 
 from repro.store.ledger import (
@@ -32,17 +36,22 @@ from repro.store.ledger import (
     request_to_dict,
     rows_equal,
 )
+from repro.store.lifecycle import CompactReport, GcReport, compact_plan, gc_store
 
 __all__ = [
     "LEDGER_VERSION",
+    "CompactReport",
     "FrontierRow",
+    "GcReport",
     "LedgerRow",
     "RunStore",
     "ShardLedger",
     "StoreError",
     "assemble_batch",
+    "compact_plan",
     "frontier_from_dict",
     "frontier_to_dict",
+    "gc_store",
     "hit_rate",
     "merge_stores",
     "plan_fingerprint",

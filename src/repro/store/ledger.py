@@ -22,6 +22,13 @@ round-trip exactly through JSON (``repr`` is shortest-round-trip in
 Python 3), which is what makes a resumed or merged run bit-identical to an
 uninterrupted one — validated by determinism and kernel-counter assertions,
 never wall-clock (CI is single-core).
+
+Readers are *forward compatible*: unknown keys in a row, its metrics
+dicts, its cache-stats delta or a recorded scenario are ignored rather
+than rejected, so a ledger written by a newer version (with, say, a new
+per-row tag or counter) still replays here.  Unknown *row types* are
+likewise skipped.  Only structural damage — a corrupt line in the middle
+of a file, a slot outside the plan, a cell-count mismatch — is an error.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ import hashlib
 import json
 import math
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Any, ClassVar, IO, Iterable, Sequence
 
@@ -70,6 +77,16 @@ class StoreError(ReproError):
     """A run directory is inconsistent with the requested operation."""
 
 
+#: Known field names, used to drop unknown keys from ledgered dicts
+#: (forward compatibility) instead of letting ``__init__`` raise.
+_METRIC_FIELDS = frozenset(f.name for f in fields(OrientationMetrics))
+_SCENARIO_FIELDS = frozenset(f.name for f in fields(Scenario))
+
+
+def _scenario_from_dict(s: dict[str, Any]) -> Scenario:
+    return Scenario(**{k: v for k, v in s.items() if k in _SCENARIO_FIELDS})
+
+
 # -- plan identity -----------------------------------------------------------------
 
 
@@ -94,7 +111,7 @@ def request_to_dict(request: PlanRequest) -> dict[str, Any]:
 def request_from_dict(data: dict[str, Any]) -> PlanRequest:
     """Rebuild a :class:`PlanRequest` from :func:`request_to_dict` output."""
     return PlanRequest(
-        scenarios=tuple(Scenario(**s) for s in data["scenarios"]),
+        scenarios=tuple(_scenario_from_dict(s) for s in data["scenarios"]),
         grid=tuple(GridCell(c["k"], c["phi"]) for c in data["grid"]),
         compute_critical=bool(data["compute_critical"]),
     )
@@ -125,7 +142,7 @@ def frontier_to_dict(request: FrontierRequest) -> dict[str, Any]:
 def frontier_from_dict(data: dict[str, Any]) -> FrontierRequest:
     """Rebuild a :class:`FrontierRequest` from :func:`frontier_to_dict` output."""
     return FrontierRequest(
-        scenarios=tuple(Scenario(**s) for s in data["scenarios"]),
+        scenarios=tuple(_scenario_from_dict(s) for s in data["scenarios"]),
         ks=tuple(int(k) for k in data["ks"]),
         metric=str(data["metric"]),
         target=None if data["target"] is None else float(data["target"]),
@@ -189,6 +206,7 @@ class _InstanceRowBase:
     elapsed: float
     facts: dict[str, float]
     cache: dict[str, int]
+    backend: str = "numpy"
 
     def to_json(self) -> str:
         return json.dumps(
@@ -201,11 +219,14 @@ class _InstanceRowBase:
                 "facts": self.facts,
                 self.PAYLOAD: getattr(self, self.PAYLOAD),
                 "cache": self.cache,
+                "backend": self.backend,
             }
         )
 
     @classmethod
     def from_obj(cls, obj: dict[str, Any]) -> "_InstanceRowBase":
+        # Reads known keys only: unknown keys written by a newer version
+        # are ignored (ledger forward compatibility).
         return cls(
             slot=int(obj["slot"]),
             scenario_index=int(obj["scenario_index"]),
@@ -213,6 +234,7 @@ class _InstanceRowBase:
             elapsed=float(obj["elapsed"]),
             facts=dict(obj["facts"]),
             cache={k: int(v) for k, v in obj["cache"].items()},
+            backend=str(obj.get("backend", "numpy")),
             **{cls.PAYLOAD: list(obj[cls.PAYLOAD])},
         )
 
@@ -238,7 +260,13 @@ class LedgerRow(_InstanceRowBase):
     metrics: list[dict[str, Any]] = field(default_factory=list)
 
     def cell_metrics(self) -> list[OrientationMetrics]:
-        return [OrientationMetrics(**m) for m in self.metrics]
+        # Unknown metric keys (added by a newer version) are dropped.
+        return [
+            OrientationMetrics(
+                **{k: v for k, v in m.items() if k in _METRIC_FIELDS}
+            )
+            for m in self.metrics
+        ]
 
 
 @dataclass
@@ -607,7 +635,7 @@ def assemble_batch(
                 RunRecord(scenario, row.instance_index, cell, m,
                           scenario_index=row.scenario_index)
             )
-        stats.merge(CacheStats(**row.cache))
+        stats.merge(CacheStats.from_dict(row.cache))
         elapsed += row.elapsed
     return BatchResult(
         request=request,

@@ -1,0 +1,206 @@
+"""Run-directory lifecycle: compacting finished ledgers, collecting garbage.
+
+A long sweep campaign leaves a run directory strewn with per-shard ledger
+files (one per CI job), torn ``*.json.tmp`` leftovers from killed plan
+writes, and plan files whose runs never checkpointed a single instance.
+Two maintenance operations clean this up without ever touching plan
+fingerprints or row bytes:
+
+:func:`compact_plan`
+    Archive every shard ledger of a finished plan into the single
+    ``s0000of0001`` file.  Rows are carried over as their original raw
+    JSON lines (deduplicated by slot, sorted in plan order), so replay
+    after compaction is byte-for-byte the same data — resumed and
+    assembled results stay bit-identical.
+
+:func:`gc_store`
+    Drop superseded artifacts: stale ``.json.tmp`` files, empty ledger
+    files, and plans with zero checkpointed instances (or one named plan
+    in its entirety).
+
+Both return small report dataclasses and support ``dry_run``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.cache import CacheStats
+from repro.engine.spec import Shard
+from repro.store.ledger import RunStore, StoreError, _read_rows, _row_type_for
+
+__all__ = ["CompactReport", "GcReport", "compact_plan", "gc_store"]
+
+
+@dataclass(frozen=True)
+class CompactReport:
+    """What :func:`compact_plan` did to one plan's ledgers."""
+
+    plan_key: str
+    rows: int
+    files_before: int
+    bytes_before: int
+    bytes_after: int
+    path: Path
+
+    def summary(self) -> str:
+        return (
+            f"plan {self.plan_key[:12]}: {self.rows} rows from "
+            f"{self.files_before} shard file(s) -> {self.path.name} "
+            f"({self.bytes_before} -> {self.bytes_after} bytes)"
+        )
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What :func:`gc_store` removed (or would remove under ``dry_run``)."""
+
+    removed: list[Path] = field(default_factory=list)
+    dry_run: bool = False
+
+    def summary(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        if not self.removed:
+            return f"{verb} nothing"
+        return f"{verb} {len(self.removed)} file(s): " + ", ".join(
+            p.name for p in self.removed
+        )
+
+
+def _raw_rows(path: Path, row_type: str) -> dict[int, str]:
+    """Slot -> original JSON line for every row of ``row_type`` in ``path``.
+
+    Validates each kept line through the regular row parser first (same
+    torn-tail/corruption rules as replay), but carries the *raw* line into
+    the compacted file so no float ever re-serializes.
+    """
+    _read_rows(path, row_type=row_type)  # validation only
+    raw: dict[int, str] = {}
+    with open(path, encoding="utf8") as fh:
+        lines = fh.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    for lineno, line in enumerate(lines):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines) - 1:
+                break  # torn tail, already tolerated by _read_rows
+            raise
+        if obj.get("type") != row_type:
+            continue
+        raw[int(obj["slot"])] = line
+    return raw
+
+
+def compact_plan(
+    store: RunStore, plan_key: str | None = None, *, dry_run: bool = False
+) -> CompactReport:
+    """Merge every shard ledger of a plan into one ``s0000of0001`` file.
+
+    Rows are deduplicated by plan slot (overlapping shards hold identical
+    rows by determinism — last wins), ordered by slot, and written as
+    their original JSON lines followed by one synthesized ``shard_done``
+    summary whose cache stats are the sum of the rows' per-instance
+    deltas.  The write is atomic (tmp + rename); the superseded shard
+    files are deleted only after the archive lands.  The plan file and its
+    fingerprint are untouched, so ``--resume`` and ``assemble`` keep
+    working against the compacted directory.
+    """
+    key, request = store.load_request(plan_key)
+    row_type = _row_type_for(request)
+    paths = store.ledger_paths(key)
+    if not paths:
+        raise StoreError(
+            f"{store.run_dir} has no ledger files for plan {key[:12]}"
+        )
+
+    raw: dict[int, str] = {}
+    elapsed = 0.0
+    stats = CacheStats()
+    bytes_before = 0
+    for path in paths:
+        bytes_before += path.stat().st_size
+        for slot, line in _raw_rows(path, row_type).items():
+            if slot not in raw:
+                obj = json.loads(line)
+                elapsed += float(obj["elapsed"])
+                stats.merge(CacheStats.from_dict(obj["cache"]))
+            raw[slot] = line
+
+    whole = Shard()
+    target = store.ledger_path(key, whole)
+    done = json.dumps(
+        {
+            "type": "shard_done",
+            "shard": [whole.index, whole.count],
+            "cache": stats.as_dict(),
+            "elapsed": elapsed,
+        }
+    )
+    body = "".join(raw[slot] + "\n" for slot in sorted(raw)) + done + "\n"
+    if not dry_run:
+        tmp = target.with_suffix(".jsonl.tmp")
+        tmp.write_text(body, encoding="utf8")
+        with open(tmp, encoding="utf8") as fh:
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+        for path in paths:
+            if path != target:
+                path.unlink()
+    return CompactReport(
+        plan_key=key,
+        rows=len(raw),
+        files_before=len(paths),
+        bytes_before=bytes_before,
+        bytes_after=len(body.encode("utf8")),
+        path=target,
+    )
+
+
+def gc_store(
+    store: RunStore, plan_key: str | None = None, *, dry_run: bool = False
+) -> GcReport:
+    """Remove superseded files from a run directory.
+
+    Always removes stale ``*.tmp`` leftovers from interrupted atomic
+    writes.  With ``plan_key``, additionally removes that plan *entirely*
+    (its plan file and every shard ledger).  Without one, removes plans
+    that never checkpointed an instance (zero rows across all their
+    ledgers) together with their empty ledger files.  Never rewrites a
+    surviving file, so fingerprints and row bytes are stable.
+    """
+    removed: list[Path] = []
+
+    def drop(path: Path) -> None:
+        removed.append(path)
+        if not dry_run:
+            path.unlink()
+
+    for tmp in sorted(store.run_dir.glob("*.tmp")):
+        drop(tmp)
+
+    if plan_key is not None:
+        key, _request = store.load_request(plan_key)
+        for path in store.ledger_paths(key):
+            drop(path)
+        drop(store.plan_path(key))
+        return GcReport(removed=removed, dry_run=dry_run)
+
+    for key in store.plan_keys():
+        data = json.loads(store.plan_path(key).read_text(encoding="utf8"))
+        row_type = {"sweep": "instance", "frontier": "frontier"}[
+            data.get("kind", "sweep")
+        ]
+        paths = store.ledger_paths(key)
+        total = 0
+        for path in paths:
+            total += len(_read_rows(path, row_type=row_type))
+        if total == 0:
+            for path in paths:
+                drop(path)
+            drop(store.plan_path(key))
+    return GcReport(removed=removed, dry_run=dry_run)

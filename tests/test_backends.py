@@ -1,0 +1,300 @@
+"""Backend seam tests: registry, selection precedence, cross-backend parity.
+
+Every registered backend must be *bit-exact* against the reference numpy
+kernels — including on degenerate inputs (single-point instances, collinear
+layouts, full-circle sectors, more antennae than sensors).  Backends whose
+dependencies are absent (numba) are skipped cleanly, never failed.
+
+The batched multi-instance path is validated the repository's usual way:
+kernel *work counters* (one packed launch per chunk instead of one launch
+per instance), never wall-clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import GridCell, PlanRequest, Scenario, execute_plan
+from repro.engine.spec import FrontierRequest
+from repro.errors import InvalidParameterError
+from repro.kernels import (
+    KNOWN_BACKENDS,
+    BackendUnavailable,
+    active_backend,
+    available_backends,
+    pack_instances,
+    resolve_backend,
+    use_backend,
+)
+from repro.kernels.coverage import batched_coverage
+from repro.kernels.critical import critical_range_search
+from repro.kernels.geometry import polar_tables
+from repro.kernels.connectivity import strongly_connected_csr
+from repro.kernels.instrument import recording
+from repro.store import plan_fingerprint, request_to_dict
+
+TWO_PI = 2.0 * np.pi
+
+
+def backend_or_skip(name):
+    try:
+        return resolve_backend(name)
+    except BackendUnavailable as exc:
+        pytest.skip(str(exc))
+
+
+# -- degenerate + adversarial instances --------------------------------------------
+
+
+def random_instance(seed, n=None):
+    rng = np.random.default_rng(seed)
+    if n is None:
+        n = int(rng.integers(2, 24))
+    coords = rng.uniform(-5, 5, size=(n, 2))
+    # duplicate / coincident points stress the dist > 0 exclusion
+    if n >= 4 and rng.random() < 0.5:
+        coords[1] = coords[0]
+    return coords
+
+
+def degenerate_instances():
+    t = np.linspace(0.0, 3.0, 7)
+    return {
+        "single-point": np.array([[0.3, 0.7]]),
+        "two-points": np.array([[0.0, 0.0], [1.0, 0.0]]),
+        "collinear": np.stack([t, 2.0 * t + 0.5], axis=1),
+        "random-9": random_instance(91, n=9),
+        "random-17": random_instance(17),
+    }
+
+
+def make_sectors(rng, n, per_sensor):
+    """Random sectors, ``per_sensor`` antennae each: mixed degenerate cases.
+
+    Includes zero spreads, full-circle (2π) spreads, zero / finite / infinite
+    radii — the boundary semantics every backend must reproduce exactly.
+    """
+    a = n * per_sensor
+    idx = np.repeat(np.arange(n, dtype=np.int64), per_sensor)
+    start = rng.uniform(0.0, TWO_PI, size=a)
+    spread = rng.uniform(0.0, TWO_PI, size=a)
+    spread[rng.random(a) < 0.2] = 0.0
+    spread[rng.random(a) < 0.2] = TWO_PI  # full circles
+    radius = rng.uniform(0.5, 8.0, size=a)
+    radius[rng.random(a) < 0.3] = np.inf
+    radius[rng.random(a) < 0.1] = 0.0
+    return idx, start, spread, radius
+
+
+def reference_outputs(coords, idx, start, spread, radius):
+    """The numpy reference results every backend is judged against."""
+    tables = polar_tables(coords)
+    n = coords.shape[0]
+    cover = batched_coverage(tables, idx, start, spread, radius)
+    cover_ang = batched_coverage(
+        tables, idx, start, spread, radius, ignore_radius=True
+    )
+    src, dst = np.nonzero(cover_ang)
+    critical = critical_range_search(n, np.stack([src, dst], axis=1),
+                                     tables.dist[src, dst])
+    indptr = np.concatenate(
+        [[0], np.cumsum(np.bincount(src, minlength=n))]
+    ).astype(np.int64)
+    sc = strongly_connected_csr(n, indptr, dst.astype(np.int64))
+    return tables, cover, cover_ang, critical, sc
+
+
+@pytest.mark.parametrize("backend_name", KNOWN_BACKENDS)
+class TestBackendParity:
+    """Every backend, bit-exact against the reference kernels."""
+
+    @pytest.mark.parametrize("case", sorted(degenerate_instances()))
+    @pytest.mark.parametrize("per_sensor", [1, 3])
+    def test_per_instance_kernels_match_reference(
+        self, backend_name, case, per_sensor
+    ):
+        backend = backend_or_skip(backend_name)
+        coords = degenerate_instances()[case]
+        n = coords.shape[0]
+        rng = np.random.default_rng(sum(map(ord, case)) * 31 + per_sensor)
+        idx, start, spread, radius = make_sectors(rng, n, per_sensor)
+        tables, cover, cover_ang, critical, sc = reference_outputs(
+            coords, idx, start, spread, radius
+        )
+
+        bt = backend.polar_tables(coords)
+        assert np.array_equal(bt.dist, tables.dist)
+        assert np.array_equal(bt.ang, tables.ang)
+        assert np.array_equal(
+            backend.coverage(tables, idx, start, spread, radius), cover
+        )
+        assert np.array_equal(
+            backend.coverage(
+                tables, idx, start, spread, radius, ignore_radius=True
+            ),
+            cover_ang,
+        )
+        src, dst = np.nonzero(cover_ang)
+        got = backend.critical_range(
+            n, np.stack([src, dst], axis=1), tables.dist[src, dst]
+        )
+        assert got == critical or (got != got and critical != critical)
+        indptr = np.concatenate(
+            [[0], np.cumsum(np.bincount(src, minlength=n))]
+        ).astype(np.int64)
+        assert backend.strongly_connected(n, indptr, dst.astype(np.int64)) == sc
+
+    @pytest.mark.parametrize("per_sensor", [1, 2])
+    def test_packed_kernels_match_per_instance(self, backend_name, per_sensor):
+        backend = backend_or_skip(backend_name)
+        coords_list = list(degenerate_instances().values())
+        batch = pack_instances(coords_list)
+        tables = backend.packed_polar(batch)
+
+        inst_parts, idx_parts, st_parts, sp_parts, ra_parts = [], [], [], [], []
+        refs = []
+        for i, coords in enumerate(coords_list):
+            n = coords.shape[0]
+            rng = np.random.default_rng(1000 + 7 * i + per_sensor)
+            idx, start, spread, radius = make_sectors(rng, n, per_sensor)
+            refs.append(reference_outputs(coords, idx, start, spread, radius))
+            inst_parts.append(np.full(idx.shape[0], i, dtype=np.int64))
+            idx_parts.append(idx)
+            st_parts.append(start)
+            sp_parts.append(spread)
+            ra_parts.append(radius)
+        inst_idx = np.concatenate(inst_parts)
+        sensor_idx = np.concatenate(idx_parts)
+        start = np.concatenate(st_parts)
+        spread = np.concatenate(sp_parts)
+        radius = np.concatenate(ra_parts)
+
+        cover = backend.packed_coverage(
+            tables, inst_idx, sensor_idx, start, spread, radius
+        )
+        cover_ang = backend.packed_coverage(
+            tables, inst_idx, sensor_idx, start, spread, radius,
+            ignore_radius=True,
+        )
+        connected = backend.packed_strongly_connected(cover_ang, batch.counts)
+        critical = backend.packed_critical(tables, cover_ang)
+
+        for i, coords in enumerate(coords_list):
+            n = coords.shape[0]
+            ref_tables, ref_cover, ref_cover_ang, ref_cr, ref_sc = refs[i]
+            assert np.array_equal(tables.dist[i, :n, :n], ref_tables.dist)
+            assert np.array_equal(tables.ang[i, :n, :n], ref_tables.ang)
+            assert np.array_equal(cover[i, :n, :n], ref_cover)
+            assert not cover[i, n:, :].any() and not cover[i, :, n:].any()
+            assert np.array_equal(cover_ang[i, :n, :n], ref_cover_ang)
+            assert bool(connected[i]) == ref_sc
+            cr = float(critical[i])
+            assert cr == ref_cr or (cr != cr and ref_cr != ref_cr)
+
+
+# -- registry and selection precedence ---------------------------------------------
+
+
+class TestBackendSelection:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+        assert resolve_backend(None).name == "numpy"
+        assert resolve_backend("numpy") is resolve_backend("numpy")  # cached
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(BackendUnavailable, match="bogus"):
+            resolve_backend("bogus")
+
+    def test_env_var_selects_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert resolve_backend(None).name == "numpy"
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        with pytest.raises(BackendUnavailable):
+            resolve_backend(None)
+        # an explicit name beats a broken environment
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_use_backend_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        with use_backend("numpy"):
+            assert active_backend().name == "numpy"
+
+    def test_use_backend_nests_and_restores(self):
+        outer = active_backend()
+        with use_backend("numpy"):
+            inner = active_backend()
+            assert inner.name == "numpy"
+            with use_backend(inner):
+                assert active_backend() is inner
+        assert active_backend() is outer
+
+    def test_spec_flag_validated(self):
+        with pytest.raises(InvalidParameterError):
+            PlanRequest.sweep(
+                workloads=["uniform"], sizes=[8], seeds=1,
+                ks=[1], phis=[np.pi], backend="bogus",
+            )
+        with pytest.raises(InvalidParameterError):
+            FrontierRequest(
+                scenarios=(Scenario("uniform", 8, seeds=1),),
+                ks=(1,), metric="critical_range", backend="bogus",
+            )
+
+    def test_backend_flag_stays_out_of_fingerprint(self):
+        plain = PlanRequest.sweep(
+            workloads=["uniform"], sizes=[8], seeds=1, ks=[1], phis=[np.pi]
+        )
+        flagged = PlanRequest.sweep(
+            workloads=["uniform"], sizes=[8], seeds=1, ks=[1], phis=[np.pi],
+            backend="numpy",
+        )
+        assert plan_fingerprint(plain) == plan_fingerprint(flagged)
+        assert "backend" not in request_to_dict(flagged)
+
+
+# -- the batched multi-instance path -----------------------------------------------
+
+
+def many_instance_request(seeds=200):
+    return PlanRequest(
+        (Scenario("uniform", 10, seeds=seeds, tag="batch-path"),),
+        (GridCell(1, np.pi),),
+    )
+
+
+class TestBatchedExecution:
+    def test_batched_matches_per_instance_bit_exactly(self):
+        request = many_instance_request(seeds=24)
+        batched = execute_plan(request)
+        loop = execute_plan(request, batch_instances=False)
+        assert len(batched.records) == len(loop.records)
+        for ra, rb in zip(batched.records, loop.records):
+            assert ra.metrics.identical(rb.metrics)
+        assert batched.backend == loop.backend == "numpy"
+        for rep_a, rep_b in zip(
+            batched.instance_reports, loop.instance_reports
+        ):
+            assert rep_a.lmax == rep_b.lmax
+            assert rep_a.diameter == rep_b.diameter
+            assert rep_a.mst_weight == rep_b.mst_weight
+
+    def test_batched_path_needs_10x_fewer_kernel_launches(self):
+        request = many_instance_request(seeds=200)
+        with recording() as rec_batched:
+            execute_plan(request)
+        with recording() as rec_loop:
+            execute_plan(request, batch_instances=False)
+        batched_c, loop_c = rec_batched.as_dict(), rec_loop.as_dict()
+        assert batched_c["batched_instances"] == 200
+        assert batched_c["packed_polar_builds"] >= 1
+        # the acceptance bar: >= 10x fewer Python-level kernel launches
+        assert loop_c["coverage_calls"] >= 10 * batched_c["coverage_calls"]
+        assert loop_c["critical_searches"] >= 10 * batched_c["critical_searches"]
+
+    def test_ledger_rows_carry_backend_tag(self, tmp_path):
+        from repro.store import RunStore
+
+        request = many_instance_request(seeds=3)
+        store = RunStore(tmp_path)
+        execute_plan(request, store=store)
+        rows = store.load_rows(plan_fingerprint(request))
+        assert rows and all(row.backend == "numpy" for row in rows.values())

@@ -356,3 +356,171 @@ class TestPhiBoundaryRoundTrip:
             json.loads(json.dumps(request_to_dict(sloppy)))
         )
         assert again == exact
+
+
+class TestForwardCompatibility:
+    """A ledger written by a newer version must replay here.
+
+    Newer versions may add row keys (like the ``backend`` tag this version
+    added), metric fields, cache counters, or scenario fields; readers drop
+    what they don't know instead of failing strict-key validation."""
+
+    def inject_unknown_keys(self, run_dir) -> None:
+        (ledger,) = run_dir.glob("ledger-*.jsonl")
+        out = []
+        for line in ledger.read_text(encoding="utf8").splitlines():
+            obj = json.loads(line)
+            if obj.get("type") == "instance":
+                obj["future_row_key"] = {"nested": True}
+                obj["cache"]["future_counter"] = 7
+                for m in obj["metrics"]:
+                    m["future_metric"] = 0.25
+            out.append(json.dumps(obj))
+        ledger.write_text("\n".join(out) + "\n", encoding="utf8")
+
+    def test_round_trip_with_unknown_keys_everywhere(self, tmp_path):
+        req = one_scenario_request(seeds=2)
+        store = RunStore(tmp_path / "runs")
+        live = execute_plan(req, store=store)
+        self.inject_unknown_keys(tmp_path / "runs")
+
+        key, loaded, rows = merge_stores([tmp_path / "runs"])
+        assert loaded == req
+        merged = assemble_batch(loaded, rows)
+        assert_batches_identical(live, merged)
+
+        resumed = execute_plan(req, store=RunStore(tmp_path / "runs"),
+                               resume=True)
+        assert resumed.replayed_instances == req.total_instances
+        assert_batches_identical(live, resumed)
+
+    def test_unknown_scenario_keys_dropped(self):
+        data = request_to_dict(one_scenario_request())
+        for s in data["scenarios"]:
+            s["future_scenario_field"] = "x"
+        assert request_from_dict(data) == one_scenario_request()
+
+    def test_unknown_row_types_skipped(self, tmp_path):
+        req = one_scenario_request(seeds=2)
+        store = RunStore(tmp_path / "runs")
+        execute_plan(req, store=store)
+        (ledger,) = (tmp_path / "runs").glob("ledger-*.jsonl")
+        with open(ledger, "a", encoding="utf8") as fh:
+            fh.write(json.dumps({"type": "future_row", "slot": 99}) + "\n")
+        rows = RunStore(tmp_path / "runs").load_rows(plan_fingerprint(req))
+        assert sorted(rows) == list(range(req.total_instances))
+
+    def test_rows_record_their_backend(self, tmp_path):
+        req = one_scenario_request(seeds=2)
+        store = RunStore(tmp_path / "runs")
+        execute_plan(req, store=store)
+        rows = store.load_rows(plan_fingerprint(req))
+        assert all(row.backend == "numpy" for row in rows.values())
+        # rows written before the tag existed default to numpy
+        (ledger,) = (tmp_path / "runs").glob("ledger-*.jsonl")
+        out = []
+        for line in ledger.read_text(encoding="utf8").splitlines():
+            obj = json.loads(line)
+            obj.pop("backend", None)
+            out.append(json.dumps(obj))
+        ledger.write_text("\n".join(out) + "\n", encoding="utf8")
+        rows = store.load_rows(plan_fingerprint(req))
+        assert all(row.backend == "numpy" for row in rows.values())
+
+
+class TestLifecycle:
+    """``repro store compact`` / ``repro store gc`` semantics."""
+
+    def sharded_run(self, run_dir, req):
+        results = []
+        for i in range(3):
+            results.append(
+                execute_plan(req, store=RunStore(run_dir), shard=(i, 3))
+            )
+        return results
+
+    def test_compact_merges_shards_bit_identically(self, tmp_path):
+        from repro.store import compact_plan
+
+        req = two_scenario_request()
+        run_dir = tmp_path / "runs"
+        self.sharded_run(run_dir, req)
+        store = RunStore(run_dir)
+        key = plan_fingerprint(req)
+        before = store.load_rows(key)
+        raw_before = {
+            slot: row.to_json() for slot, row in before.items()
+        }
+        assert len(store.ledger_paths(key)) == 3
+
+        report = compact_plan(store, dry_run=True)
+        assert len(store.ledger_paths(key)) == 3  # dry run touches nothing
+
+        report = compact_plan(store)
+        assert report.rows == req.total_instances
+        assert report.files_before == 3
+        paths = store.ledger_paths(key)
+        assert len(paths) == 1
+        assert paths[0].name.endswith("-s0000of0001.jsonl")
+        after = store.load_rows(key)
+        assert {s: r.to_json() for s, r in after.items()} == raw_before
+        # the archive replays like the original shards
+        _, loaded, rows = merge_stores([run_dir])
+        assemble_batch(loaded, rows)  # must not raise
+        # fingerprint (and plan file) untouched
+        assert store.plan_keys() == [key]
+
+    def test_compact_then_resume_reexecutes_nothing(self, tmp_path):
+        from repro.store import compact_plan
+
+        req = one_scenario_request()
+        run_dir = tmp_path / "runs"
+        self.sharded_run(run_dir, req)
+        compact_plan(RunStore(run_dir))
+        with recording() as rec:
+            resumed = execute_plan(req, store=RunStore(run_dir), resume=True)
+        assert resumed.replayed_instances == req.total_instances
+        assert rec.as_dict()["coverage_calls"] == 0
+
+    def test_gc_removes_tmp_and_rowless_plans(self, tmp_path):
+        from repro.store import gc_store
+
+        run_dir = tmp_path / "runs"
+        req = one_scenario_request(seeds=2)
+        store = RunStore(run_dir)
+        execute_plan(req, store=store)
+        # a plan that never checkpointed anything, plus a stale tmp file
+        empty_req = one_scenario_request(seeds=2, compute_critical=False)
+        store.write_plan(empty_req)
+        stale = run_dir / "plan-deadbeef.json.tmp"
+        stale.write_text("{}", encoding="utf8")
+
+        report = gc_store(store, dry_run=True)
+        assert stale.exists()  # dry run touches nothing
+        assert {p.name for p in report.removed} == {
+            stale.name,
+            store.plan_path(plan_fingerprint(empty_req)).name,
+        }
+
+        gc_store(store)
+        assert not stale.exists()
+        assert store.plan_keys() == [plan_fingerprint(req)]
+        # the surviving plan still loads and assembles
+        key, loaded, rows = merge_stores([run_dir])
+        assert loaded == req
+        assemble_batch(loaded, rows)
+
+    def test_gc_named_plan_removes_it_entirely(self, tmp_path):
+        from repro.store import gc_store
+
+        run_dir = tmp_path / "runs"
+        store = RunStore(run_dir)
+        req_a = one_scenario_request(seeds=2)
+        req_b = one_scenario_request(seeds=2, compute_critical=False)
+        execute_plan(req_a, store=store)
+        execute_plan(req_b, store=RunStore(run_dir))
+        key_a = plan_fingerprint(req_a)
+        gc_store(RunStore(run_dir), key_a)
+        survivors = RunStore(run_dir).plan_keys()
+        assert survivors == [plan_fingerprint(req_b)]
+        assert not RunStore(run_dir).ledger_paths(key_a)
