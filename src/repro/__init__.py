@@ -30,17 +30,19 @@ from repro.core.theorem2 import orient_theorem2
 from repro.core.theorem3 import orient_theorem3
 from repro.core.theorem5 import orient_theorem5
 from repro.core.theorem6 import orient_theorem6
+from repro.api import submit
 from repro.engine import (
     ArtifactCache,
     BatchResult,
     FrontierRequest,
     GridCell,
     PlanRequest,
+    RequestBase,
     Scenario,
     Shard,
     execute_plan,
 )
-from repro.errors import ReproError
+from repro.errors import PlanCancelled, ReproError
 from repro.frontier import FrontierBatch, execute_frontier
 from repro.io import load_result, save_result
 from repro.kernels import kernel_counters, polar_tables, reset_kernel_counters
@@ -66,9 +68,11 @@ __all__ = [
     "FrontierRequest",
     "GridCell",
     "OrientationResult",
+    "PlanCancelled",
     "PlanRequest",
     "PointSet",
     "ReproError",
+    "RequestBase",
     "RootedTree",
     "RunStore",
     "Scenario",
@@ -99,6 +103,7 @@ __all__ = [
     "orient_theorem5",
     "orient_theorem6",
     "paper_range_bound",
+    "submit",
     "table1_rows",
     "transmission_graph",
 ]

@@ -10,10 +10,13 @@ sweep      run a (workload × n) × (k × phi) batch through the engine
 frontier   adaptively bisect phi to a metric threshold (or map its staircase)
 merge      aggregate the shard ledgers of one or more run directories
 store      maintain a run directory (compact shard ledgers, gc leftovers)
+serve      run the planning service HTTP API over a run directory
+worker     claim and execute queued plans' shards from a run directory
 
-``sweep`` and ``frontier`` accept ``--backend`` to pick the kernel backend
-(also selectable via the ``REPRO_BACKEND`` environment variable); results
-are bit-identical across backends.
+``sweep``, ``frontier`` and ``worker`` share one durable-execution option
+group (``--run-dir/--resume/--shard/--backend/--jobs``); ``--backend`` is
+also selectable via the ``REPRO_BACKEND`` environment variable, and
+results are bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -21,6 +24,17 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+
+#: The exit-code contract shared by every subcommand (also in README.md).
+_EXIT_CODES = """\
+exit codes:
+  0  success
+  1  a validation/certificate check failed (plan, validate)
+  2  usage, store, or backend error (bad parameters, refused ledger,
+     unavailable backend, missing --run-dir)
+  3  execution stopped at a cancellation tombstone (repro sweep/frontier
+     --resume after clearing it continues from the ledgered chunks)
+"""
 
 
 #: Mirror of :data:`repro.engine.spec.FRONTIER_METRICS`, kept literal so
@@ -210,6 +224,10 @@ def _run_batch_command(
     if store is None and (args.resume or not shard.is_whole):
         print("error: --resume and --shard require --run-dir", file=sys.stderr)
         return 2
+    if store is not None and args.resume:
+        # An explicit resume is the "run this after all" signal: a leftover
+        # cancellation tombstone must not immediately re-stop the run.
+        store.clear_cancel(request.fingerprint())
     print(f"[{tag}] {request.describe()}", file=sys.stderr, flush=True)
 
     def progress(report) -> None:
@@ -220,11 +238,16 @@ def _run_batch_command(
             file=sys.stderr, flush=True,
         )
 
+    from repro.errors import PlanCancelled
+
     try:
         batch = execute(
             request, jobs=args.jobs, on_instance=progress,
             store=store, shard=shard, resume=args.resume,
         )
+    except PlanCancelled as exc:
+        print(f"[{tag}] {exc}", file=sys.stderr)
+        return 3
     except (StoreError, BackendUnavailable) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -336,6 +359,71 @@ def cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import create_app
+    from repro.service.http import serve
+
+    app = create_app(
+        args.run_dir,
+        backend=args.backend,
+        jobs=args.jobs,
+        execute=not args.no_execute,
+    )
+    mode = "queue-only (drain with 'repro worker')" if args.no_execute else \
+        "executing submissions in-process"
+    print(
+        f"[serve] http://{args.host}:{args.port} over run dir {args.run_dir} "
+        f"({mode})",
+        file=sys.stderr, flush=True,
+    )
+    try:
+        asyncio.run(serve(app, args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.engine import Shard
+    from repro.service.worker import run_workers
+    from repro.store import StoreError
+
+    if not args.run_dir:
+        print("error: worker requires --run-dir", file=sys.stderr)
+        return 2
+    try:
+        shard = Shard.parse(args.shard) if args.shard else None
+        if args.workers < 1:
+            raise StoreError(f"--workers must be >= 1, got {args.workers}")
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    pin = f", claims restricted to shard {shard.label}" if shard else ""
+    print(
+        f"[worker] draining {args.run_dir} with {args.workers} worker "
+        f"process(es){pin}",
+        file=sys.stderr, flush=True,
+    )
+    try:
+        run_workers(
+            args.run_dir,
+            args.workers,
+            backend=args.backend,
+            jobs=args.jobs,
+            once=not args.forever,
+            poll=args.poll,
+            shard=None if shard is None else (shard.index, shard.count),
+        )
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_store(args: argparse.Namespace) -> int:
     from repro.store import RunStore, StoreError, compact_plan, gc_store
 
@@ -353,9 +441,44 @@ def cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _durable_options() -> argparse.ArgumentParser:
+    """The parent option group shared by ``sweep``/``frontier``/``worker``.
+
+    One definition keeps the durable-execution surface identical across
+    every command that touches a run directory; subcommands inherit it via
+    ``parents=[...]``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    g = parent.add_argument_group(
+        "durable execution options",
+        "shared by 'sweep', 'frontier' and 'worker'",
+    )
+    g.add_argument("--run-dir", default=None,
+                   help="run directory: persist/claim per-instance ledgers "
+                        "here (required for worker)")
+    g.add_argument("--resume", action="store_true",
+                   help="replay already-ledgered instances from --run-dir "
+                        "and clear any cancellation tombstone (worker always "
+                        "resumes)")
+    g.add_argument("--shard", default=None, metavar="I/M",
+                   help="execute (sweep/frontier) or claim (worker) only "
+                        "shard I of M disjoint plan partitions (e.g. 0/2)")
+    g.add_argument("--backend", default=None,
+                   help="kernel backend: numpy or numba (default: the "
+                        "REPRO_BACKEND environment variable, else numpy); "
+                        "results are bit-identical across backends")
+    g.add_argument("--jobs", type=int, default=1,
+                   help="worker processes per execution (default: 1 = serial)")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__, epilog=_EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+    durable = _durable_options()
 
     p = sub.add_parser("plan", help="orient antennae for a CSV deployment")
     p.add_argument("--input", required=True, help="CSV of x,y sensor coordinates")
@@ -383,6 +506,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sweep",
         help="run a (workload × n) × (k × phi) batch through the engine",
+        parents=[durable], epilog=_EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p.add_argument("--workload", nargs="+", default=["uniform"],
                    help="workload generator names (default: uniform)")
@@ -394,15 +519,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="antennae-per-sensor values (default: 1 2)")
     p.add_argument("--phi", nargs="+", type=_parse_phi, default=[math.pi],
                    help="angular budgets (radians; accepts 'pi', '2pi/3')")
-    p.add_argument("--jobs", type=int, default=1,
-                   help="worker processes (default: 1 = serial)")
     p.add_argument("--tag", default="sweep",
                    help="seed namespace for the scenario instances")
     p.add_argument("--no-critical", action="store_true",
                    help="skip the (expensive) critical-range measurement")
-    p.add_argument("--backend", default=None,
-                   help="kernel backend: numpy or numba (default: the "
-                        "REPRO_BACKEND environment variable, else numpy)")
     p.add_argument("--per-instance", action="store_true",
                    help="evaluate instances one at a time instead of the "
                         "packed multi-instance batch path (bit-identical)")
@@ -410,17 +530,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="one row per grid cell, or per (scenario, cell)")
     p.add_argument("--format", choices=("markdown", "json"), default="markdown")
     p.add_argument("--output", help="write the table/JSON here instead of stdout")
-    p.add_argument("--run-dir", default=None,
-                   help="persist a run ledger here (checkpoint per instance)")
-    p.add_argument("--resume", action="store_true",
-                   help="replay already-ledgered instances from --run-dir")
-    p.add_argument("--shard", default=None, metavar="I/M",
-                   help="execute one of M disjoint plan shards (e.g. 0/2)")
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
         "frontier",
         help="adaptively bisect phi to a metric threshold or map its staircase",
+        parents=[durable], epilog=_EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p.add_argument("--workload", nargs="+", default=["uniform"],
                    help="workload generator names (default: uniform)")
@@ -442,21 +558,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="upper end of the phi search interval (default: 2pi)")
     p.add_argument("--tol", type=float, default=1e-3,
                    help="phi resolution of the search (default: 1e-3)")
-    p.add_argument("--backend", default=None,
-                   help="kernel backend: numpy or numba (default: the "
-                        "REPRO_BACKEND environment variable, else numpy)")
-    p.add_argument("--jobs", type=int, default=1,
-                   help="worker processes (default: 1 = serial)")
     p.add_argument("--tag", default="frontier",
                    help="seed namespace for the scenario instances")
     p.add_argument("--format", choices=("markdown", "json"), default="markdown")
     p.add_argument("--output", help="write the table/JSON here instead of stdout")
-    p.add_argument("--run-dir", default=None,
-                   help="persist a run ledger here (checkpoint per instance)")
-    p.add_argument("--resume", action="store_true",
-                   help="replay already-ledgered instances from --run-dir")
-    p.add_argument("--shard", default=None, metavar="I/M",
-                   help="execute one of M disjoint plan shards (e.g. 0/2)")
     p.set_defaults(fn=cmd_frontier)
 
     p = sub.add_parser(
@@ -474,6 +579,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("markdown", "json"), default="markdown")
     p.add_argument("--output", help="write the table/JSON here instead of stdout")
     p.set_defaults(fn=cmd_merge)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the planning service HTTP API over a run directory",
+        epilog=_EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument("--run-dir", required=True,
+                   help="run directory all jobs live in")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8321,
+                   help="TCP port (default: 8321)")
+    p.add_argument("--backend", default=None,
+                   help="kernel backend for in-process execution")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes per executed plan (default: 1)")
+    p.add_argument("--no-execute", action="store_true",
+                   help="queue submissions without executing them; drain the "
+                        "run directory with 'repro worker' instead")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="claim and execute queued plans' shards from a run directory",
+        parents=[durable], epilog=_EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        description="Each worker process claims unowned shards of queued "
+                    "plans via atomic claim files and executes them through "
+                    "the standard resume path, so N workers sharing one run "
+                    "directory produce output bit-identical to a serial run. "
+                    "--resume is implied; --shard restricts which partition "
+                    "this invocation may claim.",
+    )
+    p.add_argument("--workers", type=int, default=1,
+                   help="number of worker processes to run (default: 1)")
+    p.add_argument("--forever", action="store_true",
+                   help="keep polling for new queued plans instead of "
+                        "exiting when the queue drains")
+    p.add_argument("--poll", type=float, default=0.5,
+                   help="seconds between queue polls (default: 0.5)")
+    p.set_defaults(fn=cmd_worker)
 
     p = sub.add_parser(
         "store",

@@ -1,0 +1,150 @@
+"""The one public entry point for executing plans: :func:`submit`.
+
+Everything that runs a request — the CLI, the planning service
+(:mod:`repro.service`), worker processes, benchmarks, user scripts —
+routes through this façade:
+
+>>> from repro.api import submit, PlanRequest          # doctest: +SKIP
+>>> result = submit(request, store=store, resume=True) # doctest: +SKIP
+
+:func:`submit` dispatches on the request type (:class:`PlanRequest` →
+:func:`repro.engine.execute_plan`, :class:`FrontierRequest` →
+:func:`repro.frontier.execute_frontier`) with one shared keyword surface
+for durability (``store``/``shard``/``resume``), fan-out (``jobs``) and
+kernel selection (``backend``).  Both request kinds derive from
+:class:`repro.engine.spec.RequestBase`, which owns fingerprinting,
+wire-format serialization (:meth:`~repro.engine.spec.RequestBase.to_wire`
+/ :func:`repro.engine.spec.request_from_wire`) and backend validation —
+so a request that round-trips the service's wire format executes
+identically to one constructed in-process.
+
+The request/result types are re-exported here so service code (and user
+code) can depend on :mod:`repro.api` alone.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Union
+
+from repro.engine.cache import ArtifactCache
+from repro.engine.executor import BatchResult, InstanceReport, execute_plan
+from repro.engine.spec import (
+    FrontierRequest,
+    GridCell,
+    PlanRequest,
+    RequestBase,
+    Scenario,
+    Shard,
+    request_from_wire,
+)
+from repro.errors import InvalidParameterError, PlanCancelled
+from repro.frontier.executor import FrontierBatch, execute_frontier
+
+__all__ = [
+    "submit",
+    "assemble",
+    "RequestBase",
+    "PlanRequest",
+    "FrontierRequest",
+    "Scenario",
+    "GridCell",
+    "Shard",
+    "BatchResult",
+    "FrontierBatch",
+    "InstanceReport",
+    "PlanCancelled",
+    "request_from_wire",
+]
+
+#: What :func:`submit` returns: the sweep or frontier result type.
+SubmitResult = Union[BatchResult, FrontierBatch]
+
+
+def submit(
+    request: RequestBase,
+    *,
+    store: Any = None,
+    shard: "Shard | tuple[int, int] | None" = None,
+    resume: bool = False,
+    backend: "str | None" = None,
+    jobs: int = 1,
+    cache: "ArtifactCache | None" = None,
+    on_instance: "Callable[[InstanceReport], None] | None" = None,
+) -> SubmitResult:
+    """Execute any request kind through its executor; block until done.
+
+    Parameters are the shared durable-execution surface (identical
+    meaning to :func:`~repro.engine.execute_plan` /
+    :func:`~repro.frontier.execute_frontier`):
+
+    store / shard / resume:
+        Checkpoint into a :class:`~repro.store.RunStore`, restrict to one
+        round-robin :class:`Shard`, replay already-ledgered chunks.
+    backend:
+        Kernel backend name (``None`` → request field → ``REPRO_BACKEND``
+        env → numpy default).
+    jobs:
+        Worker processes for chunk fan-out; ``<= 1`` runs inline.
+    cache / on_instance:
+        Serial-path artifact cache injection and per-instance progress
+        hook, as on the executors.
+
+    Returns :class:`BatchResult` for a :class:`PlanRequest`,
+    :class:`FrontierBatch` for a :class:`FrontierRequest`.  Raises
+    :class:`~repro.errors.PlanCancelled` if the store carries the plan's
+    cancellation tombstone (clear it with
+    :meth:`~repro.store.RunStore.clear_cancel` and resubmit with
+    ``resume=True`` to continue).
+    """
+    kwargs: dict[str, Any] = dict(
+        jobs=jobs,
+        cache=cache,
+        on_instance=on_instance,
+        store=store,
+        shard=shard,
+        resume=resume,
+        backend=backend,
+    )
+    if isinstance(request, PlanRequest):
+        return execute_plan(request, **kwargs)
+    if isinstance(request, FrontierRequest):
+        return execute_frontier(request, **kwargs)
+    raise InvalidParameterError(
+        f"submit() needs a PlanRequest or FrontierRequest, "
+        f"got {type(request).__name__}"
+    )
+
+
+def assemble(
+    request: RequestBase,
+    store: Any,
+    *,
+    allow_partial: bool = False,
+) -> SubmitResult:
+    """Rebuild the full result of ``request`` purely from ledger rows.
+
+    The read-side twin of :func:`submit`: dispatches to
+    :func:`repro.store.assemble_batch` or
+    :func:`repro.frontier.assemble_frontier` on the request kind.  No
+    kernel work runs; with ``allow_partial=False`` every plan slot must be
+    ledgered (across any shard files in the run directory).
+    """
+    from repro.frontier.executor import assemble_frontier
+    from repro.store.ledger import assemble_batch
+
+    if isinstance(request, PlanRequest):
+        return assemble_batch(
+            request,
+            store.load_rows(request.fingerprint()),
+            allow_partial=allow_partial,
+        )
+    if isinstance(request, FrontierRequest):
+        return assemble_frontier(
+            request,
+            store.load_frontier_rows(request.fingerprint()),
+            allow_partial=allow_partial,
+        )
+    raise InvalidParameterError(
+        f"assemble() needs a PlanRequest or FrontierRequest, "
+        f"got {type(request).__name__}"
+    )

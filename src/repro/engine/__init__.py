@@ -28,8 +28,10 @@ from repro.engine.spec import (
     FrontierRequest,
     GridCell,
     PlanRequest,
+    RequestBase,
     Scenario,
     Shard,
+    request_from_wire,
 )
 
 __all__ = [
@@ -40,10 +42,12 @@ __all__ = [
     "GridCell",
     "InstanceReport",
     "PlanRequest",
+    "RequestBase",
     "RunRecord",
     "Scenario",
     "Shard",
     "content_hash",
     "execute_plan",
+    "request_from_wire",
     "run_instance_grid",
 ]

@@ -337,6 +337,14 @@ def _chunk_tasks(tasks: list[_Task], jobs: int) -> list[list[_Task]]:
     return [tasks[i : i + target] for i in range(0, len(tasks), target)]
 
 
+def _tombstone_check(store: Any, request: Any) -> "Callable[[], bool] | None":
+    """``should_stop`` hook polling the plan's cancel marker in ``store``."""
+    if store is None or not hasattr(store, "is_cancelled"):
+        return None
+    key = request.fingerprint()
+    return lambda: store.is_cancelled(key)
+
+
 def _execute_durable(
     request: Any,
     all_tasks: list[_Task],
@@ -352,6 +360,7 @@ def _execute_durable(
     rows_for_resume: Callable[[Any, str], dict[int, Any]],
     payload_of_row: Callable[[int, Any], Any],
     row_of_payload: Callable[[int, int, int, Any], Any],
+    should_stop: "Callable[[], bool] | None" = None,
 ) -> tuple[dict[int, Any], int, int, "str | None", Any]:
     """The durable-execution skeleton shared by the sweep and frontier
     executors: resume-guarded store handling, per-completion checkpointing,
@@ -368,6 +377,12 @@ def _execute_durable(
     ``rows_for_resume`` loads the plan's ledgered rows; ``payload_of_row``
     validates one against the request shape (raising ``StoreError``) and
     converts it.
+
+    ``should_stop`` is the cancellation hook: polled before execution
+    starts and between completed chunks.  When it reports ``True`` the
+    ledger is closed (completed chunks stay checkpointed, no ``shard_done``
+    summary is written) and :class:`~repro.errors.PlanCancelled` is raised,
+    so a later resume continues exactly where the cancel landed.
 
     Returns ``(payloads, replayed, jobs_used, fallback_reason, ledger)``;
     the caller reassembles its result type in plan order and must
@@ -397,6 +412,19 @@ def _execute_durable(
 
     todo = [t for t in all_tasks if shard.owns(t[0]) and t[0] not in payloads]
 
+    def stop_check() -> None:
+        if should_stop is None or not should_stop():
+            return
+        from repro.errors import PlanCancelled
+
+        if ledger is not None:
+            ledger.close()  # checkpointed chunks survive; no shard_done
+        raise PlanCancelled(
+            f"plan execution cancelled (shard {shard.label}); completed "
+            "chunks are ledgered — clear the cancel marker and resume to "
+            "continue"
+        )
+
     def checkpoint(slot: int, payload: Any) -> None:
         nonlocal ledger
         if store is None:
@@ -413,6 +441,7 @@ def _execute_durable(
             _, si, ii, _ = all_tasks[slot]
             on_instance(_report(si, ii, payload[1], payload[2]))
 
+    stop_check()
     fallback_reason = None
     jobs_used = 1
     pool = None
@@ -430,13 +459,15 @@ def _execute_durable(
             for future in as_completed(futures):
                 for slot, payload in future.result():
                     complete(slot, payload)
+                stop_check()
         finally:
-            pool.shutdown(wait=True)
+            pool.shutdown(wait=True, cancel_futures=True)
     else:
         local_cache = cache if cache is not None else ArtifactCache()
         for serial_chunk in _chunk_tasks(todo, 1):
             for slot, payload in run_chunk_serial(serial_chunk, local_cache):
                 complete(slot, payload)
+            stop_check()
     return payloads, replayed, jobs_used, fallback_reason, ledger
 
 
@@ -483,7 +514,12 @@ def execute_plan(
         With a ``store``: replay already-ledgered instance chunks (from any
         shard's ledger in the run directory) instead of re-executing them.
         Without ``resume``, a ledger that already has rows for this plan's
-        shard is an error — appending twice would corrupt the run.
+        shard is an error — appending twice would corrupt the run.  With a
+        ``store`` the plan's cancellation tombstone (see
+        :meth:`~repro.store.RunStore.cancel`) is polled between chunks;
+        a set tombstone stops execution with
+        :class:`~repro.errors.PlanCancelled`, keeping completed chunks
+        ledgered for a later resume.
     backend:
         Kernel backend name for all measurement work.  ``None`` defers to
         ``request.backend``, then the ``REPRO_BACKEND`` environment
@@ -550,6 +586,7 @@ def execute_plan(
         rows_for_resume=lambda s, key: s.load_rows(key),
         payload_of_row=payload_of_row,
         row_of_payload=row_of_payload,
+        should_stop=_tombstone_check(store, request),
     )
 
     # Reassemble in plan order (restricted to the shard).  Cache stats are

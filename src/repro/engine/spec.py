@@ -8,13 +8,24 @@ always yields bit-identical instances, in any process).  A
 ``(k, φ)`` cells — the unit of work the sweep executor consumes.  A
 :class:`FrontierRequest` instead pairs scenarios with an adaptive φ
 search per ``k`` (see :mod:`repro.frontier`).
+
+Both request kinds derive from :class:`RequestBase`, which owns the three
+identity-critical behaviours — JSON serialization (:meth:`RequestBase.to_dict`
+/ :meth:`RequestBase.from_dict`), the SHA-256 content fingerprint
+(:meth:`RequestBase.fingerprint`, the run-store ledger key and the service's
+idempotent job id), and backend validation — so a new request kind cannot
+drift from the established wire/ledger contract.  The fingerprint scheme is
+frozen: refactors must keep every historical fingerprint byte-stable
+(regression-tested against ``tests/fixtures/plan_fingerprints.json``).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Any, ClassVar, Iterator, Sequence
 
 import numpy as np
 
@@ -24,7 +35,23 @@ from repro.geometry.angles import clamp_angular_budget
 from repro.kernels.backend import KNOWN_BACKENDS
 from repro.utils.rng import stable_seed
 
-__all__ = ["Scenario", "GridCell", "PlanRequest", "FrontierRequest", "Shard"]
+__all__ = [
+    "LEDGER_VERSION",
+    "Scenario",
+    "GridCell",
+    "RequestBase",
+    "PlanRequest",
+    "FrontierRequest",
+    "Shard",
+    "REQUEST_KINDS",
+    "request_from_wire",
+]
+
+#: Version mixed into every plan fingerprint (and recorded in plan files);
+#: bump only for a deliberate, ledger-breaking format change.  Lives here —
+#: next to the fingerprint implementation — and is re-exported by
+#: :mod:`repro.store` for compatibility.
+LEDGER_VERSION = 1
 
 #: OrientationMetrics fields a frontier search may bisect on.  Each is
 #: (weakly) non-increasing in φ — the bisection invariant — with one
@@ -116,6 +143,16 @@ class Scenario:
         """All instances, in seed order."""
         for i in range(self.seeds):
             yield self.instance(i)
+
+
+#: Known scenario field names, used to drop unknown keys from serialized
+#: scenarios (ledger/wire forward compatibility) instead of letting
+#: ``__init__`` raise.
+_SCENARIO_FIELDS = ("workload", "n", "seeds", "tag", "seed_offset")
+
+
+def _scenario_from_dict(s: dict[str, Any]) -> Scenario:
+    return Scenario(**{k: v for k, v in s.items() if k in _SCENARIO_FIELDS})
 
 
 #: The shared validate-and-clamp rule for angular budgets (snap the
@@ -210,7 +247,100 @@ class Shard:
 
 
 @dataclass(frozen=True)
-class PlanRequest:
+class RequestBase:
+    """Shared shape of an executable request (sweep or frontier).
+
+    Subclasses declare ``KIND`` (the wire/ledger kind tag) and implement
+    :meth:`to_dict` / :meth:`from_dict` / :meth:`_fingerprint_spec`;
+    scenario handling, backend validation, the fingerprint hash and the
+    kind-tagged wire form live here once, so the two request kinds (and any
+    future one) share a single identity/serialization contract.
+    """
+
+    scenarios: tuple[Scenario, ...]
+
+    #: Wire/ledger kind tag (``"sweep"`` / ``"frontier"``); also the value
+    #: :func:`repro.store.plan_kind` reports.
+    KIND: ClassVar[str] = ""
+
+    def _init_base(self) -> None:
+        """Subclass ``__post_init__`` prologue: normalize shared fields."""
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(self, "backend", _validate_backend(self.backend))
+        if not self.scenarios:
+            raise InvalidParameterError(
+                f"a {type(self).__name__} needs at least one scenario"
+            )
+
+    def _scenarios_payload(self) -> list[dict[str, Any]]:
+        """The scenarios' serialized form (shared by every request kind)."""
+        return [
+            {
+                "workload": s.workload,
+                "n": s.n,
+                "seeds": s.seeds,
+                "tag": s.tag,
+                "seed_offset": s.seed_offset,
+            }
+            for s in self.scenarios
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable spec; round-trips via :meth:`from_dict`.
+
+        The ``backend`` field is deliberately excluded: backends are
+        bit-exact, so it is execution advice, not identity (see
+        :func:`_validate_backend`).
+        """
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RequestBase":
+        """Rebuild a request from its :meth:`to_dict` form."""
+        raise NotImplementedError
+
+    def _fingerprint_spec(self) -> dict[str, Any]:
+        """The dict that is hashed: :meth:`to_dict` with every angle float
+        replaced by its ``float.hex`` bit pattern (plus a kind tag where
+        needed).  Frozen — any change breaks every recorded ledger key."""
+        raise NotImplementedError
+
+    def fingerprint(self) -> str:
+        """SHA-256 content hash of the spec (the ledger key and job id).
+
+        Angles are hashed via ``float.hex`` so the key depends on the exact
+        float64 bit patterns — two specs share a ledger iff their instances
+        and cells are bit-identical, the only equality under which reusing
+        ledgered results is sound.
+        """
+        spec = self._fingerprint_spec()
+        spec["ledger_version"] = LEDGER_VERSION
+        blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf8")).hexdigest()
+
+    def to_wire(self) -> dict[str, Any]:
+        """Kind-tagged serialized form (``{"kind": ..., "request": ...}``);
+        the plan-file and service wire shape.  Inverse: :func:`request_from_wire`."""
+        return {"kind": self.KIND, "request": self.to_dict()}
+
+    @property
+    def total_instances(self) -> int:
+        return sum(s.seeds for s in self.scenarios)
+
+    def instances(self) -> Iterator[tuple[int, int, np.ndarray]]:
+        """Yield ``(scenario_index, instance_index, coords)`` in plan order.
+
+        This is the deterministic enumeration every executor path follows;
+        result ordering, shard partitions and ledger slots are defined
+        against it.
+        """
+        for si, scenario in enumerate(self.scenarios):
+            for ii in range(scenario.seeds):
+                yield si, ii, scenario.instance(ii)
+
+
+@dataclass(frozen=True)
+class PlanRequest(RequestBase):
     """Scenarios × grid: the full batch the executor runs.
 
     Every instance of every scenario is evaluated at every grid cell; the
@@ -218,22 +348,42 @@ class PlanRequest:
     shared across the cells through the :class:`~repro.engine.cache.ArtifactCache`.
     """
 
-    scenarios: tuple[Scenario, ...]
-    grid: tuple[GridCell, ...]
+    grid: tuple[GridCell, ...] = ()
     compute_critical: bool = True
     #: Kernel backend to execute with (``None`` = env var / default).  Not
     #: part of the plan's identity: excluded from serialization and the
     #: fingerprint (see :func:`_validate_backend`).
     backend: "str | None" = None
 
+    KIND: ClassVar[str] = "sweep"
+
     def __post_init__(self) -> None:
-        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        self._init_base()
         object.__setattr__(self, "grid", tuple(self.grid))
-        object.__setattr__(self, "backend", _validate_backend(self.backend))
-        if not self.scenarios:
-            raise InvalidParameterError("a PlanRequest needs at least one scenario")
         if not self.grid:
             raise InvalidParameterError("a PlanRequest needs at least one grid cell")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenarios": self._scenarios_payload(),
+            "grid": [{"k": c.k, "phi": c.phi} for c in self.grid],
+            "compute_critical": self.compute_critical,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PlanRequest":
+        return cls(
+            scenarios=tuple(_scenario_from_dict(s) for s in data["scenarios"]),
+            grid=tuple(GridCell(c["k"], c["phi"]) for c in data["grid"]),
+            compute_critical=bool(data["compute_critical"]),
+        )
+
+    def _fingerprint_spec(self) -> dict[str, Any]:
+        spec = self.to_dict()
+        spec["grid"] = [
+            {"k": c["k"], "phi": float(c["phi"]).hex()} for c in spec["grid"]
+        ]
+        return spec
 
     @classmethod
     def sweep(
@@ -260,22 +410,8 @@ class PlanRequest:
         )
 
     @property
-    def total_instances(self) -> int:
-        return sum(s.seeds for s in self.scenarios)
-
-    @property
     def total_runs(self) -> int:
         return self.total_instances * len(self.grid)
-
-    def instances(self) -> Iterator[tuple[int, int, np.ndarray]]:
-        """Yield ``(scenario_index, instance_index, coords)`` in plan order.
-
-        This is the deterministic enumeration both the serial and the
-        parallel executor paths follow; result ordering is defined by it.
-        """
-        for si, scenario in enumerate(self.scenarios):
-            for ii in range(scenario.seeds):
-                yield si, ii, scenario.instance(ii)
 
     def describe(self) -> str:
         cells = ", ".join(c.label for c in self.grid[:4])
@@ -291,7 +427,7 @@ class PlanRequest:
 
 
 @dataclass(frozen=True)
-class FrontierRequest:
+class FrontierRequest(RequestBase):
     """Scenarios × ks: an adaptive φ-frontier search (see :mod:`repro.frontier`).
 
     For every instance of every scenario and every ``k`` in ``ks``, the
@@ -309,8 +445,7 @@ class FrontierRequest:
     in φ, which is the bisection invariant.
     """
 
-    scenarios: tuple[Scenario, ...]
-    ks: tuple[int, ...]
+    ks: tuple[int, ...] = ()
     metric: str = "critical_range"
     target: float | None = None
     phi_lo: float = 0.0
@@ -321,12 +456,11 @@ class FrontierRequest:
     #: :attr:`PlanRequest.backend`.
     backend: "str | None" = None
 
+    KIND: ClassVar[str] = "frontier"
+
     def __post_init__(self) -> None:
-        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        self._init_base()
         object.__setattr__(self, "ks", tuple(int(k) for k in self.ks))
-        object.__setattr__(self, "backend", _validate_backend(self.backend))
-        if not self.scenarios:
-            raise InvalidParameterError("a FrontierRequest needs at least one scenario")
         if not self.ks:
             raise InvalidParameterError("a FrontierRequest needs at least one k")
         if any(k < 1 for k in self.ks):
@@ -364,19 +498,37 @@ class FrontierRequest:
         """Probes measure the critical range only when the metric needs it."""
         return self.metric == "critical_range"
 
-    @property
-    def total_instances(self) -> int:
-        return sum(s.seeds for s in self.scenarios)
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenarios": self._scenarios_payload(),
+            "ks": list(self.ks),
+            "metric": self.metric,
+            "target": self.target,
+            "phi_lo": self.phi_lo,
+            "phi_hi": self.phi_hi,
+            "tol": self.tol,
+        }
 
-    def instances(self) -> Iterator[tuple[int, int, np.ndarray]]:
-        """Yield ``(scenario_index, instance_index, coords)`` in plan order.
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FrontierRequest":
+        return cls(
+            scenarios=tuple(_scenario_from_dict(s) for s in data["scenarios"]),
+            ks=tuple(int(k) for k in data["ks"]),
+            metric=str(data["metric"]),
+            target=None if data["target"] is None else float(data["target"]),
+            phi_lo=float(data["phi_lo"]),
+            phi_hi=float(data["phi_hi"]),
+            tol=float(data["tol"]),
+        )
 
-        The same deterministic enumeration :meth:`PlanRequest.instances`
-        uses; shard partitions and ledger slots are defined against it.
-        """
-        for si, scenario in enumerate(self.scenarios):
-            for ii in range(scenario.seeds):
-                yield si, ii, scenario.instance(ii)
+    def _fingerprint_spec(self) -> dict[str, Any]:
+        spec = self.to_dict()
+        spec["kind"] = "frontier"
+        for f in ("phi_lo", "phi_hi", "tol"):
+            spec[f] = float(spec[f]).hex()
+        if spec["target"] is not None:
+            spec["target"] = float(spec["target"]).hex()
+        return spec
 
     def describe(self) -> str:
         scen = ", ".join(s.label for s in self.scenarios[:4])
@@ -392,3 +544,28 @@ class FrontierRequest:
             f"{goal} over phi∈[{self.phi_lo:.4f}, {self.phi_hi:.4f}] "
             f"to tol {self.tol:g}"
         )
+
+
+#: Kind tag -> request class.  The single wire/ledger dispatch table: a new
+#: request kind must be registered here or :func:`request_from_wire` (and
+#: plan-file loading) cannot rebuild it.
+REQUEST_KINDS: dict[str, type[RequestBase]] = {
+    PlanRequest.KIND: PlanRequest,
+    FrontierRequest.KIND: FrontierRequest,
+}
+
+
+def request_from_wire(data: dict[str, Any]) -> "PlanRequest | FrontierRequest":
+    """Rebuild a request from its kind-tagged :meth:`RequestBase.to_wire` form.
+
+    Tolerates a missing ``kind`` (plan files written before frontiers
+    existed are sweeps) and raises :class:`InvalidParameterError` for an
+    unknown one.
+    """
+    kind = data.get("kind", PlanRequest.KIND)
+    cls = REQUEST_KINDS.get(kind)
+    if cls is None:
+        raise InvalidParameterError(
+            f"unknown request kind {kind!r}; choose from {sorted(REQUEST_KINDS)}"
+        )
+    return cls.from_dict(data["request"])  # type: ignore[return-value]

@@ -15,6 +15,7 @@ __all__ = [
     "AlgorithmInvariantError",
     "InfeasibleInstanceError",
     "ValidationError",
+    "PlanCancelled",
 ]
 
 
@@ -54,3 +55,14 @@ class InfeasibleInstanceError(ReproError, ValueError):
 
 class ValidationError(ReproError, AssertionError):
     """An orientation result failed post-hoc certificate validation."""
+
+
+class PlanCancelled(ReproError, RuntimeError):
+    """A durable plan execution stopped at its cancellation tombstone.
+
+    Raised by :func:`repro.engine.execute_plan` /
+    :func:`repro.frontier.execute_frontier` when the plan's run store
+    carries a cancel marker (see :func:`repro.store.cancel_plan`).  Every
+    chunk completed before the stop is already checkpointed in the ledger;
+    clearing the tombstone and resuming continues from there.
+    """

@@ -18,7 +18,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.engine.cache import ArtifactCache, CacheStats
-from repro.engine.executor import InstanceReport, _execute_durable, _report
+from repro.engine.executor import (
+    InstanceReport,
+    _execute_durable,
+    _report,
+    _tombstone_check,
+)
 from repro.engine.spec import FrontierRequest, Shard
 from repro.frontier.solver import KFrontier, solve_instance_frontier
 from repro.kernels.backend import resolve_backend, use_backend
@@ -255,6 +260,7 @@ def execute_frontier(
         rows_for_resume=lambda s, key: s.load_frontier_rows(key),
         payload_of_row=payload_of_row,
         row_of_payload=row_of_payload,
+        should_stop=_tombstone_check(store, request),
     )
 
     outcomes: list[InstanceOutcome] = []

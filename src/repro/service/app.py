@@ -1,0 +1,196 @@
+"""The planning service's ASGI application (pure stdlib, no framework).
+
+:func:`create_app` returns a standard ASGI 3 coroutine — runnable under
+any ASGI server, the bundled stdlib bridge (:mod:`repro.service.http`),
+or fully in-process for tests (:mod:`repro.service.testing`).  Routes:
+
+====== =============================== ==========================================
+POST   ``/plans``                      submit a wire-format request; the plan
+                                       fingerprint is the job id (idempotent)
+GET    ``/plans``                      list every known plan with its state
+GET    ``/plans/{id}``                 job status (id may be a unique prefix)
+GET    ``/plans/{id}/progress``        per-shard / per-instance completion
+GET    ``/plans/{id}/result``          merged tables once all shards landed
+                                       (``?aggregate=scenario|cell``); 409 with
+                                       progress while incomplete
+POST   ``/plans/{id}/cancel``          flip the cancellation tombstone
+GET    ``/metrics``                    process-wide kernel instrument counters
+GET    ``/healthz``                    liveness
+====== =============================== ==========================================
+
+Handlers run the blocking store work in a thread
+(``asyncio.to_thread``) so the event loop stays responsive while plans
+execute.  Library errors map to JSON problem bodies: 400 for invalid
+payloads, 404 for unknown ids, 409 for not-yet-complete results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+from repro.errors import InvalidParameterError, ReproError
+from repro.kernels.instrument import kernel_counters
+from repro.service.jobs import IncompleteJob, JobManager
+from repro.service.wire import dump_json, load_json, parse_submit
+from repro.store.ledger import RunStore, StoreError
+
+__all__ = ["create_app"]
+
+#: ASGI 3 application signature.
+ASGIApp = Callable[[dict, Callable, Callable], Awaitable[None]]
+
+
+def create_app(
+    store: "RunStore | str",
+    *,
+    backend: "str | None" = None,
+    jobs: int = 1,
+    execute: bool = True,
+    manager: "JobManager | None" = None,
+) -> ASGIApp:
+    """Build the service app over ``store`` (a :class:`RunStore` or path).
+
+    ``execute=False`` queues submissions without running them (external
+    ``repro worker`` processes drain the directory instead).  Pass an
+    existing ``manager`` to share one across apps (tests).  The manager is
+    exposed as ``app.manager`` for in-process callers.
+    """
+    if not isinstance(store, RunStore):
+        store = RunStore(store)
+    if manager is None:
+        manager = JobManager(store, backend=backend, jobs=jobs, execute=execute)
+
+    async def app(scope: dict, receive: Callable, send: Callable) -> None:
+        if scope["type"] == "lifespan":
+            await _lifespan(receive, send)
+            return
+        if scope["type"] != "http":  # pragma: no cover - ws etc.
+            raise RuntimeError(f"unsupported scope type {scope['type']!r}")
+        method = scope["method"].upper()
+        path = scope["path"].rstrip("/") or "/"
+        query = _parse_query(scope.get("query_string", b""))
+        body = await _read_body(receive)
+        status, payload = await asyncio.to_thread(
+            _dispatch, manager, method, path, query, body
+        )
+        await _send_json(send, status, payload)
+
+    app.manager = manager  # type: ignore[attr-defined]
+    return app
+
+
+# -- routing ----------------------------------------------------------------------
+
+
+def _dispatch(
+    manager: JobManager,
+    method: str,
+    path: str,
+    query: dict[str, str],
+    body: bytes,
+) -> tuple[int, Any]:
+    try:
+        return _route(manager, method, path, query, body)
+    except IncompleteJob as exc:
+        return 409, {"error": str(exc), "progress": exc.progress.as_dict()}
+    except InvalidParameterError as exc:
+        return 400, {"error": str(exc)}
+    except StoreError as exc:
+        # Unknown/ambiguous ids surface here from RunStore.load_request.
+        return 404, {"error": str(exc)}
+    except ReproError as exc:
+        return 500, {"error": str(exc)}
+
+
+def _route(
+    manager: JobManager,
+    method: str,
+    path: str,
+    query: dict[str, str],
+    body: bytes,
+) -> tuple[int, Any]:
+    if path == "/healthz" and method == "GET":
+        return 200, {"ok": True}
+    if path == "/metrics" and method == "GET":
+        return 200, {"kernels": kernel_counters().as_dict()}
+    if path == "/plans":
+        if method == "POST":
+            request, shards = parse_submit(load_json(body))
+            descriptor = manager.submit(request, shards=shards)
+            return 200, descriptor
+        if method == "GET":
+            return 200, {"plans": manager.jobs_list()}
+        return 405, {"error": f"{method} not allowed on {path}"}
+
+    parts = path.strip("/").split("/")
+    if parts[0] == "plans" and len(parts) in (2, 3):
+        job_id = parts[1]
+        action = parts[2] if len(parts) == 3 else None
+        if action is None and method == "GET":
+            return 200, manager.status(job_id)
+        if action == "progress" and method == "GET":
+            return 200, manager.progress(job_id)
+        if action == "result" and method == "GET":
+            aggregate = query.get("aggregate", "scenario")
+            if aggregate not in ("scenario", "cell"):
+                raise InvalidParameterError(
+                    f"aggregate must be 'scenario' or 'cell', got {aggregate!r}"
+                )
+            return 200, manager.result(job_id, aggregate=aggregate)
+        if action == "cancel" and method == "POST":
+            reason = None
+            if body:
+                data = load_json(body)
+                if isinstance(data, dict):
+                    reason = data.get("reason")
+            return 200, manager.cancel(job_id, reason)
+        if action in (None, "progress", "result", "cancel"):
+            return 405, {"error": f"{method} not allowed on {path}"}
+    return 404, {"error": f"no route for {method} {path}"}
+
+
+# -- ASGI plumbing ----------------------------------------------------------------
+
+
+async def _lifespan(receive: Callable, send: Callable) -> None:
+    while True:
+        message = await receive()
+        if message["type"] == "lifespan.startup":
+            await send({"type": "lifespan.startup.complete"})
+        elif message["type"] == "lifespan.shutdown":
+            await send({"type": "lifespan.shutdown.complete"})
+            return
+
+
+async def _read_body(receive: Callable) -> bytes:
+    chunks: list[bytes] = []
+    while True:
+        message = await receive()
+        if message["type"] != "http.request":  # pragma: no cover - disconnect
+            break
+        chunks.append(message.get("body", b""))
+        if not message.get("more_body", False):
+            break
+    return b"".join(chunks)
+
+
+async def _send_json(send: Callable, status: int, payload: Any) -> None:
+    body = dump_json(payload)
+    await send(
+        {
+            "type": "http.response.start",
+            "status": status,
+            "headers": [
+                (b"content-type", b"application/json"),
+                (b"content-length", str(len(body)).encode("ascii")),
+            ],
+        }
+    )
+    await send({"type": "http.response.body", "body": body})
+
+
+def _parse_query(raw: bytes) -> dict[str, str]:
+    from urllib.parse import parse_qsl
+
+    return dict(parse_qsl(raw.decode("latin1"), keep_blank_values=True))

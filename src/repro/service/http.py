@@ -1,0 +1,174 @@
+"""Minimal asyncio HTTP/1.1 server bridging sockets to the ASGI app.
+
+The environment promises no ASGI server, so the service ships its own
+bridge: :func:`serve` runs any ASGI 3 app (in practice
+:func:`repro.service.create_app`) over ``asyncio.start_server``.  The
+bridge is deliberately small — enough HTTP for the service's JSON API
+and its CI smoke clients (``urllib``/``curl``):
+
+- request line + headers parsed, ``Content-Length`` bodies read in full
+  (no chunked transfer encoding),
+- one request per connection (``Connection: close`` is always sent),
+- malformed requests get a plain 400 and the connection is dropped.
+
+Anything beyond that (TLS, keep-alive, websockets) belongs in a real
+ASGI server, not here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+from urllib.parse import unquote, urlsplit
+
+__all__ = ["serve", "handle_connection"]
+
+_MAX_HEADER_BYTES = 65536
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+
+async def handle_connection(
+    app: Callable[[dict, Callable, Callable], Awaitable[None]],
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one HTTP request from ``reader`` through ``app``; then close."""
+    try:
+        request = await _read_request(reader)
+    except _BadRequest as exc:
+        writer.write(_plain_response(400, str(exc)))
+        await writer.drain()
+        writer.close()
+        return
+    except (asyncio.IncompleteReadError, ConnectionError):
+        writer.close()
+        return
+
+    method, target, headers, body = request
+    parts = urlsplit(target)
+    scope = {
+        "type": "http",
+        "asgi": {"version": "3.0", "spec_version": "2.3"},
+        "http_version": "1.1",
+        "method": method,
+        "scheme": "http",
+        "path": unquote(parts.path),
+        "raw_path": parts.path.encode("latin1"),
+        "query_string": parts.query.encode("latin1"),
+        "headers": [
+            (k.lower().encode("latin1"), v.encode("latin1"))
+            for k, v in headers
+        ],
+        "client": None,
+        "server": None,
+    }
+
+    received = False
+
+    async def receive() -> dict[str, Any]:
+        nonlocal received
+        if received:
+            return {"type": "http.disconnect"}
+        received = True
+        return {"type": "http.request", "body": body, "more_body": False}
+
+    started: dict[str, Any] = {}
+    chunks: list[bytes] = []
+
+    async def send(message: dict[str, Any]) -> None:
+        if message["type"] == "http.response.start":
+            started["status"] = message["status"]
+            started["headers"] = message.get("headers", [])
+        elif message["type"] == "http.response.body":
+            chunks.append(message.get("body", b""))
+
+    try:
+        await app(scope, receive, send)
+        status = started.get("status", 500)
+        payload = b"".join(chunks)
+        head = [f"HTTP/1.1 {status} {_STATUS_PHRASES.get(status, 'Unknown')}"]
+        for name, value in started.get("headers", []):
+            if name.lower() == b"content-length":
+                continue  # recomputed below from the actual payload
+            head.append(f"{name.decode('latin1')}: {value.decode('latin1')}")
+        head.append(f"Content-Length: {len(payload)}")
+        head.append("Connection: close")
+        writer.write("\r\n".join(head).encode("latin1") + b"\r\n\r\n" + payload)
+    except Exception as exc:  # pragma: no cover - app-level bugs
+        writer.write(_plain_response(500, f"internal error: {exc}"))
+    await writer.drain()
+    writer.close()
+
+
+async def serve(
+    app: Callable[[dict, Callable, Callable], Awaitable[None]],
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    *,
+    ready: "asyncio.Event | None" = None,
+) -> None:
+    """Run ``app`` forever on ``host:port`` (blocks in the event loop).
+
+    ``ready`` is set once the listening socket is bound (tests/smoke
+    scripts use it to know when to connect).
+    """
+    server = await asyncio.start_server(
+        lambda r, w: handle_connection(app, r, w), host, port
+    )
+    if ready is not None:
+        ready.set()
+    async with server:
+        await server.serve_forever()
+
+
+class _BadRequest(Exception):
+    pass
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, list[tuple[str, str]], bytes]:
+    head = await reader.readuntil(b"\r\n\r\n")
+    if len(head) > _MAX_HEADER_BYTES:
+        raise _BadRequest("request head too large")
+    lines = head.decode("latin1").split("\r\n")
+    try:
+        method, target, version = lines[0].split(" ", 2)
+    except ValueError as exc:
+        raise _BadRequest(f"malformed request line: {lines[0]!r}") from exc
+    if not version.startswith("HTTP/1."):
+        raise _BadRequest(f"unsupported protocol {version!r}")
+    headers: list[tuple[str, str]] = []
+    length = 0
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers.append((name.strip(), value.strip()))
+        if name.strip().lower() == "content-length":
+            try:
+                length = int(value.strip())
+            except ValueError as exc:
+                raise _BadRequest(f"bad Content-Length {value!r}") from exc
+    if not 0 <= length <= _MAX_BODY_BYTES:
+        raise _BadRequest(f"unreasonable Content-Length {length}")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, headers, body
+
+
+def _plain_response(status: int, message: str) -> bytes:
+    payload = (message + "\n").encode("utf8")
+    return (
+        f"HTTP/1.1 {status} {_STATUS_PHRASES.get(status, 'Unknown')}\r\n"
+        f"Content-Type: text/plain\r\nContent-Length: {len(payload)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin1") + payload

@@ -1,0 +1,99 @@
+"""In-process ASGI test client: drive the service with no sockets.
+
+:class:`ServiceClient` invokes the app coroutine directly (the same code
+path the HTTP bridge takes), so tests and :mod:`examples.service_demo`
+exercise routing, wire parsing and job management without ports, network
+permissions or timing dependence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable
+
+__all__ = ["Response", "ServiceClient"]
+
+
+@dataclass(frozen=True)
+class Response:
+    """Status + parsed JSON body of one in-process request."""
+
+    status: int
+    json: Any
+
+    def raise_for_status(self) -> "Response":
+        if self.status >= 400:
+            raise AssertionError(f"HTTP {self.status}: {self.json}")
+        return self
+
+
+class ServiceClient:
+    """Call an ASGI app as if over HTTP, synchronously."""
+
+    def __init__(
+        self, app: Callable[[dict, Callable, Callable], Awaitable[None]]
+    ) -> None:
+        self.app = app
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        json_body: Any = None,
+        query: str = "",
+    ) -> Response:
+        return asyncio.run(self._request(method, path, json_body, query))
+
+    def get(self, path: str, *, query: str = "") -> Response:
+        return self.request("GET", path, query=query)
+
+    def post(self, path: str, *, json_body: Any = None) -> Response:
+        return self.request("POST", path, json_body=json_body)
+
+    async def _request(
+        self, method: str, path: str, json_body: Any, query: str
+    ) -> Response:
+        if "?" in path:  # accept URL-style paths, as a real client would send
+            path, _, inline_query = path.partition("?")
+            query = inline_query if not query else f"{inline_query}&{query}"
+        body = b"" if json_body is None else json.dumps(json_body).encode("utf8")
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "scheme": "http",
+            "path": path,
+            "raw_path": path.encode("latin1"),
+            "query_string": query.encode("latin1"),
+            "headers": [(b"content-type", b"application/json")],
+            "client": None,
+            "server": None,
+        }
+        sent = False
+
+        async def receive() -> dict[str, Any]:
+            nonlocal sent
+            if sent:
+                return {"type": "http.disconnect"}
+            sent = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        status: list[int] = []
+        chunks: list[bytes] = []
+
+        async def send(message: dict[str, Any]) -> None:
+            if message["type"] == "http.response.start":
+                status.append(message["status"])
+            elif message["type"] == "http.response.body":
+                chunks.append(message.get("body", b""))
+
+        await self.app(scope, receive, send)
+        payload = b"".join(chunks)
+        return Response(
+            status=status[0] if status else 500,
+            json=json.loads(payload.decode("utf8")) if payload else None,
+        )

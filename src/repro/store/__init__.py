@@ -16,8 +16,35 @@ layout and fingerprint scheme with ``"type": "frontier"`` ledger rows;
 :mod:`repro.store.lifecycle` adds maintenance: :func:`compact_plan`
 archives a finished plan's shard ledgers into one file (row bytes and
 fingerprints unchanged) and :func:`gc_store` drops superseded artifacts.
+
+:mod:`repro.store.coordination` makes a run directory a shared work
+queue for the planning service and ``repro worker``: queue markers,
+atomic per-shard claim files (``O_CREAT | O_EXCL`` leases), persistent
+dead-shard markers that relax the torn-middle-line refusal for killed
+concurrent writers, cancellation tombstones the executors poll between
+chunks, and :func:`plan_progress` — cheap per-shard row counting with
+no table assembly.
 """
 
+from repro.store.coordination import (
+    ClaimInfo,
+    PlanProgress,
+    QueueEntry,
+    ShardProgress,
+    break_stale_claim,
+    cancel_plan,
+    claim_shard,
+    claims_for,
+    clear_cancel,
+    dequeue,
+    enqueue,
+    is_cancelled,
+    is_shard_dead,
+    mark_shard_dead,
+    plan_progress,
+    queued_plans,
+    release_shard,
+)
 from repro.store.ledger import (
     LEDGER_VERSION,
     FrontierRow,
@@ -40,22 +67,39 @@ from repro.store.lifecycle import CompactReport, GcReport, compact_plan, gc_stor
 
 __all__ = [
     "LEDGER_VERSION",
+    "ClaimInfo",
     "CompactReport",
     "FrontierRow",
     "GcReport",
     "LedgerRow",
+    "PlanProgress",
+    "QueueEntry",
     "RunStore",
     "ShardLedger",
+    "ShardProgress",
     "StoreError",
     "assemble_batch",
+    "break_stale_claim",
+    "cancel_plan",
+    "claim_shard",
+    "claims_for",
+    "clear_cancel",
     "compact_plan",
+    "dequeue",
+    "enqueue",
     "frontier_from_dict",
     "frontier_to_dict",
     "gc_store",
     "hit_rate",
+    "is_cancelled",
+    "is_shard_dead",
+    "mark_shard_dead",
     "merge_stores",
     "plan_fingerprint",
     "plan_kind",
+    "plan_progress",
+    "queued_plans",
+    "release_shard",
     "request_from_dict",
     "request_to_dict",
     "rows_equal",

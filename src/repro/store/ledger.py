@@ -33,23 +33,23 @@ of a file, a slot outside the plan, a cell-count mismatch — is an error.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import math
 import os
 from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Any, ClassVar, IO, Iterable, Sequence
+from typing import Any, ClassVar, Iterable, Sequence
 
 from repro.analysis.metrics import OrientationMetrics
 from repro.engine.cache import CacheStats
 from repro.engine.executor import BatchResult, InstanceReport, RunRecord
 from repro.engine.spec import (
+    LEDGER_VERSION,
     FrontierRequest,
-    GridCell,
     PlanRequest,
-    Scenario,
+    RequestBase,
     Shard,
+    request_from_wire,
 )
 from repro.errors import ReproError
 
@@ -70,8 +70,6 @@ __all__ = [
     "assemble_batch",
 ]
 
-LEDGER_VERSION = 1
-
 
 class StoreError(ReproError):
     """A run directory is inconsistent with the requested operation."""
@@ -80,108 +78,48 @@ class StoreError(ReproError):
 #: Known field names, used to drop unknown keys from ledgered dicts
 #: (forward compatibility) instead of letting ``__init__`` raise.
 _METRIC_FIELDS = frozenset(f.name for f in fields(OrientationMetrics))
-_SCENARIO_FIELDS = frozenset(f.name for f in fields(Scenario))
-
-
-def _scenario_from_dict(s: dict[str, Any]) -> Scenario:
-    return Scenario(**{k: v for k, v in s.items() if k in _SCENARIO_FIELDS})
 
 
 # -- plan identity -----------------------------------------------------------------
+#
+# Serialization and fingerprinting live on the request classes themselves
+# (:class:`repro.engine.spec.RequestBase`); these wrappers are the store's
+# historical public spellings and must stay byte-compatible.
 
 
 def request_to_dict(request: PlanRequest) -> dict[str, Any]:
     """JSON-serializable plan spec; round-trips via :func:`request_from_dict`."""
-    return {
-        "scenarios": [
-            {
-                "workload": s.workload,
-                "n": s.n,
-                "seeds": s.seeds,
-                "tag": s.tag,
-                "seed_offset": s.seed_offset,
-            }
-            for s in request.scenarios
-        ],
-        "grid": [{"k": c.k, "phi": c.phi} for c in request.grid],
-        "compute_critical": request.compute_critical,
-    }
+    return request.to_dict()
 
 
 def request_from_dict(data: dict[str, Any]) -> PlanRequest:
     """Rebuild a :class:`PlanRequest` from :func:`request_to_dict` output."""
-    return PlanRequest(
-        scenarios=tuple(_scenario_from_dict(s) for s in data["scenarios"]),
-        grid=tuple(GridCell(c["k"], c["phi"]) for c in data["grid"]),
-        compute_critical=bool(data["compute_critical"]),
-    )
+    return PlanRequest.from_dict(data)
 
 
 def frontier_to_dict(request: FrontierRequest) -> dict[str, Any]:
     """JSON-serializable frontier spec; round-trips via :func:`frontier_from_dict`."""
-    return {
-        "scenarios": [
-            {
-                "workload": s.workload,
-                "n": s.n,
-                "seeds": s.seeds,
-                "tag": s.tag,
-                "seed_offset": s.seed_offset,
-            }
-            for s in request.scenarios
-        ],
-        "ks": list(request.ks),
-        "metric": request.metric,
-        "target": request.target,
-        "phi_lo": request.phi_lo,
-        "phi_hi": request.phi_hi,
-        "tol": request.tol,
-    }
+    return request.to_dict()
 
 
 def frontier_from_dict(data: dict[str, Any]) -> FrontierRequest:
     """Rebuild a :class:`FrontierRequest` from :func:`frontier_to_dict` output."""
-    return FrontierRequest(
-        scenarios=tuple(_scenario_from_dict(s) for s in data["scenarios"]),
-        ks=tuple(int(k) for k in data["ks"]),
-        metric=str(data["metric"]),
-        target=None if data["target"] is None else float(data["target"]),
-        phi_lo=float(data["phi_lo"]),
-        phi_hi=float(data["phi_hi"]),
-        tol=float(data["tol"]),
-    )
+    return FrontierRequest.from_dict(data)
 
 
 def plan_kind(request: PlanRequest | FrontierRequest) -> str:
     """``"sweep"`` for a :class:`PlanRequest`, ``"frontier"`` otherwise."""
-    return "frontier" if isinstance(request, FrontierRequest) else "sweep"
+    return request.KIND if isinstance(request, RequestBase) else "sweep"
 
 
 def plan_fingerprint(request: PlanRequest | FrontierRequest) -> str:
     """SHA-256 content hash of a plan or frontier spec (the ledger key).
 
-    Angles (grid φ, frontier interval/tolerance/target) are hashed via
-    ``float.hex`` so the key depends on the exact float64 bit patterns —
-    two specs share a ledger iff their instances and cells are
-    bit-identical, the only equality under which reusing ledgered results
-    is sound.  Frontier keys additionally mix in the spec kind, so a sweep
-    and a frontier over the same scenarios never collide.
+    Delegates to :meth:`repro.engine.spec.RequestBase.fingerprint`; the
+    scheme is frozen (see the fixture regression test), so every historical
+    fingerprint remains valid.
     """
-    if isinstance(request, FrontierRequest):
-        spec = frontier_to_dict(request)
-        spec["kind"] = "frontier"
-        for f in ("phi_lo", "phi_hi", "tol"):
-            spec[f] = float(spec[f]).hex()
-        if spec["target"] is not None:
-            spec["target"] = float(spec["target"]).hex()
-    else:
-        spec = request_to_dict(request)
-        spec["grid"] = [
-            {"k": c["k"], "phi": float(c["phi"]).hex()} for c in spec["grid"]
-        ]
-    spec["ledger_version"] = LEDGER_VERSION
-    blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf8")).hexdigest()
+    return request.fingerprint()
 
 
 # -- rows --------------------------------------------------------------------------
@@ -303,24 +241,40 @@ def _row_type_for(request: PlanRequest | FrontierRequest) -> str:
 
 
 class ShardLedger:
-    """Append handle for one ``(plan, shard)`` ledger file."""
+    """Append handle for one ``(plan, shard)`` ledger file.
+
+    Concurrent-append contract (multi-worker mode): the file is opened with
+    ``O_APPEND`` and every row is emitted as exactly ONE ``os.write`` of one
+    newline-terminated line.  POSIX append semantics then guarantee whole
+    lines never interleave, even if a second writer briefly overlaps a
+    claim takeover — a row can be *torn* only by a kill mid-``write``, which
+    the dead-shard tolerance in :func:`_read_rows` handles.  Do not route
+    appends through a buffered stream: a large row could flush in several
+    ``write`` syscalls and break the atomicity this contract relies on.
+    """
 
     def __init__(self, path: Path, plan_key: str, shard: Shard):
         self.path = path
         self.plan_key = plan_key
         self.shard = shard
         _drop_torn_tail(path)
-        self._fh: IO[str] | None = open(path, "a", encoding="utf8")
+        self._fd: int | None = os.open(
+            path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+
+    def _write_line(self, line: str) -> None:
+        assert self._fd is not None, "ledger already closed"
+        data = (line + "\n").encode("utf8")
+        assert b"\n" not in data[:-1], "ledger rows must be single lines"
+        written = os.write(self._fd, data)
+        assert written == len(data), "short ledger write"
 
     def append(self, row: LedgerRow) -> None:
-        assert self._fh is not None, "ledger already closed"
-        self._fh.write(row.to_json() + "\n")
-        self._fh.flush()
+        self._write_line(row.to_json())
 
     def finish(self, cache: CacheStats, elapsed: float) -> None:
         """Append the shard-completion summary row (informational)."""
-        assert self._fh is not None, "ledger already closed"
-        self._fh.write(
+        self._write_line(
             json.dumps(
                 {
                     "type": "shard_done",
@@ -329,15 +283,14 @@ class ShardLedger:
                     "elapsed": elapsed,
                 }
             )
-            + "\n"
         )
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        assert self._fd is not None
+        os.fsync(self._fd)
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def __enter__(self) -> "ShardLedger":
         return self
@@ -364,12 +317,24 @@ def _drop_torn_tail(path: Path) -> None:
         fh.truncate(keep)
 
 
-def _read_rows(path: Path, row_type: str = "instance") -> dict[int, Any]:
+def _read_rows(
+    path: Path, row_type: str = "instance", *, skip_corrupt: bool = False
+) -> dict[int, Any]:
     """Parse one ledger file; tolerate a torn trailing line only.
 
     ``row_type`` selects the row class (see ``_ROW_TYPES``); rows of other
     types — ``shard_done`` summaries, rows of a different spec kind — are
     skipped.
+
+    ``skip_corrupt`` relaxes the structural-damage rule for shards whose
+    writer is known to have died mid-append (a dead-shard marker, see
+    :func:`repro.store.coordination.mark_shard_dead`): corrupt *middle*
+    lines are skipped rather than refused, because with O_APPEND
+    single-write rows the only way a torn line lands mid-file is a killed
+    concurrent writer whose survivor kept appending.  The torn row carries
+    no completed work (rows are written whole), so skipping it is lossless
+    — its slot simply re-executes on resume.  Without the marker, a corrupt
+    middle still means the file was damaged some other way and is refused.
     """
     row_cls = _ROW_TYPES[row_type]
     rows: dict[int, Any] = {}
@@ -384,6 +349,8 @@ def _read_rows(path: Path, row_type: str = "instance") -> dict[int, Any]:
         except json.JSONDecodeError:
             if lineno == len(lines) - 1:
                 break  # torn write from a killed run; the row is simply lost
+            if skip_corrupt:
+                continue  # torn middle from a killed concurrent writer
             raise StoreError(
                 f"{path}: corrupt ledger row at line {lineno + 1}"
             ) from None
@@ -432,22 +399,35 @@ class RunStore:
         """Every shard ledger of the plan present in this directory."""
         return sorted(self.run_dir.glob(f"ledger-{self._key12(plan_key)}-s*.jsonl"))
 
+    @staticmethod
+    def shard_of_path(path: Path) -> "Shard | None":
+        """Recover the :class:`Shard` a ledger file records (``None`` if the
+        name does not follow the ``ledger-<key>-s<i>of<m>.jsonl`` scheme)."""
+        import re
+
+        m = re.fullmatch(r"ledger-[0-9a-f]{12}-s(\d+)of(\d+)\.jsonl", path.name)
+        if m is None:
+            return None
+        return Shard(int(m.group(1)), int(m.group(2)))
+
+    def _skip_corrupt(self, plan_key: str, path: Path) -> bool:
+        """Tolerate torn middle lines in ``path``?  Only when a dead-shard
+        marker records that a writer of this shard was killed mid-append."""
+        from repro.store.coordination import is_shard_dead  # lazy: avoids cycle
+
+        shard = self.shard_of_path(path)
+        return shard is not None and is_shard_dead(self, plan_key, shard)
+
     # -- plans ---------------------------------------------------------------
 
     def write_plan(self, request: PlanRequest | FrontierRequest) -> str:
         """Record the plan/frontier spec (idempotent); returns its fingerprint."""
         key = plan_fingerprint(request)
-        kind = plan_kind(request)
         path = self.plan_path(key)
         payload = {
             "ledger_version": LEDGER_VERSION,
             "plan_key": key,
-            "kind": kind,
-            "request": (
-                frontier_to_dict(request)
-                if kind == "frontier"
-                else request_to_dict(request)
-            ),
+            **request.to_wire(),
         }
         if path.exists():
             existing = json.loads(path.read_text(encoding="utf8"))
@@ -499,11 +479,7 @@ class RunStore:
             )
         key = keys[0]
         data = json.loads(self.plan_path(key).read_text(encoding="utf8"))
-        kind = data.get("kind", "sweep")
-        if kind == "frontier":
-            request = frontier_from_dict(data["request"])
-        else:
-            request = request_from_dict(data["request"])
+        request = request_from_wire(data)
         rebuilt = plan_fingerprint(request)
         if rebuilt != key:
             raise StoreError(
@@ -518,7 +494,10 @@ class RunStore:
         """All ledgered instance rows of the plan, across every shard file."""
         rows: dict[int, LedgerRow] = {}
         for path in self.ledger_paths(plan_key):
-            for slot, row in _read_rows(path).items():
+            parsed = _read_rows(
+                path, skip_corrupt=self._skip_corrupt(plan_key, path)
+            )
+            for slot, row in parsed.items():
                 rows[slot] = row
         return rows
 
@@ -526,7 +505,12 @@ class RunStore:
         """All ledgered frontier rows of the spec, across every shard file."""
         rows: dict[int, FrontierRow] = {}
         for path in self.ledger_paths(plan_key):
-            for slot, row in _read_rows(path, row_type="frontier").items():
+            parsed = _read_rows(
+                path,
+                row_type="frontier",
+                skip_corrupt=self._skip_corrupt(plan_key, path),
+            )
+            for slot, row in parsed.items():
                 rows[slot] = row
         return rows
 
@@ -538,10 +522,15 @@ class RunStore:
         self, request: PlanRequest | FrontierRequest, shard: Shard
     ) -> dict[int, Any]:
         """Rows recorded in one shard's own ledger file (kind-matched)."""
-        path = self.ledger_path(plan_fingerprint(request), shard)
+        key = plan_fingerprint(request)
+        path = self.ledger_path(key, shard)
         if not path.exists():
             return {}
-        return _read_rows(path, row_type=_row_type_for(request))
+        return _read_rows(
+            path,
+            row_type=_row_type_for(request),
+            skip_corrupt=self._skip_corrupt(key, path),
+        )
 
     def open_shard(
         self, request: "PlanRequest | FrontierRequest", shard: Shard
@@ -556,6 +545,34 @@ class RunStore:
         for ledger in self._ledgers:
             ledger.close()
         self._ledgers.clear()
+
+    # -- coordination (delegates to repro.store.coordination) ----------------
+
+    def progress(self, plan_key: str) -> "Any":
+        """Cheap per-shard completion counts (no full-table assembly);
+        see :func:`repro.store.coordination.plan_progress`."""
+        from repro.store.coordination import plan_progress  # lazy: avoids cycle
+
+        return plan_progress(self, plan_key)
+
+    def cancel(self, plan_key: str, reason: "str | None" = None) -> None:
+        """Flip the plan's cancellation tombstone; executors observe it
+        between instance chunks and stop with ``PlanCancelled``."""
+        from repro.store.coordination import cancel_plan  # lazy: avoids cycle
+
+        cancel_plan(self, plan_key, reason)
+
+    def is_cancelled(self, plan_key: str) -> bool:
+        from repro.store.coordination import is_cancelled  # lazy: avoids cycle
+
+        return is_cancelled(self, plan_key)
+
+    def clear_cancel(self, plan_key: str) -> bool:
+        """Remove the tombstone (a resubmission un-cancels); True if one was
+        present."""
+        from repro.store.coordination import clear_cancel  # lazy: avoids cycle
+
+        return clear_cancel(self, plan_key)
 
 
 # -- merge / reassembly ------------------------------------------------------------

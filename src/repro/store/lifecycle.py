@@ -70,14 +70,19 @@ class GcReport:
         )
 
 
-def _raw_rows(path: Path, row_type: str) -> dict[int, str]:
+def _raw_rows(
+    path: Path, row_type: str, *, skip_corrupt: bool = False
+) -> dict[int, str]:
     """Slot -> original JSON line for every row of ``row_type`` in ``path``.
 
     Validates each kept line through the regular row parser first (same
     torn-tail/corruption rules as replay), but carries the *raw* line into
-    the compacted file so no float ever re-serializes.
+    the compacted file so no float ever re-serializes.  ``skip_corrupt``
+    mirrors the replay policy for dead shards: torn middle lines left by a
+    killed concurrent writer are dropped instead of refused — compaction is
+    exactly how such a tear leaves the directory for good.
     """
-    _read_rows(path, row_type=row_type)  # validation only
+    _read_rows(path, row_type=row_type, skip_corrupt=skip_corrupt)
     raw: dict[int, str] = {}
     with open(path, encoding="utf8") as fh:
         lines = fh.read().split("\n")
@@ -87,13 +92,27 @@ def _raw_rows(path: Path, row_type: str) -> dict[int, str]:
         try:
             obj = json.loads(line)
         except json.JSONDecodeError:
-            if lineno == len(lines) - 1:
-                break  # torn tail, already tolerated by _read_rows
+            if lineno == len(lines) - 1 or skip_corrupt:
+                continue  # torn tail, or torn middle of a dead shard
             raise
         if obj.get("type") != row_type:
             continue
         raw[int(obj["slot"])] = line
     return raw
+
+
+def _coordination_paths(store: RunStore, plan_key: str) -> list[Path]:
+    """Every queue/claim/dead/cancel file belonging to one plan."""
+    k12 = plan_key[:12]
+    paths: list[Path] = []
+    for pattern in (
+        f"queue-{k12}.json",
+        f"cancel-{k12}.json",
+        f"claim-{k12}-s*.json",
+        f"dead-{k12}-s*.json",
+    ):
+        paths.extend(sorted(store.run_dir.glob(pattern)))
+    return paths
 
 
 def compact_plan(
@@ -110,6 +129,8 @@ def compact_plan(
     fingerprint are untouched, so ``--resume`` and ``assemble`` keep
     working against the compacted directory.
     """
+    from repro.store.coordination import is_shard_dead
+
     key, request = store.load_request(plan_key)
     row_type = _row_type_for(request)
     paths = store.ledger_paths(key)
@@ -124,7 +145,9 @@ def compact_plan(
     bytes_before = 0
     for path in paths:
         bytes_before += path.stat().st_size
-        for slot, line in _raw_rows(path, row_type).items():
+        shard = store.shard_of_path(path)
+        skip = shard is not None and is_shard_dead(store, key, shard)
+        for slot, line in _raw_rows(path, row_type, skip_corrupt=skip).items():
             if slot not in raw:
                 obj = json.loads(line)
                 elapsed += float(obj["elapsed"])
@@ -151,6 +174,10 @@ def compact_plan(
         for path in paths:
             if path != target:
                 path.unlink()
+        # The archive holds only validated rows, so any recorded tear is
+        # gone with the superseded shard files — their dead markers too.
+        for marker in sorted(store.run_dir.glob(f"dead-{key[:12]}-s*.json")):
+            marker.unlink()
     return CompactReport(
         plan_key=key,
         rows=len(raw),
@@ -187,6 +214,8 @@ def gc_store(
         key, _request = store.load_request(plan_key)
         for path in store.ledger_paths(key):
             drop(path)
+        for path in _coordination_paths(store, key):
+            drop(path)
         drop(store.plan_path(key))
         return GcReport(removed=removed, dry_run=dry_run)
 
@@ -198,9 +227,17 @@ def gc_store(
         paths = store.ledger_paths(key)
         total = 0
         for path in paths:
-            total += len(_read_rows(path, row_type=row_type))
+            total += len(
+                _read_rows(
+                    path,
+                    row_type=row_type,
+                    skip_corrupt=store._skip_corrupt(key, path),
+                )
+            )
         if total == 0:
             for path in paths:
+                drop(path)
+            for path in _coordination_paths(store, key):
                 drop(path)
             drop(store.plan_path(key))
     return GcReport(removed=removed, dry_run=dry_run)

@@ -1,0 +1,357 @@
+"""Tests for the planning service: jobs API, workers, coordination files.
+
+Determinism conventions match the store tests: idempotency and resume
+claims are validated with the process-wide kernel instrument counters
+(zero re-execution means zero coverage/critical calls), multi-worker
+claims are validated by bit-identical merged tables against a serial
+reference — never by wall-clock.  The 2-worker race runs the drain loop
+on two *threads* sharing one directory: the claim files are
+``O_CREAT | O_EXCL`` at the filesystem level, so threads exercise exactly
+the atomicity that separates two processes.
+"""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.api import FrontierRequest, PlanRequest, submit
+from repro.engine import Scenario, Shard
+from repro.errors import PlanCancelled
+from repro.kernels.instrument import recording
+from repro.service import (
+    JobManager,
+    ServiceClient,
+    create_app,
+    drain_plan,
+    submit_payload,
+)
+from repro.store import (
+    RunStore,
+    StoreError,
+    claim_shard,
+    enqueue,
+    is_shard_dead,
+    mark_shard_dead,
+    plan_progress,
+    queued_plans,
+    release_shard,
+)
+
+
+def sweep_request(seeds=4, tag="svc", critical=False) -> PlanRequest:
+    return PlanRequest.sweep(
+        workloads=["uniform"], sizes=[16], seeds=seeds, ks=[1, 2],
+        phis=[math.pi], tag=tag, compute_critical=critical,
+    )
+
+
+def frontier_request(tag="svc-frontier") -> FrontierRequest:
+    return FrontierRequest(
+        scenarios=(Scenario("uniform", 16, seeds=2, tag=tag),),
+        ks=(1,), metric="critical_range", target=None,
+        phi_lo=math.pi, phi_hi=2 * math.pi, tol=0.1,
+    )
+
+
+@pytest.fixture
+def store(tmp_path) -> RunStore:
+    s = RunStore(tmp_path / "run")
+    yield s
+    s.close()
+
+
+@pytest.fixture
+def client(store) -> ServiceClient:
+    return ServiceClient(create_app(store))
+
+
+def wait_done(client: ServiceClient, job: str, timeout: float = 60.0) -> dict:
+    client.app.manager.join(job, timeout=timeout)
+    status = client.get(f"/plans/{job}").raise_for_status().json
+    assert status["state"] == "done", status
+    return status
+
+
+class TestSubmitLifecycle:
+    def test_submit_poll_fetch(self, client):
+        request = sweep_request()
+        response = client.post(
+            "/plans", json_body=submit_payload(request)
+        ).raise_for_status()
+        job = response.json["id"]
+        assert job == request.fingerprint()
+        assert response.json["attached"] is False
+
+        wait_done(client, job)
+        progress = client.get(f"/plans/{job}/progress").raise_for_status().json
+        assert progress["done_instances"] == progress["total_instances"] == 4
+        assert all(s["done"] == s["expected"] for s in progress["shards"])
+
+        result = client.get(f"/plans/{job}/result").raise_for_status().json
+        assert result["instances"] == 4
+        assert len(result["rows"]) == 2  # one per grid cell
+
+    def test_double_submit_idempotent_zero_kernels(self, client):
+        """The acceptance criterion: same id, zero kernel work second time."""
+        request = sweep_request(tag="idem", critical=True)
+        payload = submit_payload(request)
+        first = client.post("/plans", json_body=payload).raise_for_status()
+        wait_done(client, first.json["id"])
+
+        with recording() as counters:
+            second = client.post("/plans", json_body=payload).raise_for_status()
+            wait_done(client, second.json["id"])
+            result = client.get(
+                f"/plans/{second.json['id']}/result"
+            ).raise_for_status()
+        assert second.json["id"] == first.json["id"]
+        assert second.json["attached"] is True
+        assert second.json["state"] == "done"
+        assert counters.coverage_calls == 0
+        assert counters.critical_searches == 0
+        assert counters.graph_builds == 0
+        assert result.json["instances"] == 4
+
+    def test_frontier_submission(self, client):
+        request = frontier_request()
+        response = client.post(
+            "/plans", json_body=submit_payload(request)
+        ).raise_for_status()
+        job = response.json["id"]
+        assert response.json["kind"] == "frontier"
+        wait_done(client, job)
+        result = client.get(f"/plans/{job}/result").raise_for_status().json
+        assert result["kind"] == "frontier"
+        assert result["rows"][0]["k"] == 1
+
+    def test_result_before_completion_is_409(self, store):
+        app = create_app(store, execute=False)  # queue only, nothing runs
+        client = ServiceClient(app)
+        job = client.post(
+            "/plans", json_body=submit_payload(sweep_request(tag="pending"))
+        ).raise_for_status().json["id"]
+        response = client.get(f"/plans/{job}/result")
+        assert response.status == 409
+        assert response.json["progress"]["state"] == "queued"
+
+    def test_progress_monotone_during_run(self, store):
+        """Polling mid-run: done_instances never decreases, ends complete."""
+        request = sweep_request(seeds=6, tag="mono")
+        client = ServiceClient(create_app(store, execute=False))
+        job = client.post(
+            "/plans", json_body=submit_payload(request)
+        ).raise_for_status().json["id"]
+
+        counts = []
+
+        def poll(_report):
+            counts.append(
+                client.get(f"/plans/{job}/progress").json["done_instances"]
+            )
+
+        submit(request, store=store, resume=True, on_instance=poll)
+        assert counts == sorted(counts)
+        assert counts[-1] >= 5  # last poll fires before the final checkpoint
+        final = client.get(f"/plans/{job}/progress").json
+        assert final["done_instances"] == 6 and final["state"] == "done"
+
+    def test_wire_errors_are_400(self, client):
+        assert client.post("/plans", json_body=[1, 2]).status == 400
+        assert client.post("/plans", json_body={"kind": "sweep"}).status == 400
+        assert (
+            client.post(
+                "/plans", json_body={"kind": "alien", "request": {}}
+            ).status
+            == 400
+        )
+        bad_shards = submit_payload(sweep_request())
+        bad_shards["shards"] = 0
+        assert client.post("/plans", json_body=bad_shards).status == 400
+
+    def test_unknown_ids_are_404(self, client):
+        assert client.get("/plans/ffffffffffff").status == 404
+        assert client.get("/plans/ffffffffffff/progress").status == 404
+        assert client.post("/plans/ffffffffffff/cancel").status == 404
+        assert client.get("/nope").status == 404
+
+    def test_listing_and_metrics(self, client):
+        job = client.post(
+            "/plans", json_body=submit_payload(sweep_request(tag="list"))
+        ).raise_for_status().json["id"]
+        wait_done(client, job)
+        plans = client.get("/plans").raise_for_status().json["plans"]
+        assert [p["id"] for p in plans] == [job]
+        metrics = client.get("/metrics").raise_for_status().json
+        assert "coverage_calls" in metrics["kernels"]
+        assert client.get("/healthz").raise_for_status().json == {"ok": True}
+
+
+class TestCancellation:
+    def test_cancel_then_resume(self, store):
+        """Cancel mid-run; resubmit resumes from ledgered chunks only."""
+        request = sweep_request(seeds=6, tag="cancel")
+        key = request.fingerprint()
+
+        seen = []
+
+        def hook(report):
+            seen.append(report)
+            if len(seen) == 2:
+                store.cancel(key, "mid-run cancel")
+
+        with pytest.raises(PlanCancelled):
+            submit(request, store=store, on_instance=hook)
+        progress = plan_progress(store, key)
+        assert progress.state == "cancelled"
+        assert 0 < progress.done_instances < 6
+
+        done_before = progress.done_instances
+        store.clear_cancel(key)
+        with recording() as counters:
+            result = submit(request, store=store, resume=True)
+        assert len(result.records) == 12  # 6 instances x 2 cells
+        assert result.replayed_instances == done_before
+        assert plan_progress(store, key).state == "done"
+        # replayed chunks must not re-run: one graph build per fresh
+        # instance-cell at most, none for the replayed ones
+        assert counters.coverage_calls > 0  # the remainder did run
+
+    def test_cancel_via_service_resubmit_resumes(self, store):
+        client = ServiceClient(create_app(store, execute=False))
+        request = sweep_request(seeds=4, tag="svc-cancel")
+        payload = submit_payload(request)
+        job = client.post("/plans", json_body=payload).raise_for_status().json["id"]
+
+        status = client.post(
+            f"/plans/{job}/cancel", json_body={"reason": "changed my mind"}
+        ).raise_for_status()
+        assert status.json["state"] == "cancelled"
+        assert store.is_cancelled(job)
+
+        # resubmitting clears the tombstone and re-queues
+        second = client.post("/plans", json_body=payload).raise_for_status()
+        assert second.json["id"] == job
+        assert not store.is_cancelled(job)
+        assert plan_progress(store, job).state == "queued"
+
+    def test_worker_skips_cancelled_plans(self, store):
+        request = sweep_request(tag="wk-cancel")
+        key = enqueue(store, request)
+        store.cancel(key)
+        assert drain_plan(store, key, owner="t") is False
+        assert plan_progress(store, key).done_instances == 0
+
+
+class TestWorkers:
+    def test_two_worker_claim_race_bit_identical(self, store):
+        """Two drain loops racing on a 2-shard plan == serial run."""
+        request = sweep_request(seeds=6, tag="race", critical=True)
+        key = enqueue(store, request, shards=2)
+
+        errors = []
+
+        def drain(name):
+            try:
+                drain_plan(store, key, owner=name)
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=drain, args=(f"racer-{i}",))
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+        assert not errors
+
+        progress = plan_progress(store, key)
+        assert progress.complete
+        assert not queued_plans(store)
+
+        from repro.api import assemble
+
+        merged = assemble(request, store)
+        serial = submit(request)
+        assert [
+            json.dumps(r.metrics.as_dict(), sort_keys=True)
+            for r in merged.records
+        ] == [
+            json.dumps(r.metrics.as_dict(), sort_keys=True)
+            for r in serial.records
+        ]
+
+    def test_claim_is_exclusive(self, store):
+        request = sweep_request(tag="claims")
+        key = enqueue(store, request, shards=2)
+        shard = Shard(0, 2)
+        assert claim_shard(store, key, shard, "a")
+        assert not claim_shard(store, key, shard, "b")
+        release_shard(store, key, shard)
+        assert claim_shard(store, key, shard, "b")
+
+    def test_manager_runs_through_worker_path(self, store):
+        manager = JobManager(store)
+        request = sweep_request(seeds=3, tag="mgr")
+        descriptor = manager.submit(request, shards=2)
+        manager.join(descriptor["id"], timeout=60)
+        progress = plan_progress(store, descriptor["id"])
+        assert progress.complete
+        # both shard ledgers exist: the service executed via claims
+        assert len(store.ledger_paths(descriptor["id"])) == 2
+
+
+class TestTornLedgerPolicy:
+    def _run_sharded(self, store, request):
+        key = store.write_plan(request)
+        submit(request, store=store, shard=Shard(0, 2))
+        submit(request, store=store, shard=Shard(1, 2))
+        return key
+
+    def test_torn_middle_refused_without_dead_marker(self, store):
+        request = sweep_request(tag="torn")
+        key = self._run_sharded(store, request)
+        path = store.ledger_path(key, Shard(0, 2))
+        lines = path.read_text("utf8").splitlines(keepends=True)
+        lines[0] = lines[0][: len(lines[0]) // 2].rstrip("\n") + "\n"
+        path.write_text("".join(lines), encoding="utf8")
+        with pytest.raises(StoreError, match="corrupt"):
+            store.load_rows(key)
+
+    def test_torn_middle_skipped_with_dead_marker(self, store):
+        request = sweep_request(tag="torn-dead")
+        key = self._run_sharded(store, request)
+        shard = Shard(0, 2)
+        path = store.ledger_path(key, shard)
+        lines = path.read_text("utf8").splitlines(keepends=True)
+        torn_slot = json.loads(lines[0])["slot"]
+        lines[0] = lines[0][: len(lines[0]) // 2].rstrip("\n") + "\n"
+        path.write_text("".join(lines), encoding="utf8")
+
+        mark_shard_dead(store, key, shard)
+        assert is_shard_dead(store, key, shard)
+        rows = store.load_rows(key)
+        assert torn_slot not in rows  # the torn row is lost, not invented
+        assert len(rows) == request.total_instances - 1
+        # progress counts survive the tear too (and see the dead marker)
+        progress = plan_progress(store, key)
+        assert progress.done_instances == request.total_instances - 1
+        assert any(s.dead for s in progress.shards)
+
+    def test_resume_reexecutes_the_torn_slot(self, store):
+        request = sweep_request(tag="torn-resume")
+        key = self._run_sharded(store, request)
+        shard = Shard(0, 2)
+        path = store.ledger_path(key, shard)
+        lines = path.read_text("utf8").splitlines(keepends=True)
+        lines[0] = lines[0][: len(lines[0]) // 2].rstrip("\n") + "\n"
+        path.write_text("".join(lines), encoding="utf8")
+        mark_shard_dead(store, key, shard)
+
+        result = submit(request, store=store, shard=shard, resume=True)
+        assert result.replayed_instances == 1  # shard 0 owns 2 of 4
+        rows = store.load_rows(key)
+        assert len(rows) == request.total_instances
