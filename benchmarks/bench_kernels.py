@@ -18,6 +18,8 @@ story at every size.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -25,7 +27,7 @@ from repro.antenna.coverage import coverage_matrix, critical_range
 from repro.core.planner import orient_antennae
 from repro.engine import Scenario
 from repro.geometry.points import PointSet
-from repro.kernels import kernel_counters, polar_tables, recording
+from repro.kernels import kernel_counters, polar_tables, recording, use_backend
 from repro.kernels.reference import coverage_matrix_loop, critical_range_rebuild
 from repro.spanning.emst import euclidean_mst
 from repro.utils.tables import format_ascii_table
@@ -34,6 +36,13 @@ from repro.utils.timing import measure
 SIZES = (200, 1000, 5000)
 #: Largest size at which the reference kernels are run for comparison.
 REFERENCE_LIMIT = 1000
+
+#: The sparse radius-bounded axis.  n = 10⁴ runs everywhere (CI smoke
+#: included); the n = 10⁵ point — the instance the dense path provably
+#: cannot build tables for — is opt-in via REPRO_BENCH_LARGE=1.
+SPARSE_SIZES = (
+    (10_000, 100_000) if os.environ.get("REPRO_BENCH_LARGE") else (10_000,)
+)
 
 
 @pytest.fixture(scope="module")
@@ -188,6 +197,80 @@ def test_backend_axis_emits_machine_readable_report(
             ],
             title=f"[K1] {batch_req.total_instances}-instance sweep, "
                   f"backend={kernel_backend.name} -> {out}",
+        ))
+
+
+@pytest.mark.parametrize("n", SPARSE_SIZES)
+def test_sparse_large_n_axis(n, capsys):
+    """The sparse radius-bounded path at n ∈ {10⁴, 10⁵}: counters + RSS.
+
+    Measures the full measurement stack (orientation excluded) under the
+    sparse backend — coverage, strong connectivity, and the certified
+    critical range — and merges a ``sparse_large_n`` section into
+    BENCH_kernels.json.  Asserted quantities are counters and peak RSS,
+    never wall-clock: trig work must be ≥ 20× below the dense ``n²``
+    (the ISSUE-8 acceptance bar) and the whole run must fit in 4 GB.
+    """
+    import json
+    import resource
+
+    from repro.analysis.metrics import orientation_metrics
+
+    coords = Scenario("uniform", n, seeds=1, tag="bench-sparse").instance(0)
+    ps = PointSet(coords)
+    tree = euclidean_mst(ps)
+    result = orient_antennae(ps, 2, np.pi, tree=tree)
+    with use_backend("sparse"):
+        with recording() as rec:
+            t_metrics, metrics = measure(lambda: orientation_metrics(result))
+    peak_rss_kb = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+    assert metrics.strongly_connected
+    assert np.isfinite(metrics.critical_range)
+    assert rec.polar_builds == 0, "sparse axis must not build dense tables"
+    assert rec.sparse_polar_builds >= 1
+    assert rec.trig_evals * 20 <= n * n, (
+        f"trig reduction below 20x at n={n}: {rec.trig_evals} vs {n * n}"
+    )
+    # ru_maxrss is KB on Linux; 4 GB is the ISSUE-8 acceptance budget.
+    assert peak_rss_kb < 4 * 1024 * 1024, f"peak RSS {peak_rss_kb} KB over 4 GB"
+
+    out = "BENCH_kernels.json"
+    report = {}
+    if os.path.exists(out):
+        with open(out, encoding="utf8") as fh:
+            try:
+                report = json.load(fh)
+            except ValueError:
+                report = {}
+    section = report.setdefault("sparse_large_n", {})
+    section[str(n)] = {
+        "n": n,
+        "metrics_s": round(t_metrics, 6),
+        "critical_range": metrics.critical_range,
+        "peak_rss_kb": peak_rss_kb,
+        "counters": rec.as_dict(),
+        "dense_trig_equivalent": n * n,
+    }
+    with open(out, "w", encoding="utf8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    with capsys.disabled():
+        print()
+        print(format_ascii_table(
+            ["quantity", "value"],
+            [
+                ["n", n],
+                ["metrics wall (s)", round(t_metrics, 4)],
+                ["critical range (lmax)", round(metrics.critical_range, 6)],
+                ["trig evals (sparse)", rec.trig_evals],
+                ["trig evals (dense would be)", n * n],
+                ["reduction", f"{n * n / max(rec.trig_evals, 1):.0f}×"],
+                ["rcut widenings", rec.rcut_widenings],
+                ["peak RSS (MB)", peak_rss_kb // 1024],
+            ],
+            title=f"[K1] sparse radius-bounded axis, n={n} -> {out}",
         ))
 
 

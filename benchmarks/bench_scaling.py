@@ -7,17 +7,28 @@ asymptotics directly (per the HPC guide: measure, don't guess).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.analysis.metrics import orientation_metrics
 from repro.antenna.coverage import transmission_graph
 from repro.core.planner import orient_antennae
 from repro.core.theorem3 import orient_theorem3
 from repro.engine import GridCell, PlanRequest, Scenario, execute_plan
 from repro.geometry.points import PointSet
+from repro.kernels import sparse_polar_tables, use_backend
+from repro.kernels.sparse import default_instance_cutoff
 from repro.spanning.emst import euclidean_mst
 
 SIZES = (128, 512, 2048)
+
+#: Sparse-axis sizes: 10⁴ everywhere, 10⁵ opt-in (REPRO_BENCH_LARGE=1 —
+#: the size the dense ``(n, n)`` tables cannot represent in 4 GB).
+SPARSE_SIZES = (
+    (10_000, 100_000) if os.environ.get("REPRO_BENCH_LARGE") else (10_000,)
+)
 
 
 def _instance(n: int) -> PointSet:
@@ -53,6 +64,30 @@ def test_coverage_scaling(benchmark, n):
     res = orient_antennae(ps, 2, np.pi)
     g = benchmark(transmission_graph, ps, res.assignment)
     assert g.n == n
+
+
+@pytest.mark.parametrize("n", SPARSE_SIZES)
+def test_sparse_tables_scaling(benchmark, n):
+    """Radius-bounded candidate-table builds at large n (kd-tree + trig)."""
+    ps = _instance(n)
+    tree = euclidean_mst(ps)
+    tables = benchmark(
+        sparse_polar_tables, ps.coords, default_instance_cutoff(tree.lmax)
+    )
+    assert tables.n == n
+    assert tables.m < n * n // 20  # the radius bound must actually prune
+
+
+@pytest.mark.parametrize("n", SPARSE_SIZES)
+def test_sparse_metrics_scaling(benchmark, n):
+    """Full sparse measurement (coverage + SC + certified critical range)."""
+    ps = _instance(n)
+    tree = euclidean_mst(ps)
+    result = orient_antennae(ps, 2, np.pi, tree=tree)
+    with use_backend("sparse"):
+        metrics = benchmark(orientation_metrics, result)
+    assert metrics.strongly_connected
+    assert np.isfinite(metrics.critical_range)
 
 
 @pytest.mark.parametrize("jobs", (1, 4))

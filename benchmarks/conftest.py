@@ -20,7 +20,8 @@ def pytest_addoption(parser):
         "--backend",
         action="store",
         default="numpy",
-        help="kernel backend for backend-aware benchmarks (numpy, numba)",
+        help="kernel backend for backend-aware benchmarks "
+             "(numpy, numba, sparse, auto)",
     )
 
 

@@ -464,9 +464,11 @@ def _durable_options() -> argparse.ArgumentParser:
                    help="execute (sweep/frontier) or claim (worker) only "
                         "shard I of M disjoint plan partitions (e.g. 0/2)")
     g.add_argument("--backend", default=None,
-                   help="kernel backend: numpy or numba (default: the "
-                        "REPRO_BACKEND environment variable, else numpy); "
-                        "results are bit-identical across backends")
+                   help="kernel backend: numpy, numba, sparse, or auto "
+                        "(default: the REPRO_BACKEND environment variable, "
+                        "else numpy); results are bit-identical across "
+                        "backends — sparse/auto route large instances "
+                        "through radius-bounded candidate geometry")
     g.add_argument("--jobs", type=int, default=1,
                    help="worker processes per execution (default: 1 = serial)")
     return parent

@@ -22,6 +22,8 @@ from repro.graph.connectivity import is_strongly_connected
 from repro.kernels.backend import active_backend
 from repro.kernels.batch import BatchedInstances, PackedPolarTables
 from repro.kernels.geometry import PolarTables, polar_tables
+from repro.kernels.instrument import recording
+from repro.kernels.sparse import SparsePolarTables, sparse_metrics
 
 __all__ = [
     "OrientationMetrics",
@@ -72,16 +74,30 @@ def orientation_metrics(
     result: OrientationResult,
     *,
     compute_critical: bool = True,
-    tables: PolarTables | None = None,
+    tables: PolarTables | SparsePolarTables | None = None,
 ) -> OrientationMetrics:
     """Measure ``result``; ranges are reported in lmax units.
 
     ``tables`` is the instance's shared polar geometry (from the engine's
     :class:`~repro.engine.cache.ArtifactCache`); without it the tables are
     built once here and shared between the transmission-graph and
-    critical-range measurements.
+    critical-range measurements.  Handing in :class:`SparsePolarTables` —
+    or activating a backend whose ``use_sparse`` rule selects this
+    instance — routes the measurement through the radius-bounded sparse
+    path (:func:`repro.kernels.sparse.sparse_metrics`), bit-identical by
+    its certification contract.
     """
+    backend = active_backend()
+    if isinstance(tables, SparsePolarTables):
+        return _sparse_orientation_metrics(
+            result, tables, compute_critical=compute_critical, backend=backend
+        )
     if tables is None:
+        wants = getattr(backend, "use_sparse", None)
+        if wants is not None and wants(len(result.points)):
+            return _sparse_orientation_metrics(
+                result, None, compute_critical=compute_critical, backend=backend
+            )
         tables = polar_tables(result.points.coords)
     g = result.transmission_graph(tables=tables)
     counts = result.assignment.counts()
@@ -103,6 +119,57 @@ def orientation_metrics(
         antennas_total=int(counts.sum()),
         edges=g.m,
         strongly_connected=is_strongly_connected(g),
+    )
+
+
+def _sparse_orientation_metrics(
+    result: OrientationResult,
+    tables: SparsePolarTables | None,
+    *,
+    compute_critical: bool,
+    backend,
+) -> OrientationMetrics:
+    """Measure through the radius-bounded candidate geometry.
+
+    Same fields, same floats as the dense path: the sparse kernels
+    evaluate the identical per-pair expressions over the certified
+    candidate set (see :mod:`repro.kernels.sparse`).
+    """
+    sensor_idx, start, spread, radius = result.assignment.flattened()
+    with recording() as rec:
+        edges, connected, critical_abs, _ = sparse_metrics(
+            result.points.coords,
+            sensor_idx,
+            start,
+            spread,
+            radius,
+            range_bound_abs=result.range_bound_absolute,
+            compute_critical=compute_critical,
+            tables=tables,
+        )
+    if compute_critical:
+        critical = critical_abs / result.lmax if result.lmax > 0 else critical_abs
+        result.stats["critical_range_kernels"] = {
+            "backend": backend.name,
+            "sparse": True,
+            **rec.as_dict(),
+        }
+    else:
+        critical = float("nan")
+    counts = result.assignment.counts()
+    return OrientationMetrics(
+        algorithm=result.algorithm,
+        n=len(result.points),
+        k=result.k,
+        phi=result.phi,
+        range_bound=result.range_bound,
+        realized_range=result.realized_range_normalized(),
+        critical_range=critical,
+        max_spread_sum=result.max_spread_sum(),
+        antennas_max=int(counts.max()) if len(counts) else 0,
+        antennas_total=int(counts.sum()),
+        edges=edges,
+        strongly_connected=connected,
     )
 
 

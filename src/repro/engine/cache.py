@@ -22,6 +22,7 @@ from repro.geometry.points import PointSet, pairwise_distances
 from repro.kernels.backend import active_backend
 from repro.kernels.batch import BatchedInstances, PackedPolarTables
 from repro.kernels.geometry import PolarTables, polar_tables
+from repro.kernels.sparse import SparsePolarTables, sparse_polar_tables
 from repro.spanning.emst import SpanningTree, euclidean_mst
 
 __all__ = ["content_hash", "CacheStats", "ArtifactCache"]
@@ -52,6 +53,7 @@ class CacheStats:
     tree_builds: int = 0
     distance_builds: int = 0
     polar_builds: int = 0
+    sparse_polar_builds: int = 0
     evictions: int = 0
 
     def merge(self, other: "CacheStats") -> None:
@@ -62,6 +64,7 @@ class CacheStats:
         self.tree_builds += other.tree_builds
         self.distance_builds += other.distance_builds
         self.polar_builds += other.polar_builds
+        self.sparse_polar_builds += other.sparse_polar_builds
         self.evictions += other.evictions
 
     def as_dict(self) -> dict:
@@ -72,12 +75,14 @@ class CacheStats:
             "tree_builds": self.tree_builds,
             "distance_builds": self.distance_builds,
             "polar_builds": self.polar_builds,
+            "sparse_polar_builds": self.sparse_polar_builds,
             "evictions": self.evictions,
         }
 
     _FIELDS = (
         "hits", "misses", "pointset_builds", "tree_builds",
-        "distance_builds", "polar_builds", "evictions",
+        "distance_builds", "polar_builds", "sparse_polar_builds",
+        "evictions",
     )
 
     @classmethod
@@ -97,6 +102,10 @@ class _Entry:
     tree: SpanningTree | None = None
     distances: np.ndarray | None = None
     polar: PolarTables | None = None
+    #: Radius-bounded candidate tables, keyed by their cutoff: a sweep's
+    #: grid cells share one default-cutoff artifact, while the widening
+    #: loop's larger rebuilds coexist without clobbering it.
+    sparse: dict[float, SparsePolarTables] = field(default_factory=dict)
 
 
 @dataclass
@@ -172,6 +181,22 @@ class ArtifactCache:
             entry.polar = polar_tables(entry.pointset.coords)
             self.stats.polar_builds += 1
         return entry.polar
+
+    def sparse_polar(self, coords, r_cut: float) -> SparsePolarTables:
+        """Radius-bounded CSR candidate tables at cutoff ``r_cut`` (built once).
+
+        The sparse analogue of :meth:`polar` for large instances: one
+        kd-tree query + one trig pass per (instance, cutoff), shared by
+        every grid cell whose certification needs at most ``r_cut``.
+        """
+        entry = self._entry(coords)
+        key = float(r_cut)
+        tables = entry.sparse.get(key)
+        if tables is None:
+            tables = sparse_polar_tables(entry.pointset.coords, key)
+            entry.sparse[key] = tables
+            self.stats.sparse_polar_builds += 1
+        return tables
 
     def packed_polar(self, batch: BatchedInstances) -> PackedPolarTables:
         """Packed polar tables for a whole chunk, keyed by the batch hash.

@@ -33,8 +33,10 @@ from repro.core.planner import orient_antennae
 from repro.engine.cache import ArtifactCache, CacheStats
 from repro.engine.spec import GridCell, PlanRequest, Scenario, Shard
 from repro.experiments.harness import aggregate_rows
-from repro.kernels.backend import resolve_backend, use_backend
+from repro.geometry.points import max_pairwise_distance
+from repro.kernels.backend import active_backend, resolve_backend, use_backend
 from repro.kernels.batch import pack_instances
+from repro.kernels.sparse import default_instance_cutoff
 
 __all__ = [
     "RunRecord",
@@ -70,22 +72,37 @@ class InstanceReport:
     elapsed: float
 
 
+def _wants_sparse(backend, n: int) -> bool:
+    """Does ``backend`` route an ``n``-point instance through the sparse path?"""
+    use_sparse = getattr(backend, "use_sparse", None)
+    return bool(use_sparse is not None and use_sparse(n))
+
+
 def instance_artifacts(cache: ArtifactCache, coords: np.ndarray):
     """``(pointset, tree, tables, facts)`` for one instance, via the cache.
 
     The ``facts`` dict is the ledgered schema behind
     :class:`InstanceReport` (``n``/``lmax``/``mst_weight``/``diameter``) —
     shared by the sweep and frontier executors so their replay paths
-    cannot drift apart.
+    cannot drift apart.  Under a sparse-routing backend ``tables`` is the
+    cached radius-bounded :class:`~repro.kernels.sparse.SparsePolarTables`
+    artifact at the instance's default cutoff instead of the dense
+    ``(n, n)`` tables; the facts keep the same values (``diameter`` via
+    :func:`~repro.geometry.points.max_pairwise_distance`).
     """
     ps = cache.pointset(coords)
     tree = cache.tree(ps)
-    tables = cache.polar(ps)
+    if _wants_sparse(active_backend(), len(ps)):
+        tables = cache.sparse_polar(ps, default_instance_cutoff(tree.lmax))
+        diameter = max_pairwise_distance(ps.coords) if len(ps) > 1 else 0.0
+    else:
+        tables = cache.polar(ps)
+        diameter = float(tables.dist.max()) if tables.dist.size else 0.0
     facts = {
         "n": float(len(ps)),
         "lmax": tree.lmax,
         "mst_weight": tree.total_weight,
-        "diameter": float(tables.dist.max()) if tables.dist.size else 0.0,
+        "diameter": diameter,
     }
     return ps, tree, tables, facts
 
@@ -151,11 +168,25 @@ def _run_chunk(
     All kernel work (per-instance or batched) runs under ``backend_name``.
     """
     cache = cache if cache is not None else ArtifactCache()
-    with use_backend(backend_name):
+    with use_backend(backend_name) as backend:
         if batched:
-            return _run_chunk_batched(
-                chunk, grid, compute_critical, cache, backend_name
+            # Sparse-routed instances cannot take the packed dense path
+            # (it materializes (m, n_max, n_max) tables); split the chunk
+            # and measure them per-instance, everything else packed.
+            dense = [t for t in chunk if not _wants_sparse(backend, t[3].shape[0])]
+            sparse = [t for t in chunk if _wants_sparse(backend, t[3].shape[0])]
+            out: list[tuple[int, _Payload]] = []
+            if dense:
+                out.extend(
+                    _run_chunk_batched(
+                        dense, grid, compute_critical, cache, backend_name
+                    )
+                )
+            out.extend(
+                (slot, _run_task(coords, grid, compute_critical, cache, backend_name))
+                for slot, _si, _ii, coords in sparse
             )
+            return out
         return [
             (slot, _run_task(coords, grid, compute_critical, cache, backend_name))
             for slot, _si, _ii, coords in chunk

@@ -14,7 +14,12 @@ import numpy as np
 from repro.errors import InvalidPointSetError
 from repro.geometry.angles import angle_of
 
-__all__ = ["PointSet", "pairwise_distances", "chord_length"]
+__all__ = [
+    "PointSet",
+    "pairwise_distances",
+    "max_pairwise_distance",
+    "chord_length",
+]
 
 
 def pairwise_distances(coords: np.ndarray) -> np.ndarray:
@@ -29,6 +34,59 @@ def pairwise_distances(coords: np.ndarray) -> np.ndarray:
     np.clip(d2, 0.0, None, out=d2)
     np.fill_diagonal(d2, 0.0)
     return np.sqrt(d2)
+
+
+#: Below this size the diameter is taken over all pairs with the same
+#: ``np.hypot`` expression as the polar tables — bit-identical to
+#: ``PolarTables.dist.max()`` by construction.
+_BRUTE_DIAMETER_MAX_N = 4096
+
+#: Elements per ``(block, n)`` temporary in the brute diameter pass.
+_DIAM_BLOCK_ELEMS = 4_000_000
+
+
+def _hypot_max(c: np.ndarray, rows: np.ndarray) -> float:
+    """Max ``hypot`` distance from any of ``rows`` to any point (blockwise)."""
+    best = 0.0
+    block = max(1, _DIAM_BLOCK_ELEMS // max(c.shape[0], 1))
+    for lo in range(0, rows.shape[0], block):
+        sub = c[rows[lo : lo + block]]
+        off = c[None, :, :] - sub[:, None, :]
+        d = np.hypot(off[..., 0], off[..., 1])
+        best = max(best, float(d.max()) if d.size else 0.0)
+    return best
+
+
+def max_pairwise_distance(coords: np.ndarray) -> float:
+    """The largest ``np.hypot`` pairwise distance, without ``(n, n)`` memory.
+
+    The sparse measurement path's replacement for ``tables.dist.max()``:
+    small instances take a brute blockwise pass over every pair (the same
+    float expression as the dense tables, so the value is bit-identical);
+    large instances reduce the candidate rows to the convex hull vertices
+    (the true diameter endpoints), falling back to the axis-extreme points
+    when the hull degenerates (collinear inputs).
+    """
+    c = np.asarray(coords, dtype=float)
+    n = c.shape[0]
+    if n <= 1:
+        return 0.0
+    if n <= _BRUTE_DIAMETER_MAX_N:
+        return _hypot_max(c, np.arange(n))
+    try:
+        from scipy.spatial import ConvexHull
+
+        rows = np.asarray(ConvexHull(c).vertices, dtype=np.int64)
+    except Exception:  # QhullError on degenerate input, or no scipy
+        rows = np.unique(
+            [
+                int(np.argmin(c[:, 0])), int(np.argmax(c[:, 0])),
+                int(np.argmin(c[:, 1])), int(np.argmax(c[:, 1])),
+                int(np.argmin(c[:, 0] + c[:, 1])), int(np.argmax(c[:, 0] + c[:, 1])),
+                int(np.argmin(c[:, 0] - c[:, 1])), int(np.argmax(c[:, 0] - c[:, 1])),
+            ]
+        )
+    return _hypot_max(c, rows)
 
 
 def chord_length(theta, radius: float = 1.0):

@@ -19,9 +19,14 @@ array programs over shared per-instance geometry:
   evaluated per Python-level launch;
 * :mod:`repro.kernels.backend` — the :class:`KernelBackend` seam: the
   four hot primitives behind a narrow protocol, with the numpy kernels as
-  the default implementation and an optional numba JIT backend
-  (:mod:`repro.kernels.numba_backend`) selected by ``REPRO_BACKEND``, a
-  request flag, or ``--backend``;
+  the default implementation, an optional numba JIT backend
+  (:mod:`repro.kernels.numba_backend`), and the radius-bounded
+  ``sparse``/``auto`` backends, selected by ``REPRO_BACKEND``, a request
+  flag, or ``--backend``;
+* :mod:`repro.kernels.sparse` — :class:`SparsePolarTables`, the CSR
+  radius-bounded candidate geometry and the certified-exact
+  :func:`sparse_metrics` measurement loop that scales instances to
+  n = 10⁵ without the ``(n, n)`` tables;
 * :mod:`repro.kernels.instrument` — process-wide work counters (graph
   builds, connectivity probes, trig evaluations) that perf-regression
   tests assert on instead of wall-clock;
@@ -67,6 +72,18 @@ from repro.kernels.instrument import (
     recording,
     reset_kernel_counters,
 )
+from repro.kernels.sparse import (
+    SparsePolarTables,
+    bbox_diameter_bound,
+    complete_cutoff,
+    covered_edge_arrays,
+    default_instance_cutoff,
+    required_cutoff,
+    sparse_covered_edges,
+    sparse_metrics,
+    sparse_polar_tables,
+    strongly_connected_sparse,
+)
 
 __all__ = [
     "KNOWN_BACKENDS",
@@ -76,10 +93,15 @@ __all__ = [
     "KernelCounters",
     "PackedPolarTables",
     "PolarTables",
+    "SparsePolarTables",
     "active_backend",
     "available_backends",
     "batched_coverage",
+    "bbox_diameter_bound",
+    "complete_cutoff",
+    "covered_edge_arrays",
     "critical_range_search",
+    "default_instance_cutoff",
     "kernel_counters",
     "pack_instances",
     "packed_coverage",
@@ -88,10 +110,15 @@ __all__ = [
     "packed_strongly_connected",
     "polar_tables",
     "recording",
+    "required_cutoff",
     "reset_kernel_counters",
     "resolve_backend",
+    "sparse_covered_edges",
+    "sparse_metrics",
+    "sparse_polar_tables",
     "strongly_connected_csr",
     "strongly_connected_edges",
+    "strongly_connected_sparse",
     "reverse_csr",
     "scc_count_csr",
     "use_backend",

@@ -19,6 +19,17 @@ Selection precedence (first match wins):
 3. the ``REPRO_BACKEND`` environment variable;
 4. the default ``numpy`` backend.
 
+Two backends route large instances through the radius-bounded sparse path
+(:mod:`repro.kernels.sparse`) instead of the dense ``(n, n)`` tables: the
+``sparse`` backend does so for every instance with ``n >= 2``, and the
+``auto`` backend only above :func:`sparse_auto_threshold` points
+(``REPRO_SPARSE_AUTO_N``, default 4096 — roughly where the dense tables
+stop fitting in cache and their O(n²) build dominates).  Both answer the
+dense primitive protocol with the plain numpy kernels, so small instances
+and code paths that hand them dense tables behave exactly like ``numpy``;
+the engine and metrics layers consult :meth:`KernelBackend.use_sparse` to
+decide which artifact to build.
+
 Exactness contract: every backend must be bit-exact against
 :mod:`repro.kernels.reference` on valid inputs.  The numpy backend *is*
 the reference-equivalent vectorized code; the numba backend delegates all
@@ -55,20 +66,42 @@ __all__ = [
     "KNOWN_BACKENDS",
     "DEFAULT_BACKEND",
     "BACKEND_ENV_VAR",
+    "SPARSE_AUTO_ENV_VAR",
+    "DEFAULT_SPARSE_AUTO_N",
     "BackendUnavailable",
     "KernelBackend",
     "NumpyBackend",
+    "SparseBackend",
+    "AutoBackend",
     "active_backend",
     "available_backends",
     "resolve_backend",
+    "sparse_auto_threshold",
     "use_backend",
 ]
 
 #: Names the registry knows how to construct (construction may still fail
 #: when the backing package is absent — see :func:`available_backends`).
-KNOWN_BACKENDS = ("numpy", "numba")
+KNOWN_BACKENDS = ("numpy", "numba", "sparse", "auto")
 DEFAULT_BACKEND = "numpy"
 BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Environment variable overriding the ``auto`` rule's instance-size
+#: threshold; instances with at least this many points take the sparse
+#: radius-bounded path under the ``auto`` backend.
+SPARSE_AUTO_ENV_VAR = "REPRO_SPARSE_AUTO_N"
+DEFAULT_SPARSE_AUTO_N = 4096
+
+
+def sparse_auto_threshold() -> int:
+    """The instance size at which the ``auto`` backend goes sparse."""
+    raw = os.environ.get(SPARSE_AUTO_ENV_VAR)
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return DEFAULT_SPARSE_AUTO_N
 
 
 class BackendUnavailable(ReproError):
@@ -128,6 +161,12 @@ class KernelBackend(Protocol):
         self, tables: PackedPolarTables, cover_ang: np.ndarray, *, eps: float = 1e-9
     ) -> np.ndarray: ...
 
+    # -- routing ----------------------------------------------------------
+    def use_sparse(self, n: int) -> bool:
+        """Should an ``n``-point instance take the radius-bounded sparse
+        path (:mod:`repro.kernels.sparse`) instead of dense tables?"""
+        ...
+
 
 class NumpyBackend:
     """The default backend: the vectorized numpy kernels as-is."""
@@ -162,8 +201,47 @@ class NumpyBackend:
     def packed_critical(self, tables, cover_ang, *, eps=1e-9):
         return packed_critical(tables, cover_ang, eps=eps)
 
+    def use_sparse(self, n: int) -> bool:
+        return False
+
     def __repr__(self) -> str:
         return "NumpyBackend()"
+
+
+class SparseBackend(NumpyBackend):
+    """Radius-bounded sparse geometry for every non-trivial instance.
+
+    Dense primitives (inherited) stay the plain numpy kernels — callers
+    that already hold dense tables are served bit-identically — but the
+    engine and metrics layers route every instance with ``n >= 2``
+    through :func:`repro.kernels.sparse.sparse_metrics`.
+    """
+
+    name = "sparse"
+
+    def use_sparse(self, n: int) -> bool:
+        return n >= 2
+
+    def __repr__(self) -> str:
+        return "SparseBackend()"
+
+
+class AutoBackend(NumpyBackend):
+    """Numpy below :func:`sparse_auto_threshold` points, sparse above.
+
+    The threshold is read per call, so ``REPRO_SPARSE_AUTO_N`` can steer
+    an already-resolved backend (tests pin it; sweeps mixing instance
+    sizes get dense speed on small ones and sparse memory on large ones
+    within the same run).
+    """
+
+    name = "auto"
+
+    def use_sparse(self, n: int) -> bool:
+        return n >= sparse_auto_threshold()
+
+    def __repr__(self) -> str:
+        return "AutoBackend()"
 
 
 def _load_numba() -> KernelBackend:
@@ -172,7 +250,12 @@ def _load_numba() -> KernelBackend:
     return NumbaBackend()
 
 
-_FACTORIES = {"numpy": NumpyBackend, "numba": _load_numba}
+_FACTORIES = {
+    "numpy": NumpyBackend,
+    "numba": _load_numba,
+    "sparse": SparseBackend,
+    "auto": AutoBackend,
+}
 _instances: dict[str, KernelBackend] = {}
 #: Override stack pushed by :func:`use_backend`; top wins over the env var.
 _override: list[KernelBackend] = []

@@ -43,7 +43,8 @@ from repro.geometry.angles import angle_of
 from repro.kernels.connectivity import _HAVE_SCIPY, strongly_connected_csr
 from repro.kernels.coverage import _fill_block
 from repro.kernels.critical import _critical_search_impl
-from repro.kernels.geometry import _ROW_BLOCK_ELEMS
+from repro.errors import InvalidParameterError
+from repro.kernels.geometry import DENSE_LIMIT_ENV_VAR, _ROW_BLOCK_ELEMS, dense_element_limit
 from repro.kernels.instrument import COUNTERS
 
 __all__ = [
@@ -153,6 +154,15 @@ def packed_polar_tables(batch: BatchedInstances) -> PackedPolarTables:
     """
     c = batch.coords
     m, n_max = c.shape[0], c.shape[1]
+    limit = dense_element_limit()
+    if n_max * n_max > limit:
+        raise InvalidParameterError(
+            f"packed polar tables for n_max={n_max:,} need n² = "
+            f"{n_max * n_max:,} elements per instance table, over the "
+            f"{limit:,}-element budget ({DENSE_LIMIT_ENV_VAR}); use the "
+            "radius-bounded sparse backend for large instances "
+            "(REPRO_BACKEND=sparse / --backend sparse, or the auto rule)"
+        )
     dist = np.empty((m, n_max, n_max), dtype=float)
     ang = np.empty((m, n_max, n_max), dtype=float)
     # Same element budget as the per-instance builder, now over instances.

@@ -16,16 +16,44 @@ reading from the tables return bit-identical results to the loop kernels.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
+from repro.errors import InvalidParameterError
 from repro.geometry.angles import angle_of
 from repro.kernels.instrument import COUNTERS
 
-__all__ = ["PolarTables", "polar_tables"]
+__all__ = [
+    "PolarTables",
+    "polar_tables",
+    "dense_element_limit",
+    "DENSE_LIMIT_ENV_VAR",
+    "DEFAULT_DENSE_LIMIT",
+]
 
 #: Rows per block when filling the tables — bounds the transient
 #: ``(block, n, 2)`` offset array to ~tens of MB at any instance size.
 _ROW_BLOCK_ELEMS = 4_000_000
+
+#: Environment variable overriding the dense-table element budget.
+DENSE_LIMIT_ENV_VAR = "REPRO_DENSE_LIMIT"
+#: Default budget: ``n² <= 2·10⁸`` elements per table (~1.6 GB for the two
+#: float64 tables together), i.e. ``n <= ~14142``.  Beyond that a dense
+#: build is almost certainly a mistake — the sparse backend measures the
+#: same metrics bit-identically in O(candidate pairs) memory.
+DEFAULT_DENSE_LIMIT = 200_000_000
+
+
+def dense_element_limit() -> int:
+    """The ``n²`` element budget for one dense table (env-overridable)."""
+    raw = os.environ.get(DENSE_LIMIT_ENV_VAR)
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return DEFAULT_DENSE_LIMIT
 
 
 class PolarTables:
@@ -65,6 +93,15 @@ def polar_tables(coords) -> PolarTables:
     if c.ndim != 2 or c.shape[1] != 2:
         raise ValueError(f"expected (n, 2) coordinates, got shape {c.shape}")
     n = c.shape[0]
+    limit = dense_element_limit()
+    if n * n > limit:
+        raise InvalidParameterError(
+            f"dense polar tables for n={n:,} need n² = {n * n:,} elements "
+            f"per table, over the {limit:,}-element budget "
+            f"({DENSE_LIMIT_ENV_VAR}); use the radius-bounded sparse backend "
+            "for large instances (REPRO_BACKEND=sparse / --backend sparse, "
+            "or the auto rule)"
+        )
     dist = np.empty((n, n), dtype=float)
     ang = np.empty((n, n), dtype=float)
     block = max(1, _ROW_BLOCK_ELEMS // max(n, 1))

@@ -63,6 +63,16 @@ class KernelCounters:
     batched_instances:
         Instances folded into packed polar builds (the ``M`` summed over
         every ``packed_polar_builds`` launch).
+    sparse_polar_builds:
+        Radius-bounded :class:`repro.kernels.sparse.SparsePolarTables`
+        constructions.  Each build also adds its directed candidate-pair
+        count to ``trig_evals`` (the *actual* ``arctan2`` work — the
+        20×+ reduction over the dense ``n²`` is the sparse path's win).
+    rcut_widenings:
+        Geometric ``r_cut`` widenings performed by the sparse exactness
+        loop: a sparse critical-range probe whose result could not be
+        certified against the candidate cutoff rebuilt the tables at a
+        doubled cutoff instead of returning a silently-wrong value.
     """
 
     graph_builds: int = 0
@@ -76,6 +86,8 @@ class KernelCounters:
     critical_searches: int = 0
     packed_polar_builds: int = 0
     batched_instances: int = 0
+    sparse_polar_builds: int = 0
+    rcut_widenings: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -450,5 +450,8 @@ class NumbaBackend:
         COUNTERS.bfs_fallbacks += total
         return out
 
+    def use_sparse(self, n: int) -> bool:
+        return False
+
     def __repr__(self) -> str:
         return "NumbaBackend()"

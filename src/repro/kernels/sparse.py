@@ -1,0 +1,441 @@
+"""Sparse radius-bounded geometry: the large-``n`` measurement path.
+
+The dense kernel stack materializes ``(n, n)`` polar tables — ~160 GB at
+n = 10⁵ — yet the paper's Table-1 guarantees make almost all of that
+irrelevant: every construction's critical range is bounded by a small
+constant multiple of ``lmax`` (see :func:`repro.core.bounds.paper_range_bound`),
+so pairs farther apart than that bound can never participate in coverage or
+in the bottleneck search.  :class:`SparsePolarTables` keeps only the
+directed pairs within a cutoff ``r_cut`` — CSR neighbor lists built from a
+``scipy.spatial.cKDTree.query_pairs`` query — with angles and distances
+computed by the *same* floating-point expressions as the dense builder
+(``np.hypot`` on raw offsets, :func:`~repro.geometry.angles.angle_of`), so
+every per-pair value is bit-identical to the corresponding dense table
+entry.
+
+Exactness contract (the hard guarantee behind ``--backend sparse``):
+
+* **Coverage / strong connectivity.**  The candidate cutoff is derived
+  from the antennae's own radii (:func:`required_cutoff`): every pair a
+  radius-respecting sector could cover satisfies
+  ``dist <= radius + radius_tolerance(radius, eps)``, which sits strictly
+  inside the cutoff's safety pad, so the sparse edge list *is* the dense
+  transmission graph's edge list.  An infinite antenna radius forces the
+  complete candidate set (the bounding-box diameter cutoff).
+* **Critical range.**  Both searches return the smallest candidate
+  distance whose prefix graph is strongly connected.  A sparse result
+  ``r*`` is *certified* when ``(r* + radius_tolerance(r*, eps))`` sits
+  inside the cutoff (with pad): below that radius the sparse and dense
+  prefix graphs are identical edge sets, so the returned float is the
+  dense float, bit for bit.  A result that cannot be certified — including
+  ``inf`` from a probe that is not strongly connected at ``r_cut`` — is
+  never returned: the cutoff is widened geometrically (counted in
+  ``COUNTERS.rcut_widenings``) up to the bounding-box diameter, where the
+  candidate set is provably complete and even ``inf`` is genuine.
+
+The safety pad ``_CUT_PAD`` absorbs the ulp-level disagreement between the
+kd-tree's internal distance and the table's ``np.hypot`` at the cutoff
+boundary: certified results sit a relative ``1e-6`` inside the cutoff,
+seven orders of magnitude beyond any last-ulp membership fuzz.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.angles import TWO_PI, angle_of
+from repro.geometry.sectors import radius_tolerance
+from repro.kernels.connectivity import strongly_connected_csr
+from repro.kernels.coverage import _ccw_from_start
+from repro.kernels.critical import critical_range_search
+from repro.kernels.instrument import COUNTERS
+
+__all__ = [
+    "SparsePolarTables",
+    "sparse_polar_tables",
+    "sparse_covered_edges",
+    "covered_edge_arrays",
+    "strongly_connected_sparse",
+    "sparse_metrics",
+    "required_cutoff",
+    "default_instance_cutoff",
+    "bbox_diameter_bound",
+    "complete_cutoff",
+]
+
+#: Relative safety pad between a certified radius and the cutoff.  Large
+#: against float rounding (~1e-16 relative), small against the cutoff
+#: itself, so it never costs a meaningful number of extra candidate pairs.
+_CUT_PAD = 1.0 + 1e-6
+
+#: Elements per expanded (antenna, edge) temporary inside the coverage
+#: kernel — same cache-residency reasoning as the dense kernel's block.
+_EDGE_BLOCK_ELEMS = 262_144
+
+#: Elements per ``(block, n)`` distance temporary in the brute-force
+#: candidate fallback (scipy absent) — bounds memory, not work.
+_PAIR_BLOCK_ELEMS = 4_000_000
+
+
+class SparsePolarTables:
+    """CSR polar geometry of the directed point pairs within ``r_cut``.
+
+    Attributes
+    ----------
+    indptr:
+        ``(n + 1,)`` CSR row pointer; row ``u`` spans
+        ``indptr[u]:indptr[u + 1]``.
+    indices:
+        ``(m,)`` destination vertex of each directed candidate edge,
+        ordered by ``(src, dst)`` lexicographically.
+    src:
+        ``(m,)`` source vertex of each edge (the expansion of ``indptr``,
+        stored because every covered-edge consumer needs it).
+    dist, ang:
+        ``(m,)`` per-edge distance / polar angle — bit-identical to the
+        dense ``PolarTables`` entries for the same ordered pair.
+    r_cut:
+        The candidate cutoff the tables were built at.
+    """
+
+    __slots__ = ("indptr", "indices", "src", "dist", "ang", "r_cut")
+
+    def __init__(self, indptr, indices, src, dist, ang, r_cut):
+        self.indptr = indptr
+        self.indices = indices
+        self.src = src
+        self.dist = dist
+        self.ang = ang
+        self.r_cut = float(r_cut)
+
+    @property
+    def n(self) -> int:
+        return int(self.indptr.shape[0] - 1)
+
+    @property
+    def m(self) -> int:
+        return int(self.indices.shape[0])
+
+    def __repr__(self) -> str:
+        return f"SparsePolarTables(n={self.n}, m={self.m}, r_cut={self.r_cut:g})"
+
+
+def _directed_candidates(c: np.ndarray, r: float) -> tuple[np.ndarray, np.ndarray]:
+    """Directed ``(src, dst)`` pairs within distance ``r``, lexsorted.
+
+    Membership at the exact boundary may differ from ``np.hypot`` by a
+    last-ulp (the kd-tree computes its own distances); the certification
+    pads absorb this, and extra pairs are always harmless.
+    """
+    n = c.shape[0]
+    empty = np.empty(0, dtype=np.int64)
+    if n <= 1 or not r >= 0.0:
+        return empty, empty
+    try:
+        from scipy.spatial import cKDTree
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        cKDTree = None
+    if cKDTree is not None and np.isfinite(r):
+        pairs = cKDTree(c).query_pairs(float(r), output_type="ndarray")
+        if pairs.shape[0] == 0:
+            return empty, empty
+        u = pairs[:, 0].astype(np.int64)
+        v = pairs[:, 1].astype(np.int64)
+        src = np.concatenate([u, v])
+        dst = np.concatenate([v, u])
+        order = np.lexsort((dst, src))
+        return src[order], dst[order]
+    # Brute-force fallback: O(n²) time but blockwise-bounded memory.
+    srcs, dsts = [], []
+    block = max(1, _PAIR_BLOCK_ELEMS // max(n, 1))
+    for lo in range(0, n, block):
+        hi = min(lo + block, n)
+        off = c[None, :, :] - c[lo:hi, None, :]
+        d = np.hypot(off[..., 0], off[..., 1])
+        bs, bd = np.nonzero(d <= r)
+        keep = (bs + lo) != bd
+        srcs.append((bs[keep] + lo).astype(np.int64))
+        dsts.append(bd[keep].astype(np.int64))
+    return np.concatenate(srcs), np.concatenate(dsts)
+
+
+def sparse_polar_tables(coords, r_cut: float) -> SparsePolarTables:
+    """Build the radius-bounded CSR angle/distance tables for ``coords``.
+
+    Counts the *actual* trig work performed — one ``arctan2`` per directed
+    candidate pair — in ``COUNTERS.trig_evals`` (the dense builder counts
+    ``n²``), plus one ``sparse_polar_builds`` launch.
+    """
+    c = np.ascontiguousarray(np.asarray(coords, dtype=float))
+    if c.ndim != 2 or c.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) coordinates, got shape {c.shape}")
+    r = float(r_cut)
+    if not r >= 0.0:  # also rejects NaN
+        raise ValueError(f"candidate cutoff must be >= 0, got {r}")
+    n = c.shape[0]
+    src, dst = _directed_candidates(c, r)
+    off = c[dst] - c[src]
+    dist = np.hypot(off[:, 0], off[:, 1])
+    ang = angle_of(off) if off.shape[0] else np.empty(0, dtype=float)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+    COUNTERS.sparse_polar_builds += 1
+    COUNTERS.trig_evals += int(src.shape[0])
+    for arr in (indptr, src, dst, dist, ang):
+        arr.setflags(write=False)
+    return SparsePolarTables(indptr, dst, src, dist, ang, r)
+
+
+def sparse_covered_edges(
+    tables: SparsePolarTables,
+    sensor_idx: np.ndarray,
+    start: np.ndarray,
+    spread: np.ndarray,
+    radius: np.ndarray,
+    *,
+    eps: float = 1e-9,
+    ignore_radius: bool = False,
+) -> np.ndarray:
+    """Boolean mask over the tables' edges: covered by some antenna?
+
+    The sparse analogue of :func:`repro.kernels.coverage.batched_coverage`:
+    the same elementwise containment expressions (full-circle shortcut, ccw
+    sweep, :func:`radius_tolerance`, the ``dist > 0`` self-exclusion)
+    evaluated per candidate edge instead of per ``(antenna, point)`` cell,
+    so a True mask entry corresponds exactly to a True dense-cover entry.
+    ``sector_evals`` counts the actual (antenna, candidate-edge) tests.
+    """
+    covered = np.zeros(tables.m, dtype=bool)
+    a = int(np.asarray(sensor_idx).shape[0])
+    if a == 0 or tables.m == 0:
+        return covered
+    COUNTERS.coverage_calls += 1
+    idx = np.asarray(sensor_idx, dtype=np.int64)
+    deg = tables.indptr[idx + 1] - tables.indptr[idx]
+    COUNTERS.sector_evals += int(deg.sum())
+    bounds = np.cumsum(deg)
+    lo = 0
+    while lo < a:
+        budget = (bounds[lo - 1] if lo else 0) + _EDGE_BLOCK_ELEMS
+        hi = min(max(int(np.searchsorted(bounds, budget)) + 1, lo + 1), a)
+        _edge_block(
+            tables, idx[lo:hi], start[lo:hi], spread[lo:hi], radius[lo:hi],
+            deg[lo:hi], eps, ignore_radius, covered,
+        )
+        lo = hi
+    return covered
+
+
+def _edge_block(
+    tables: SparsePolarTables,
+    idx: np.ndarray,
+    start: np.ndarray,
+    spread: np.ndarray,
+    radius: np.ndarray,
+    deg: np.ndarray,
+    eps: float,
+    ignore_radius: bool,
+    covered: np.ndarray,
+) -> None:
+    """OR one antenna block's hits into ``covered`` (expanded edge ids)."""
+    total = int(deg.sum())
+    if total == 0:
+        return
+    ends = np.cumsum(deg)
+    eid = (
+        np.repeat(tables.indptr[idx], deg)
+        + np.arange(total, dtype=np.int64)
+        - np.repeat(ends - deg, deg)
+    )
+    ang = tables.ang[eid]
+    dist = tables.dist[eid]
+
+    full = spread >= TWO_PI - eps
+    fullr = np.repeat(full, deg)
+    ang_ok = np.empty(total, dtype=bool)
+    ang_ok[fullr] = True
+    nf = ~fullr
+    if nf.any():
+        rel = _ccw_from_start(ang[nf], np.repeat(start, deg)[nf])
+        sp = np.repeat(spread, deg)[nf]
+        ang_ok[nf] = (rel <= sp + eps) | (rel >= TWO_PI - eps)
+
+    if ignore_radius:
+        hit = ang_ok & (dist > 0.0)
+    else:
+        ra = np.repeat(radius, deg)
+        rad_ok = np.ones(total, dtype=bool)
+        fin = np.isfinite(ra)
+        if fin.any():
+            tol = radius_tolerance(ra[fin], eps)
+            rad_ok[fin] = dist[fin] <= (ra[fin] + tol)
+        hit = ang_ok & rad_ok & (dist > 0.0)
+    covered[eid[hit]] = True
+
+
+def covered_edge_arrays(
+    tables: SparsePolarTables, mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(pairs, dists)`` of the masked edges — the exact shape
+    :func:`repro.kernels.critical.critical_range_search` consumes."""
+    src = tables.src[mask]
+    dst = tables.indices[mask]
+    if src.shape[0] == 0:
+        return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=float)
+    return np.stack([src, dst], axis=1), tables.dist[mask]
+
+
+def strongly_connected_sparse(tables: SparsePolarTables, mask: np.ndarray) -> bool:
+    """Strong connectivity of the masked edge set (CSR, no graph object)."""
+    n = tables.n
+    src = tables.src[mask]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+    return strongly_connected_csr(n, indptr, tables.indices[mask])
+
+
+# -- cutoff policy ------------------------------------------------------------------
+
+
+def required_cutoff(base: float, eps: float = 1e-9) -> float:
+    """The candidate cutoff certifying results up to radius ``base``.
+
+    ``base + radius_tolerance(base, eps)`` is the largest distance a
+    radius-``base`` test can accept; two ``_CUT_PAD`` factors leave room
+    for both the certification margin and kd-tree boundary fuzz.
+    """
+    b = max(float(base), 0.0)
+    if not np.isfinite(b):
+        return float("inf")
+    return (b + radius_tolerance(b, eps)) * _CUT_PAD * _CUT_PAD
+
+
+def default_instance_cutoff(lmax: float, eps: float = 1e-9) -> float:
+    """The shared per-instance cutoff the engine caches sparse tables at.
+
+    Every Table-1 range bound is at most ``BTSP_RANGE = 2`` (in lmax
+    units), so one sparse artifact at ``required_cutoff(2·lmax)`` serves
+    every ``(k, φ)`` grid cell of a sweep; the per-result certification in
+    :func:`sparse_metrics` remains the safety net for out-of-family radii
+    (e.g. a k = 1 tour bottleneck above ``2·lmax``).
+    """
+    return required_cutoff(2.0 * float(lmax), eps)
+
+
+def bbox_diameter_bound(coords) -> float:
+    """An upper bound on the largest pairwise distance (bbox diagonal).
+
+    ``np.hypot`` is monotone per argument and coordinate differences are
+    monotone under rounding, so this bound also dominates every *rounded*
+    pair distance in the tables.
+    """
+    c = np.asarray(coords, dtype=float)
+    if c.shape[0] == 0:
+        return 0.0
+    mn = c.min(axis=0)
+    mx = c.max(axis=0)
+    return float(np.hypot(mx[0] - mn[0], mx[1] - mn[1]))
+
+
+def complete_cutoff(coords, eps: float = 1e-9) -> float:
+    """A cutoff at which the candidate set provably contains *every* pair."""
+    return required_cutoff(bbox_diameter_bound(coords), eps)
+
+
+# -- the measurement loop -----------------------------------------------------------
+
+
+def _certified(critical: float, r_cut: float, eps: float) -> bool:
+    """Is a finite sparse critical range provably the dense value?
+
+    True iff every edge the accepting dense probe can use lies strictly
+    inside the candidate cutoff, membership fuzz included — then the
+    sparse and dense prefix graphs coincide at every probe radius up to
+    ``critical`` and both bisections return the same candidate float.
+    """
+    if critical == 0.0:
+        return True
+    if not np.isfinite(critical):
+        return False
+    return (critical + radius_tolerance(critical, eps)) * _CUT_PAD <= r_cut
+
+
+def sparse_metrics(
+    coords,
+    sensor_idx: np.ndarray,
+    start: np.ndarray,
+    spread: np.ndarray,
+    radius: np.ndarray,
+    *,
+    range_bound_abs: float = 0.0,
+    eps: float = 1e-9,
+    compute_critical: bool = True,
+    tables: SparsePolarTables | None = None,
+    tables_factory=None,
+) -> tuple[int, bool, float, SparsePolarTables | None]:
+    """Measure one antenna set through the radius-bounded sparse path.
+
+    Returns ``(edges, strongly_connected, critical_abs, tables)`` —
+    bit-identical to the dense pipeline (transmission-graph edge count,
+    strong connectivity of the radius-respecting cover, and the absolute
+    critical range over angularly-covered pairs).
+
+    Parameters
+    ----------
+    range_bound_abs:
+        The construction's guaranteed range in absolute units
+        (``range_bound · lmax``); folded into the initial cutoff so the
+        typical certified result needs zero widenings.
+    tables:
+        A pre-built candidate set (e.g. the engine's cached per-instance
+        artifact).  Rebuilt automatically when its cutoff is insufficient
+        for this antenna set.
+    tables_factory:
+        ``f(r_cut) -> SparsePolarTables`` override for builds (lets a
+        cache own the artifacts); defaults to :func:`sparse_polar_tables`
+        on ``coords``.
+    """
+    c = np.ascontiguousarray(np.asarray(coords, dtype=float))
+    n = c.shape[0]
+    a = int(np.asarray(sensor_idx).shape[0])
+    if n <= 1:
+        critical = 0.0 if compute_critical else float("nan")
+        return 0, True, critical, tables
+
+    factory = tables_factory or (lambda r: sparse_polar_tables(c, r))
+    cap = complete_cutoff(c, eps)
+    finite_r = radius[np.isfinite(radius)] if a else np.empty(0)
+    base = max(float(range_bound_abs), float(finite_r.max()) if finite_r.size else 0.0)
+    need = required_cutoff(base, eps)
+    if a and not np.isfinite(radius).all():
+        # An unbounded antenna covers arbitrarily distant points in its
+        # wedge: only the complete candidate set reproduces its edges.
+        need = cap
+    need = min(need, cap)
+
+    if tables is None or tables.n != n or tables.r_cut < need:
+        tables = factory(need)
+
+    while True:
+        cov = sparse_covered_edges(
+            tables, sensor_idx, start, spread, radius, eps=eps
+        )
+        edges = int(np.count_nonzero(cov))
+        connected = strongly_connected_sparse(tables, cov)
+        if not compute_critical:
+            return edges, connected, float("nan"), tables
+        cov_ang = sparse_covered_edges(
+            tables, sensor_idx, start, spread, radius,
+            eps=eps, ignore_radius=True,
+        )
+        pairs, dists = covered_edge_arrays(tables, cov_ang)
+        critical = critical_range_search(n, pairs, dists, eps=eps)
+        # a == 0 can never cover a pair at any cutoff: inf is genuine.
+        if (
+            tables.r_cut >= cap
+            or a == 0
+            or _certified(critical, tables.r_cut, eps)
+        ):
+            return edges, connected, critical, tables
+        COUNTERS.rcut_widenings += 1
+        tables = factory(min(max(2.0 * tables.r_cut, need), cap))

@@ -298,3 +298,111 @@ class TestBatchedExecution:
         execute_plan(request, store=store)
         rows = store.load_rows(plan_fingerprint(request))
         assert rows and all(row.backend == "numpy" for row in rows.values())
+
+
+# -- the sparse backend and the auto rule ------------------------------------------
+
+
+class TestSparseBackendSelection:
+    def test_sparse_and_auto_always_available(self):
+        avail = available_backends()
+        assert "sparse" in avail and "auto" in avail
+
+    def test_use_sparse_rules(self):
+        assert not resolve_backend("numpy").use_sparse(10**6)
+        sparse = resolve_backend("sparse")
+        assert not sparse.use_sparse(1)
+        assert sparse.use_sparse(2)
+
+    def test_auto_threshold_default_boundary(self, monkeypatch):
+        from repro.kernels.backend import (
+            DEFAULT_SPARSE_AUTO_N,
+            SPARSE_AUTO_ENV_VAR,
+            sparse_auto_threshold,
+        )
+
+        monkeypatch.delenv(SPARSE_AUTO_ENV_VAR, raising=False)
+        auto = resolve_backend("auto")
+        assert sparse_auto_threshold() == DEFAULT_SPARSE_AUTO_N
+        assert not auto.use_sparse(DEFAULT_SPARSE_AUTO_N - 1)
+        assert auto.use_sparse(DEFAULT_SPARSE_AUTO_N)
+
+    def test_auto_threshold_env_override(self, monkeypatch):
+        from repro.kernels.backend import SPARSE_AUTO_ENV_VAR
+
+        auto = resolve_backend("auto")
+        monkeypatch.setenv(SPARSE_AUTO_ENV_VAR, "10")
+        assert auto.use_sparse(10) and not auto.use_sparse(9)
+        monkeypatch.setenv(SPARSE_AUTO_ENV_VAR, "garbage")
+        from repro.kernels.backend import DEFAULT_SPARSE_AUTO_N
+
+        assert not auto.use_sparse(DEFAULT_SPARSE_AUTO_N - 1)
+
+    def test_explicit_override_beats_env_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "auto")
+        assert active_backend().name == "auto"
+        with use_backend("sparse"):
+            assert active_backend().name == "sparse"
+
+    def test_spec_accepts_sparse_and_auto(self):
+        for name in ("sparse", "auto"):
+            PlanRequest.sweep(
+                workloads=["uniform"], sizes=[8], seeds=1,
+                ks=[1], phis=[np.pi], backend=name,
+            )
+
+
+class TestSparseExecution:
+    def test_execute_plan_sparse_bit_identical_to_numpy(self, tmp_path):
+        from repro.store import RunStore
+
+        request = many_instance_request(seeds=6)
+        baseline = execute_plan(request)
+        sparse_req = PlanRequest(
+            request.scenarios, request.grid, backend="sparse"
+        )
+        store = RunStore(tmp_path)
+        got = execute_plan(sparse_req, store=store)
+        assert got.backend == "sparse"
+        assert len(got.records) == len(baseline.records)
+        for ra, rb in zip(baseline.records, got.records):
+            assert ra.metrics.identical(rb.metrics)
+        for rep_a, rep_b in zip(
+            baseline.instance_reports, got.instance_reports
+        ):
+            assert rep_a.lmax == rep_b.lmax
+            assert rep_a.diameter == rep_b.diameter
+            assert rep_a.mst_weight == rep_b.mst_weight
+        rows = store.load_rows(plan_fingerprint(sparse_req))
+        assert rows and all(row.backend == "sparse" for row in rows.values())
+
+    def test_sparse_skips_dense_table_builds(self):
+        request = many_instance_request(seeds=4)
+        with recording() as rec:
+            execute_plan(PlanRequest(request.scenarios, request.grid,
+                                     backend="sparse"))
+        assert rec.polar_builds == 0
+        assert rec.packed_polar_builds == 0
+        assert rec.sparse_polar_builds >= 4
+
+    def test_auto_rule_routes_mixed_sizes_in_one_plan(self, monkeypatch):
+        from repro.kernels.backend import SPARSE_AUTO_ENV_VAR
+
+        request = PlanRequest(
+            (
+                Scenario("uniform", 8, seeds=3, tag="small"),
+                Scenario("uniform", 24, seeds=3, tag="large"),
+            ),
+            (GridCell(1, np.pi),),
+        )
+        baseline = execute_plan(request)
+        monkeypatch.setenv(SPARSE_AUTO_ENV_VAR, "16")
+        with recording() as rec:
+            got = execute_plan(
+                PlanRequest(request.scenarios, request.grid, backend="auto")
+            )
+        for ra, rb in zip(baseline.records, got.records):
+            assert ra.metrics.identical(rb.metrics)
+        # both routes ran: packed dense for n=8, sparse for n=24
+        assert rec.sparse_polar_builds >= 3
+        assert rec.packed_polar_builds + rec.polar_builds >= 1
