@@ -1,0 +1,96 @@
+"""Benchmark EN — Wilson-interval early stopping vs the fixed-M ensemble.
+
+EN1: the acceptance workload for the ensemble solver's sequential early
+stopping.  Bisecting φ on ``quantile_0.5(critical_range) ≤ target`` under
+a tight log-normal fade concentrates each probe's trial outcomes near 0
+or 1, so the Wilson interval clears the bound after one or two chunks at
+every decisive probe — only probes whose critical-range distribution
+straddles the target pay the full M = 240 budget.  Per the single-core CI
+convention the claim is stated in *work* counters (coverage kernel calls
+and the ``ensemble_trials`` / ``ensemble_trials_saved`` counters), not
+wall-clock: both paths run the same kernels through the same cache, so
+the counter ratio is exactly the chunk ratio.
+
+The two requests differ only in ``early_stop`` (a fingerprinted field —
+they are distinct plans with distinct ledgers), and both draw each trial
+from the counter stream keyed by (fingerprint-independent) instance slot
+and trial index, so the fixed-M run replays the exact trial outcomes the
+early stopper saw before it stopped.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.engine import Scenario
+from repro.ensemble import EnsembleRequest, Perturbation, execute_ensemble
+from repro.kernels.instrument import recording
+from repro.utils.tables import format_ascii_table
+from repro.utils.timing import measure
+
+TRIALS, CHUNK = 240, 10
+
+
+def _request(early_stop: bool) -> EnsembleRequest:
+    return EnsembleRequest(
+        scenarios=(Scenario("uniform", 32, seeds=2, tag="bench-ensemble"),),
+        ks=(1,),
+        metric="critical_range",
+        quantile=0.5,
+        target=1.2,
+        phi_lo=2.0,
+        phi_hi=2.0 * math.pi,
+        tol=1e-2,
+        trials=TRIALS,
+        chunk=CHUNK,
+        perturbation=Perturbation(fade_sigma=0.03),
+        early_stop=early_stop,
+    )
+
+
+def test_early_stopping_beats_fixed_budget(capsys):
+    """EN1 — same predicate, same trial streams, >= 3x fewer kernel calls."""
+    with recording() as rec_early:
+        t_early, early = measure(lambda: execute_ensemble(_request(True)))
+    with recording() as rec_fixed:
+        t_fixed, fixed = measure(lambda: execute_ensemble(_request(False)))
+
+    used_early, saved_early = early.trial_totals()
+    used_fixed, saved_fixed = fixed.trial_totals()
+    assert saved_fixed == 0 and saved_early > 0
+
+    # Counter-level accounting: the recorded ensemble_trials counters are
+    # the batches' own totals, and every evaluated probe of the early run
+    # either spent or saved each of its M budgeted trials.
+    assert rec_early.ensemble_trials == used_early
+    assert rec_early.ensemble_trials_saved == saved_early
+    assert rec_fixed.ensemble_trials == used_fixed
+    for _, frontiers in early.frontiers():
+        for f in frontiers:
+            assert f.trials_used + f.trials_saved == f.evaluated_count * TRIALS
+
+    # The acceptance bar: >= 3x fewer coverage kernel launches.  The
+    # decisive probes stop after 1-2 chunks of the 24, so the observed
+    # ratio is ~6x; 3x is the regression floor.
+    assert rec_fixed.coverage_calls >= 3 * rec_early.coverage_calls, (
+        f"early stopping regressed: {rec_fixed.coverage_calls} fixed-M "
+        f"coverage calls vs {rec_early.coverage_calls} early-stopped (< 3x)"
+    )
+
+    with capsys.disabled():
+        print()
+        print(format_ascii_table(
+            ["path", "coverage kernel calls", "trials run", "trials saved",
+             "seconds"],
+            [
+                ["sequential (Wilson)", rec_early.coverage_calls,
+                 used_early, saved_early, round(t_early, 3)],
+                [f"fixed M={TRIALS}", rec_fixed.coverage_calls,
+                 used_fixed, saved_fixed, round(t_fixed, 3)],
+                ["ratio", round(rec_fixed.coverage_calls /
+                                max(1, rec_early.coverage_calls), 1),
+                 round(used_fixed / max(1, used_early), 1), "", ""],
+            ],
+            title="[EN1] quantile_0.5(critical_range) <= 1.2 under "
+                  "fade_sigma=0.03, k=1",
+        ))

@@ -8,7 +8,10 @@ the same wire format — without opening a socket, using the in-process
 2. poll cheap progress (``GET /plans/{id}/progress``),
 3. fetch the merged result tables (``GET /plans/{id}/result``),
 4. resubmit the identical plan and observe the idempotency contract:
-   the service attaches to the finished ledger and runs zero kernel work.
+   the service attaches to the finished ledger and runs zero kernel work,
+5. submit a Monte-Carlo ensemble request through the *same* endpoint —
+   the versioned wire envelope carries the request kind, so the service
+   needed zero changes to learn the new job type.
 
 Run:  python examples/service_demo.py
 """
@@ -16,7 +19,7 @@ Run:  python examples/service_demo.py
 import math
 import tempfile
 
-from repro.api import PlanRequest
+from repro.api import EnsembleRequest, GridCell, Perturbation, PlanRequest, Scenario
 from repro.kernels.instrument import recording
 from repro.service import ServiceClient, create_app, submit_payload
 from repro.store import RunStore
@@ -78,6 +81,28 @@ def main() -> None:
               f"coverage={counters.coverage_calls}, "
               f"graph builds={counters.graph_builds}, "
               f"critical searches={counters.critical_searches}")
+
+        # 5. Ensembles ride the same endpoint.  submit_payload() wraps any
+        # request in the versioned wire envelope; the kind field routes it
+        # to the ensemble executor on the service side.
+        ensemble = EnsembleRequest(
+            scenarios=(Scenario("uniform", 24, seeds=2, tag="service-demo"),),
+            grid=(GridCell(1, 1.2 * math.pi), GridCell(1, 1.4 * math.pi)),
+            trials=16, chunk=8,
+            perturbation=Perturbation(rotate=True, edge_fail=0.05),
+            compute_critical=False,
+        )
+        response = client.post("/plans", json_body=submit_payload(ensemble))
+        ens_job = response.raise_for_status().json["id"]
+        client.app.manager.join(ens_job)
+        result = client.get(f"/plans/{ens_job}/result").raise_for_status().json
+        print(f"\nensemble job {ens_job[:12]}... "
+              f"({ensemble.trials} trials/instance, random rotation + 5% edge failure)")
+        print(f"  {'k':>2} {'phi':>7} {'P(conn)':>8} {'wilson 95%':>16}")
+        for row in result["rows"]:
+            print(f"  {row['k']:>2} {row['phi']:>7.4f} "
+                  f"{row['p_connected']:>8.3f} "
+                  f"[{row['p_lo']:.3f}, {row['p_hi']:.3f}]")
 
         store.close()
 

@@ -30,7 +30,7 @@ from repro.core.theorem2 import orient_theorem2
 from repro.core.theorem3 import orient_theorem3
 from repro.core.theorem5 import orient_theorem5
 from repro.core.theorem6 import orient_theorem6
-from repro.api import submit
+from repro.api import assemble, submit
 from repro.engine import (
     ArtifactCache,
     BatchResult,
@@ -42,6 +42,7 @@ from repro.engine import (
     Shard,
     execute_plan,
 )
+from repro.ensemble import EnsembleBatch, EnsembleRequest, Perturbation, execute_ensemble
 from repro.errors import PlanCancelled, ReproError
 from repro.frontier import FrontierBatch, execute_frontier
 from repro.io import load_result, save_result
@@ -64,10 +65,13 @@ __all__ = [
     "ArtifactCache",
     "BatchResult",
     "DiGraph",
+    "EnsembleBatch",
+    "EnsembleRequest",
     "FrontierBatch",
     "FrontierRequest",
     "GridCell",
     "OrientationResult",
+    "Perturbation",
     "PlanCancelled",
     "PlanRequest",
     "PointSet",
@@ -79,7 +83,9 @@ __all__ = [
     "Sector",
     "Shard",
     "SpanningTree",
+    "assemble",
     "choose_algorithm",
+    "execute_ensemble",
     "execute_frontier",
     "execute_plan",
     "critical_range",

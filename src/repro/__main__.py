@@ -8,15 +8,20 @@ render     write an SVG picture of a saved orientation
 validate   re-check a saved orientation's certificate
 sweep      run a (workload × n) × (k × phi) batch through the engine
 frontier   adaptively bisect phi to a metric threshold (or map its staircase)
+ensemble   Monte-Carlo trials over a perturbation model: connection-
+           probability curves, or probabilistic phi frontiers
 merge      aggregate the shard ledgers of one or more run directories
 store      maintain a run directory (compact shard ledgers, gc leftovers)
 serve      run the planning service HTTP API over a run directory
 worker     claim and execute queued plans' shards from a run directory
 
-``sweep``, ``frontier`` and ``worker`` share one durable-execution option
-group (``--run-dir/--resume/--shard/--backend/--jobs``); ``--backend`` is
+``sweep``, ``frontier``, ``ensemble`` and ``worker`` share one
+durable-execution option group
+(``--run-dir/--resume/--shard/--backend/--jobs``); ``--backend`` is
 also selectable via the ``REPRO_BACKEND`` environment variable, and
-results are bit-identical across backends.
+results are bit-identical across backends.  The table-emitting commands
+(``sweep``/``frontier``/``ensemble``/``merge``) share one output option
+group (``--output``/``--format``).
 """
 
 from __future__ import annotations
@@ -32,8 +37,8 @@ exit codes:
   1  a validation/certificate check failed (plan, validate)
   2  usage, store, or backend error (bad parameters, refused ledger,
      unavailable backend, missing --run-dir)
-  3  execution stopped at a cancellation tombstone (repro sweep/frontier
-     --resume after clearing it continues from the ledgered chunks)
+  3  execution stopped at a cancellation tombstone (repro sweep/frontier/
+     ensemble --resume after clearing it continues from the ledgered chunks)
 """
 
 
@@ -183,6 +188,8 @@ def _emit_table(
     where = f", run dir {run_dir}" if run_dir else ""
     if hasattr(batch, "records"):  # sweep: one run per (instance, cell)
         runs = len(batch.records)
+    elif hasattr(batch, "trial_totals"):  # ensemble: one run per slot
+        runs = len(batch.outcomes)
     else:  # frontier: one solved frontier per (instance, k)
         runs = sum(len(o.frontiers) for o in batch.outcomes)
     print(
@@ -317,21 +324,75 @@ def cmd_frontier(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_ensemble(args: argparse.Namespace) -> int:
+    from repro.engine import GridCell, Scenario
+    from repro.ensemble import EnsembleRequest, Perturbation, execute_ensemble
+
+    def build_request():
+        scenarios = tuple(
+            Scenario(w, int(n), seeds=args.seeds, tag=args.tag)
+            for w in args.workload
+            for n in args.n
+        )
+        perturbation = Perturbation(
+            rotate=args.rotate,
+            edge_fail=args.edge_fail,
+            node_fail=args.node_fail,
+            fade_sigma=args.fade_sigma,
+        )
+        common = dict(
+            scenarios=scenarios,
+            trials=args.trials,
+            chunk=args.chunk,
+            perturbation=perturbation,
+            confidence=args.confidence,
+            early_stop=not args.no_early_stop,
+            compute_critical=not args.no_critical,
+            backend=args.backend,
+        )
+        if args.phi is not None:
+            # Curve mode; the request itself rejects a simultaneous
+            # --p-target/--target with a precise message.
+            if args.p_target is not None or args.target is not None:
+                raise ValueError(
+                    "--phi (curve mode) and --p-target/--target "
+                    "(threshold mode) are mutually exclusive"
+                )
+            grid = tuple(
+                GridCell(k, phi) for k in args.k for phi in args.phi
+            )
+            return EnsembleRequest(
+                grid=grid, quantile=args.quantile, **common
+            )
+        return EnsembleRequest(
+            ks=tuple(args.k),
+            metric=args.metric,
+            p_target=args.p_target,
+            quantile=args.quantile,
+            target=args.target,
+            phi_lo=args.phi_lo,
+            phi_hi=args.phi_hi,
+            tol=args.tol,
+            **common,
+        )
+
+    return _run_batch_command(
+        "ensemble", args, build_request, execute_ensemble,
+        unit="results",
+        unit_count=lambda req: len(req.grid) or len(req.ks),
+        rows_of=lambda b: b.aggregate_rows(),
+    )
+
+
 def cmd_merge(args: argparse.Namespace) -> int:
-    from repro.engine import FrontierRequest
-    from repro.frontier import assemble_frontier
-    from repro.store import StoreError, assemble_batch, merge_stores
+    from repro.api import assemble_rows
+    from repro.store import StoreError, merge_stores
 
     try:
         key, request, ledger_rows = merge_stores(args.run_dir, args.plan)
-        if isinstance(request, FrontierRequest):
-            batch = assemble_frontier(
-                request, ledger_rows, allow_partial=args.allow_partial
-            )
-        else:
-            batch = assemble_batch(
-                request, ledger_rows, allow_partial=args.allow_partial
-            )
+        batch = assemble_rows(
+            request, ledger_rows, allow_partial=args.allow_partial
+        )
     except StoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -341,11 +402,11 @@ def cmd_merge(args: argparse.Namespace) -> int:
     )
     print(f"[merge] {batch.summary()}", file=sys.stderr, flush=True)
 
-    if isinstance(request, FrontierRequest):
+    if hasattr(batch, "aggregate_rows"):  # frontier/ensemble
         if args.aggregate != "cell":
             print(
-                "[merge] note: --aggregate is ignored for frontier plans "
-                "(rows are always one per scenario × k)",
+                "[merge] note: --aggregate is ignored for frontier and "
+                "ensemble plans (their row layout is fixed by the request)",
                 file=sys.stderr,
             )
         rows = batch.aggregate_rows()
@@ -474,6 +535,30 @@ def _durable_options() -> argparse.ArgumentParser:
     return parent
 
 
+def _output_options() -> argparse.ArgumentParser:
+    """The output option group shared by every table-emitting command.
+
+    ``sweep``/``frontier``/``ensemble``/``merge`` all spell table emission
+    the same way; defining the group once makes that a structural
+    guarantee instead of a convention.  ``--out`` survives as a deprecated
+    alias of ``--output`` from the pre-1.8 per-command spellings.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    g = parent.add_argument_group(
+        "output options",
+        "shared by 'sweep', 'frontier', 'ensemble' and 'merge'",
+    )
+    g.add_argument("--format", choices=("markdown", "json"),
+                   default="markdown",
+                   help="table format (default: markdown)")
+    g.add_argument("--output", default=None,
+                   help="write the table/JSON here instead of stdout")
+    g.add_argument("--out", dest="output", default=None,
+                   metavar="OUTPUT",
+                   help="deprecated alias for --output")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__, epilog=_EXIT_CODES,
@@ -481,6 +566,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     durable = _durable_options()
+    output = _output_options()
 
     p = sub.add_parser("plan", help="orient antennae for a CSV deployment")
     p.add_argument("--input", required=True, help="CSV of x,y sensor coordinates")
@@ -508,7 +594,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sweep",
         help="run a (workload × n) × (k × phi) batch through the engine",
-        parents=[durable], epilog=_EXIT_CODES,
+        parents=[durable, output], epilog=_EXIT_CODES,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p.add_argument("--workload", nargs="+", default=["uniform"],
@@ -530,14 +616,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "packed multi-instance batch path (bit-identical)")
     p.add_argument("--aggregate", choices=("cell", "scenario"), default="cell",
                    help="one row per grid cell, or per (scenario, cell)")
-    p.add_argument("--format", choices=("markdown", "json"), default="markdown")
-    p.add_argument("--output", help="write the table/JSON here instead of stdout")
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
         "frontier",
         help="adaptively bisect phi to a metric threshold or map its staircase",
-        parents=[durable], epilog=_EXIT_CODES,
+        parents=[durable, output], epilog=_EXIT_CODES,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p.add_argument("--workload", nargs="+", default=["uniform"],
@@ -562,13 +646,83 @@ def build_parser() -> argparse.ArgumentParser:
                    help="phi resolution of the search (default: 1e-3)")
     p.add_argument("--tag", default="frontier",
                    help="seed namespace for the scenario instances")
-    p.add_argument("--format", choices=("markdown", "json"), default="markdown")
-    p.add_argument("--output", help="write the table/JSON here instead of stdout")
     p.set_defaults(fn=cmd_frontier)
+
+    p = sub.add_parser(
+        "ensemble",
+        help="Monte-Carlo trials over a perturbation model: connection-"
+             "probability curves or probabilistic phi frontiers",
+        parents=[durable, output], epilog=_EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        description="Runs M perturbed trials (random rotations, edge/node "
+                    "failures, range fading) per instance.  With --phi the "
+                    "command estimates P(strongly connected) and critical-"
+                    "range quantiles at every (k, phi) grid cell (curve "
+                    "mode); with --p-target or --target it bisects phi for "
+                    "the smallest budget meeting the probabilistic predicate "
+                    "(threshold mode), early-stopping each probe on its "
+                    "Wilson interval.  Trials are counter-seeded from the "
+                    "plan fingerprint, so shards, resumes and worker counts "
+                    "are bit-identical.",
+    )
+    p.add_argument("--workload", nargs="+", default=["uniform"],
+                   help="workload generator names (default: uniform)")
+    p.add_argument("--n", nargs="+", type=int, default=[64],
+                   help="instance sizes (default: 64)")
+    p.add_argument("--seeds", type=int, default=3,
+                   help="instances per (workload, n) (default: 3)")
+    p.add_argument("--k", nargs="+", type=int, default=[1, 2],
+                   help="antennae-per-sensor values (default: 1 2)")
+    p.add_argument("--phi", nargs="+", type=_parse_phi, default=None,
+                   help="curve mode: estimate connection probability at "
+                        "each (k, phi) cell; omit to bisect a threshold")
+    p.add_argument("--trials", type=int, default=100,
+                   help="Monte-Carlo trials per instance/probe (default: 100)")
+    p.add_argument("--chunk", type=int, default=25,
+                   help="trials per checkpoint/early-stop chunk (default: 25)")
+    p.add_argument("--rotate", action="store_true",
+                   help="rotate each sensor's antenna fan by U[0, 2pi)")
+    p.add_argument("--edge-fail", type=float, default=0.0,
+                   help="independent failure probability per directed link")
+    p.add_argument("--node-fail", type=float, default=0.0,
+                   help="independent knockout probability per sensor")
+    p.add_argument("--fade-sigma", type=float, default=0.0,
+                   help="sigma of the per-sensor log-normal range fade")
+    p.add_argument("--p-target", type=float, default=None,
+                   help="threshold mode: smallest phi with "
+                        "P(strongly connected) >= P_TARGET")
+    p.add_argument("--metric", choices=_FRONTIER_METRIC_CHOICES,
+                   default="critical_range",
+                   help="metric for the quantile predicate "
+                        "(default: critical_range)")
+    p.add_argument("--quantile", type=float, default=0.9,
+                   help="quantile order q for --target, and the reported "
+                        "critical-range quantile in curve mode (default: 0.9)")
+    p.add_argument("--target", type=float, default=None,
+                   help="threshold mode: smallest phi with "
+                        "quantile_q(metric) <= TARGET (lmax units)")
+    p.add_argument("--phi-lo", type=_parse_phi, default=0.0,
+                   help="lower end of the phi search interval (default: 0)")
+    p.add_argument("--phi-hi", type=_parse_phi, default=2 * math.pi,
+                   help="upper end of the phi search interval (default: 2pi)")
+    p.add_argument("--tol", type=float, default=1e-3,
+                   help="phi resolution of the search (default: 1e-3)")
+    p.add_argument("--confidence", type=float, default=0.95,
+                   help="Wilson-interval confidence for early stopping and "
+                        "reported intervals (default: 0.95)")
+    p.add_argument("--no-early-stop", action="store_true",
+                   help="always run the full trial budget per probe")
+    p.add_argument("--no-critical", action="store_true",
+                   help="curve mode: skip per-trial critical-range "
+                        "measurement (connectivity only)")
+    p.add_argument("--tag", default="ensemble",
+                   help="seed namespace for the scenario instances")
+    p.set_defaults(fn=cmd_ensemble)
 
     p = sub.add_parser(
         "merge",
         help="aggregate the shard ledgers of one or more run directories",
+        parents=[output],
     )
     p.add_argument("--run-dir", nargs="+", required=True,
                    help="run directories holding shard ledgers of one plan")
@@ -578,8 +732,6 @@ def build_parser() -> argparse.ArgumentParser:
                    help="aggregate even if some plan instances are missing")
     p.add_argument("--aggregate", choices=("cell", "scenario"), default="cell",
                    help="one row per grid cell, or per (scenario, cell)")
-    p.add_argument("--format", choices=("markdown", "json"), default="markdown")
-    p.add_argument("--output", help="write the table/JSON here instead of stdout")
     p.set_defaults(fn=cmd_merge)
 
     p = sub.add_parser(

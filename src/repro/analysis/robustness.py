@@ -12,6 +12,7 @@ buys more).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -23,6 +24,7 @@ from repro.graph.connectivity import (
 )
 from repro.graph.digraph import DiGraph
 from repro.kernels.connectivity import strongly_connected_edges
+from repro.utils.rng import counter_rng
 
 __all__ = ["strong_connectivity_order", "failure_sweep", "RobustnessReport"]
 
@@ -73,24 +75,37 @@ def failure_sweep(
     max_failures: int = 3,
     trials: int = 50,
     seed: int | None = 0,
+    failures: "Sequence[int] | None" = None,
 ) -> RobustnessReport:
     """Monte-Carlo survival probability under random node failures.
 
-    For each failure count f ∈ 1..max_failures, deletes f uniformly random
-    sensors ``trials`` times and reports the fraction of trials in which the
-    surviving transmission graph is still strongly connected.
+    For each failure count f ∈ 1..max_failures (or the explicit
+    ``failures`` counts), deletes f uniformly random sensors ``trials``
+    times and reports the fraction of trials in which the surviving
+    transmission graph is still strongly connected.
+
+    Every trial draws from its own counter-based stream keyed by
+    ``("robustness", seed, f, t)`` (see :func:`repro.utils.rng.counter_rng`),
+    not from one sequential generator: trial (f, t) sees the same deletion
+    set whatever subset of failure counts runs, in whatever order — so a
+    standalone sweep, a restricted ``failures=[2]`` re-check and an
+    ensemble-side reuse of the same seed all agree draw for draw.
     """
     if max_failures < 0:
         raise InvalidParameterError("max_failures must be >= 0")
     g = result.transmission_graph()
     n = g.n
-    rng = np.random.default_rng(seed)
+    counts = range(1, max_failures + 1) if failures is None else failures
     survival: dict[int, float] = {}
-    for f in range(1, max_failures + 1):
+    for f in counts:
+        f = int(f)
+        if f < 1:
+            raise InvalidParameterError(f"failure counts must be >= 1, got {f}")
         if n - f < 2:
             break
         ok = 0
-        for _ in range(trials):
+        for t in range(trials):
+            rng = counter_rng("robustness", seed, f, t)
             removed = rng.choice(n, size=f, replace=False)
             if _survives_deletion(g, removed):
                 ok += 1

@@ -1,63 +1,178 @@
-"""The one public entry point for executing plans: :func:`submit`.
+"""The single public surface of the library.
 
 Everything that runs a request — the CLI, the planning service
 (:mod:`repro.service`), worker processes, benchmarks, user scripts —
-routes through this façade:
+routes through this façade, and user code should import *from here*:
 
->>> from repro.api import submit, PlanRequest          # doctest: +SKIP
->>> result = submit(request, store=store, resume=True) # doctest: +SKIP
+>>> from repro.api import submit, PlanRequest           # doctest: +SKIP
+>>> result = submit(request, store=store, resume=True)  # doctest: +SKIP
 
-:func:`submit` dispatches on the request type (:class:`PlanRequest` →
-:func:`repro.engine.execute_plan`, :class:`FrontierRequest` →
-:func:`repro.frontier.execute_frontier`) with one shared keyword surface
-for durability (``store``/``shard``/``resume``), fan-out (``jobs``) and
-kernel selection (``backend``).  Both request kinds derive from
-:class:`repro.engine.spec.RequestBase`, which owns fingerprinting,
-wire-format serialization (:meth:`~repro.engine.spec.RequestBase.to_wire`
-/ :func:`repro.engine.spec.request_from_wire`) and backend validation —
-so a request that round-trips the service's wire format executes
-identically to one constructed in-process.
+Dispatch is a kind-keyed executor registry, not an isinstance chain:
+every request kind (``"sweep"``, ``"frontier"``, ``"ensemble"``) derives
+from :class:`~repro.engine._spec.RequestBase` — which owns
+fingerprinting, versioned wire serialization
+(:meth:`~repro.engine._spec.RequestBase.to_wire` /
+:func:`~repro.engine._spec.request_from_wire`) and backend validation —
+and registers its executor triple (execute / load rows / assemble) under
+its ``KIND`` via :func:`register_executor`.  A request that round-trips
+the service's wire format therefore executes identically to one
+constructed in-process, for every kind, without this module enumerating
+them.
 
-The request/result types are re-exported here so service code (and user
-code) can depend on :mod:`repro.api` alone.
+Deep imports of the implementation modules (``repro.engine.spec``,
+``repro.frontier.solver``, ``repro.service.wire``) keep working through
+thin shims that emit :class:`DeprecationWarning`; the test suite treats
+those warnings as errors internally, so nothing inside the library leans
+on the deprecated paths.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Union
 
 from repro.engine.cache import ArtifactCache
 from repro.engine.executor import BatchResult, InstanceReport, execute_plan
-from repro.engine.spec import (
+from repro.engine._spec import (
+    WIRE_VERSION,
     FrontierRequest,
     GridCell,
     PlanRequest,
     RequestBase,
     Scenario,
     Shard,
+    UnknownRequestKind,
+    UnsupportedWireVersion,
+    WireFormatError,
     request_from_wire,
 )
-from repro.errors import InvalidParameterError, PlanCancelled
-from repro.frontier.executor import FrontierBatch, execute_frontier
+from repro.ensemble.executor import (
+    EnsembleBatch,
+    assemble_ensemble,
+    execute_ensemble,
+)
+from repro.ensemble.spec import EnsembleRequest, Perturbation
+from repro.errors import InvalidParameterError, PlanCancelled, ReproError
+from repro.frontier.executor import (
+    FrontierBatch,
+    assemble_frontier,
+    execute_frontier,
+)
 
 __all__ = [
+    # entry points
     "submit",
     "assemble",
+    "assemble_rows",
+    "register_executor",
+    # request model
     "RequestBase",
     "PlanRequest",
     "FrontierRequest",
+    "EnsembleRequest",
+    "Perturbation",
     "Scenario",
     "GridCell",
     "Shard",
+    # result types
     "BatchResult",
     "FrontierBatch",
+    "EnsembleBatch",
     "InstanceReport",
-    "PlanCancelled",
+    # wire format
+    "WIRE_VERSION",
     "request_from_wire",
+    "WireFormatError",
+    "UnknownRequestKind",
+    "UnsupportedWireVersion",
+    # errors
+    "ReproError",
+    "InvalidParameterError",
+    "PlanCancelled",
 ]
 
-#: What :func:`submit` returns: the sweep or frontier result type.
-SubmitResult = Union[BatchResult, FrontierBatch]
+#: What :func:`submit` returns: the result type of the request's kind.
+SubmitResult = Union[BatchResult, FrontierBatch, EnsembleBatch]
+
+
+@dataclass(frozen=True)
+class _ExecutorEntry:
+    """One request kind's executor triple."""
+
+    execute: Callable[..., Any]
+    load_rows: Callable[[Any, str], dict[int, Any]]
+    assemble: Callable[..., Any]
+
+
+_EXECUTORS: dict[str, _ExecutorEntry] = {}
+
+
+def register_executor(
+    kind: str,
+    *,
+    execute: Callable[..., Any],
+    load_rows: Callable[[Any, str], dict[int, Any]],
+    assemble: Callable[..., Any],
+) -> None:
+    """Register a request kind's executor triple.
+
+    ``execute(request, **durable_kwargs)`` runs the request;
+    ``load_rows(store, plan_key)`` fetches its ledgered rows;
+    ``assemble(request, rows, allow_partial=...)`` rebuilds the result
+    purely from those rows.  :func:`submit` and :func:`assemble` dispatch
+    on ``request.KIND`` through this registry.
+    """
+    _EXECUTORS[kind] = _ExecutorEntry(execute, load_rows, assemble)
+
+
+def _entry(request: RequestBase) -> _ExecutorEntry:
+    kind = getattr(type(request), "KIND", None)
+    entry = _EXECUTORS.get(kind)
+    if entry is None:
+        raise InvalidParameterError(
+            f"no executor registered for request kind {kind!r} "
+            f"(got {type(request).__name__}); known kinds: "
+            f"{sorted(_EXECUTORS)}"
+        )
+    return entry
+
+
+def _load_sweep_rows(store: Any, key: str) -> dict[int, Any]:
+    return store.load_rows(key)
+
+
+def _load_frontier_rows(store: Any, key: str) -> dict[int, Any]:
+    return store.load_frontier_rows(key)
+
+
+def _load_ensemble_rows(store: Any, key: str) -> dict[int, Any]:
+    return store.load_ensemble_rows(key)
+
+
+def _assemble_sweep(request: Any, rows: Any, *, allow_partial: bool = False):
+    from repro.store.ledger import assemble_batch  # lazy: avoids cycle
+
+    return assemble_batch(request, rows, allow_partial=allow_partial)
+
+
+register_executor(
+    PlanRequest.KIND,
+    execute=execute_plan,
+    load_rows=_load_sweep_rows,
+    assemble=_assemble_sweep,
+)
+register_executor(
+    FrontierRequest.KIND,
+    execute=execute_frontier,
+    load_rows=_load_frontier_rows,
+    assemble=assemble_frontier,
+)
+register_executor(
+    EnsembleRequest.KIND,
+    execute=execute_ensemble,
+    load_rows=_load_ensemble_rows,
+    assemble=assemble_ensemble,
+)
 
 
 def submit(
@@ -75,7 +190,8 @@ def submit(
 
     Parameters are the shared durable-execution surface (identical
     meaning to :func:`~repro.engine.execute_plan` /
-    :func:`~repro.frontier.execute_frontier`):
+    :func:`~repro.frontier.execute_frontier` /
+    :func:`~repro.ensemble.execute_ensemble`):
 
     store / shard / resume:
         Checkpoint into a :class:`~repro.store.RunStore`, restrict to one
@@ -90,13 +206,15 @@ def submit(
         hook, as on the executors.
 
     Returns :class:`BatchResult` for a :class:`PlanRequest`,
-    :class:`FrontierBatch` for a :class:`FrontierRequest`.  Raises
+    :class:`FrontierBatch` for a :class:`FrontierRequest`,
+    :class:`EnsembleBatch` for an :class:`EnsembleRequest`.  Raises
     :class:`~repro.errors.PlanCancelled` if the store carries the plan's
     cancellation tombstone (clear it with
     :meth:`~repro.store.RunStore.clear_cancel` and resubmit with
     ``resume=True`` to continue).
     """
-    kwargs: dict[str, Any] = dict(
+    return _entry(request).execute(
+        request,
         jobs=jobs,
         cache=cache,
         on_instance=on_instance,
@@ -104,14 +222,6 @@ def submit(
         shard=shard,
         resume=resume,
         backend=backend,
-    )
-    if isinstance(request, PlanRequest):
-        return execute_plan(request, **kwargs)
-    if isinstance(request, FrontierRequest):
-        return execute_frontier(request, **kwargs)
-    raise InvalidParameterError(
-        f"submit() needs a PlanRequest or FrontierRequest, "
-        f"got {type(request).__name__}"
     )
 
 
@@ -123,28 +233,26 @@ def assemble(
 ) -> SubmitResult:
     """Rebuild the full result of ``request`` purely from ledger rows.
 
-    The read-side twin of :func:`submit`: dispatches to
-    :func:`repro.store.assemble_batch` or
-    :func:`repro.frontier.assemble_frontier` on the request kind.  No
-    kernel work runs; with ``allow_partial=False`` every plan slot must be
-    ledgered (across any shard files in the run directory).
+    The read-side twin of :func:`submit`: loads the kind's ledgered rows
+    and reassembles through the registry.  No kernel work runs; with
+    ``allow_partial=False`` every plan slot must be ledgered (across any
+    shard files in the run directory).
     """
-    from repro.frontier.executor import assemble_frontier
-    from repro.store.ledger import assemble_batch
+    entry = _entry(request)
+    rows = entry.load_rows(store, request.fingerprint())
+    return entry.assemble(request, rows, allow_partial=allow_partial)
 
-    if isinstance(request, PlanRequest):
-        return assemble_batch(
-            request,
-            store.load_rows(request.fingerprint()),
-            allow_partial=allow_partial,
-        )
-    if isinstance(request, FrontierRequest):
-        return assemble_frontier(
-            request,
-            store.load_frontier_rows(request.fingerprint()),
-            allow_partial=allow_partial,
-        )
-    raise InvalidParameterError(
-        f"assemble() needs a PlanRequest or FrontierRequest, "
-        f"got {type(request).__name__}"
-    )
+
+def assemble_rows(
+    request: RequestBase,
+    rows: dict[int, Any],
+    *,
+    allow_partial: bool = False,
+) -> SubmitResult:
+    """Like :func:`assemble`, from already-loaded ledger rows.
+
+    For callers that gathered the rows themselves — e.g. ``repro merge``
+    after :func:`~repro.store.merge_stores` pooled shard ledgers from
+    several run directories.
+    """
+    return _entry(request).assemble(request, rows, allow_partial=allow_partial)

@@ -24,7 +24,7 @@ from repro.engine.executor import (
     execute_plan,
     run_instance_grid,
 )
-from repro.engine.spec import (
+from repro.engine._spec import (
     FrontierRequest,
     GridCell,
     PlanRequest,

@@ -31,7 +31,7 @@ from repro.analysis.metrics import (
 )
 from repro.core.planner import orient_antennae
 from repro.engine.cache import ArtifactCache, CacheStats
-from repro.engine.spec import GridCell, PlanRequest, Scenario, Shard
+from repro.engine._spec import GridCell, PlanRequest, Scenario, Shard
 from repro.experiments.harness import aggregate_rows
 from repro.geometry.points import max_pairwise_distance
 from repro.kernels.backend import active_backend, resolve_backend, use_backend

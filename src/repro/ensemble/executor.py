@@ -1,0 +1,495 @@
+"""Durable, shardable executor for :class:`~repro.ensemble.spec.EnsembleRequest`.
+
+Runs on the same durable skeleton as the sweep and frontier executors
+(:func:`repro.engine.executor._execute_durable`), with the ensemble's own
+slot layout:
+
+* **curve mode** — one slot per ``(instance, trial chunk)``
+  (``slot = instance_slot · n_chunks + chunk_index``), so a kill lands
+  between trial chunks and a resume replays completed chunks with zero
+  kernel re-execution.  A slot's unit of work measures *every* grid cell
+  over its chunk of trials — one packed coverage launch per cell.
+* **threshold mode** — one slot per instance; a slot solves the
+  probabilistic φ-frontier at every requested ``k``
+  (:func:`repro.ensemble.solver.solve_instance_ensemble`).
+
+Trial randomness is keyed by ``(plan fingerprint, instance slot, trial
+index)``, so serial, parallel, sharded-and-merged and resumed runs are
+all bit-identical — the same guarantee the deterministic executors make,
+extended to Monte-Carlo draws.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.planner import orient_antennae
+from repro.engine.cache import ArtifactCache, CacheStats
+from repro.engine.executor import (
+    InstanceReport,
+    _execute_durable,
+    _report,
+    _tombstone_check,
+    instance_artifacts,
+)
+from repro.engine._spec import Shard
+from repro.ensemble.solver import (
+    KEnsembleFrontier,
+    solve_instance_ensemble,
+    wilson_interval,
+)
+from repro.ensemble.spec import EnsembleRequest
+from repro.ensemble.trials import measure_trials
+from repro.kernels.backend import resolve_backend, use_backend
+
+__all__ = [
+    "EnsembleOutcome",
+    "EnsembleBatch",
+    "execute_ensemble",
+    "assemble_ensemble",
+]
+
+
+@dataclass(frozen=True)
+class EnsembleOutcome:
+    """One ledgered slot's results.
+
+    ``results`` holds one dict per grid cell (curve mode — the slot is one
+    trial chunk) or one :meth:`KEnsembleFrontier.as_dict` per ``k``
+    (threshold mode — the slot is one whole instance).
+    """
+
+    slot: int
+    scenario_index: int
+    instance_index: int
+    results: list[dict[str, Any]]
+
+
+#: One unit of work: (slot, scenario_index, instance_index, coords).
+_Task = tuple[int, int, int, Any]
+
+#: One completed unit: (per-cell or per-k result dicts, facts, elapsed,
+#: cache delta, backend name).
+_Payload = tuple[list[dict], dict[str, float], float, dict[str, int], str]
+
+
+def _run_task(
+    slot: int,
+    coords,
+    request: EnsembleRequest,
+    key: str,
+    cache: ArtifactCache,
+    backend_name: str,
+    orient_memo: dict,
+) -> _Payload:
+    before = cache.stats.as_dict()
+    t0 = time.perf_counter()
+    if request.mode == "threshold":
+        frontiers, facts = solve_instance_ensemble(
+            coords, request, key, slot, cache=cache
+        )
+        results = [f.as_dict() for f in frontiers]
+    else:
+        instance_slot, chunk_index = divmod(slot, request.n_chunks)
+        ps, tree, tables, facts = instance_artifacts(cache, coords)
+        trial_indices = request.chunk_trials(chunk_index)
+        results = []
+        for ci, cell in enumerate(request.grid):
+            memo_key = (instance_slot, ci)
+            result = orient_memo.get(memo_key)
+            if result is None:
+                result = orient_antennae(ps, cell.k, cell.phi, tree=tree)
+                orient_memo[memo_key] = result
+            m = measure_trials(
+                ps, tables, result, request.perturbation, key, instance_slot,
+                trial_indices, cache=cache, want_connectivity=True,
+                want_critical=request.compute_critical,
+            )
+            results.append(
+                {
+                    "successes": int(m.connected.sum()),
+                    "trials": len(trial_indices),
+                    "critical": (
+                        None
+                        if m.critical is None
+                        else [float(x) for x in m.critical]
+                    ),
+                }
+            )
+    dt = time.perf_counter() - t0
+    after = cache.stats.as_dict()
+    delta = {k: after[k] - before[k] for k in after}
+    return results, facts, dt, delta, backend_name
+
+
+def _run_chunk(
+    chunk: list[_Task],
+    request: EnsembleRequest,
+    key: str,
+    backend_name: str,
+    cache: ArtifactCache | None = None,
+) -> list[tuple[int, _Payload]]:
+    """Worker entry point: run a chunk of slots with a local cache.
+
+    The orientation memo is chunk-scoped: consecutive slots of the same
+    instance (its trial chunks are adjacent in slot space) reuse the
+    deterministic orientation instead of re-running the planner.
+    """
+    cache = cache if cache is not None else ArtifactCache()
+    orient_memo: dict = {}
+    with use_backend(backend_name):
+        return [
+            (slot, _run_task(slot, coords, request, key, cache, backend_name,
+                             orient_memo))
+            for slot, _si, _ii, coords in chunk
+        ]
+
+
+def _iter_chunk_serial(
+    chunk: list[_Task],
+    request: EnsembleRequest,
+    key: str,
+    backend_name: str,
+    cache: ArtifactCache,
+):
+    """Serial twin of :func:`_run_chunk`, yielding per slot so the durable
+    skeleton checkpoints every trial chunk as it completes."""
+    orient_memo: dict = {}
+    with use_backend(backend_name):
+        for slot, _si, _ii, coords in chunk:
+            yield slot, _run_task(
+                slot, coords, request, key, cache, backend_name, orient_memo
+            )
+
+
+def _chunk_quantile(values: list[float], q: float) -> float:
+    """Deterministic order statistic: smallest value with CDF ≥ q."""
+    ordered = sorted(values)
+    idx = max(0, math.ceil(q * len(ordered)) - 1)
+    return float(ordered[idx])
+
+
+@dataclass
+class EnsembleBatch:
+    """All ledgered slots of an ensemble request, in deterministic order."""
+
+    request: EnsembleRequest
+    outcomes: list[EnsembleOutcome]
+    instance_reports: list[InstanceReport]
+    cache_stats: CacheStats
+    jobs_used: int
+    elapsed: float
+    fallback_reason: str | None = None
+    replayed_instances: int = 0
+    shard: Shard = field(default_factory=Shard)
+    backend: str | None = None
+
+    def frontiers(self) -> "list[tuple[EnsembleOutcome, list[KEnsembleFrontier]]]":
+        """Threshold-mode outcomes with their parsed per-k frontiers."""
+        return [
+            (o, [KEnsembleFrontier.from_dict(d) for d in o.results])
+            for o in self.outcomes
+        ]
+
+    def trial_totals(self) -> tuple[int, int]:
+        """``(trials evaluated, trials saved by early stopping)``."""
+        used = saved = 0
+        if self.request.mode == "curve":
+            for o in self.outcomes:
+                used += sum(r["trials"] for r in o.results)
+        else:
+            for o in self.outcomes:
+                for d in o.results:
+                    used += int(d["trials_used"])
+                    saved += int(d["trials_saved"])
+        return used, saved
+
+    def aggregate_rows(self) -> list[dict[str, Any]]:
+        """Curve mode: one row per (scenario, grid cell) — the connection
+        probability with its Wilson interval and the critical-range
+        quantile pooled over every instance and trial chunk present.
+        Threshold mode: one row per (scenario, k) — where φ* landed, with
+        trial and audit accounting."""
+        if self.request.mode == "curve":
+            return self._aggregate_curve()
+        return self._aggregate_threshold()
+
+    def _aggregate_curve(self) -> list[dict[str, Any]]:
+        request = self.request
+        buckets: dict[tuple[int, int], dict[str, Any]] = {}
+        for o in self.outcomes:  # plan order: pooled lists are deterministic
+            islot = o.slot // request.n_chunks
+            for ci, res in enumerate(o.results):
+                b = buckets.setdefault(
+                    (o.scenario_index, ci),
+                    {"successes": 0, "trials": 0, "critical": [], "slots": set()},
+                )
+                b["successes"] += int(res["successes"])
+                b["trials"] += int(res["trials"])
+                if res["critical"] is not None:
+                    b["critical"].extend(float(x) for x in res["critical"])
+                b["slots"].add(islot)
+        rows: list[dict[str, Any]] = []
+        for si, ci in sorted(buckets):
+            scenario = request.scenarios[si]
+            cell = request.grid[ci]
+            b = buckets[(si, ci)]
+            lo, hi = wilson_interval(
+                b["successes"], b["trials"], request.confidence
+            )
+            row: dict[str, Any] = {
+                "workload": scenario.workload,
+                "n": scenario.n,
+                "k": cell.k,
+                "phi": cell.phi,
+                "runs": len(b["slots"]),
+                "trials": b["trials"],
+                "p_connected": (
+                    b["successes"] / b["trials"] if b["trials"] else None
+                ),
+                "p_lo": lo,
+                "p_hi": hi,
+            }
+            if b["critical"]:
+                row[f"critical_q{request.quantile:g}"] = _chunk_quantile(
+                    b["critical"], request.quantile
+                )
+            rows.append(row)
+        return rows
+
+    def _aggregate_threshold(self) -> list[dict[str, Any]]:
+        request = self.request
+        buckets: dict[tuple[int, int], list[KEnsembleFrontier]] = {}
+        for o, frontiers in self.frontiers():
+            for ki, f in enumerate(frontiers):
+                buckets.setdefault((o.scenario_index, ki), []).append(f)
+        rows: list[dict[str, Any]] = []
+        for si, ki in sorted(buckets):
+            scenario = request.scenarios[si]
+            fs = buckets[(si, ki)]
+            stars = [f.phi_star for f in fs if f.phi_star is not None]
+            row: dict[str, Any] = {
+                "workload": scenario.workload,
+                "n": scenario.n,
+                "k": request.ks[ki],
+                "predicate": request.predicate,
+                "bound": request.threshold_probability,
+                "runs": len(fs),
+                "found": len(stars),
+                "phi_star_mean": sum(stars) / len(stars) if stars else None,
+                "phi_star_min": min(stars) if stars else None,
+                "phi_star_max": max(stars) if stars else None,
+                "probes": sum(f.probe_count for f in fs),
+                "evaluated": sum(f.evaluated_count for f in fs),
+                "reused": sum(f.reused_count for f in fs),
+                "trials": sum(f.trials_used for f in fs),
+                "trials_saved": sum(f.trials_saved for f in fs),
+                "audit_violations": sum(len(f.audit) for f in fs),
+            }
+            if request.predicate == "quantile":
+                row["metric"] = request.metric
+                row["target"] = request.target
+            rows.append(row)
+        return rows
+
+    def summary(self) -> str:
+        mode = f"{self.jobs_used} workers" if self.jobs_used > 1 else "serial"
+        used, saved = self.trial_totals()
+        if self.request.mode == "curve":
+            head = (
+                f"{len(self.outcomes)} trial chunks × "
+                f"{len(self.request.grid)} cells: {used} trials "
+                f"({self.request.perturbation.label()})"
+            )
+        else:
+            head = (
+                f"{len(self.outcomes)} instances × "
+                f"k∈{list(self.request.ks)}: {used} trials "
+                f"({saved} saved by early stopping)"
+            )
+        parts = [head]
+        if not self.shard.is_whole:
+            parts.append(f"shard {self.shard.label}")
+        if self.replayed_instances:
+            parts.append(f"{self.replayed_instances} slots from ledger")
+        return f"{'; '.join(parts)} ({mode}, {self.elapsed:.2f}s)"
+
+
+def _expected_payload(request: EnsembleRequest) -> int:
+    return len(request.grid) if request.mode == "curve" else len(request.ks)
+
+
+def execute_ensemble(
+    request: EnsembleRequest,
+    *,
+    jobs: int = 1,
+    cache: ArtifactCache | None = None,
+    on_instance: Callable[[InstanceReport], None] | None = None,
+    store: Any = None,
+    shard: "Shard | tuple[int, int] | None" = None,
+    resume: bool = False,
+    backend: str | None = None,
+) -> EnsembleBatch:
+    """Run every slot of ``request`` (curve chunks or threshold instances).
+
+    The parameters mirror :func:`repro.engine.execute_plan` /
+    :func:`repro.frontier.execute_frontier`: ``jobs`` for process-pool
+    fan-out (serial fallback recorded in ``fallback_reason``),
+    ``store``/``shard``/``resume`` for durable, partitioned, replayable
+    execution, ``backend`` for kernel selection.  Results reassemble in
+    slot order, so serial, parallel, sharded-and-merged and resumed runs
+    are all bit-identical — including every Monte-Carlo draw.
+    """
+    t_start = time.perf_counter()
+    backend_name = resolve_backend(backend or request.backend).name
+    shard = Shard.of(shard)
+    key = request.fingerprint()
+    if request.mode == "curve":
+        n_chunks = request.n_chunks
+        all_tasks: list[_Task] = [
+            (islot * n_chunks + c, si, ii, coords)
+            for islot, (si, ii, coords) in enumerate(request.instances())
+            for c in range(n_chunks)
+        ]
+    else:
+        all_tasks = [
+            (islot, si, ii, coords)
+            for islot, (si, ii, coords) in enumerate(request.instances())
+        ]
+    expected = _expected_payload(request)
+
+    def payload_of_row(slot: int, row: Any) -> _Payload:
+        from repro.store.ledger import StoreError  # lazy: avoids cycle
+
+        if len(row.results) != expected:
+            raise StoreError(
+                f"ledger row for slot {slot} has {len(row.results)} result "
+                f"payloads, request expects {expected}"
+            )
+        return (
+            list(row.results),
+            dict(row.facts),
+            row.elapsed,
+            row.cache,
+            getattr(row, "backend", "numpy"),
+        )
+
+    def row_of_payload(slot: int, si: int, ii: int, payload: _Payload) -> Any:
+        from repro.store.ledger import EnsembleRow  # lazy: avoids cycle
+
+        results, facts, dt, delta, row_backend = payload
+        return EnsembleRow(
+            slot=slot,
+            scenario_index=si,
+            instance_index=ii,
+            elapsed=dt,
+            facts=facts,
+            results=results,
+            cache=delta,
+            backend=row_backend,
+        )
+
+    payloads, replayed, jobs_used, fallback_reason, ledger = _execute_durable(
+        request, all_tasks, shard,
+        jobs=jobs, cache=cache, on_instance=on_instance,
+        store=store, resume=resume,
+        run_chunk_serial=lambda chunk, c: _iter_chunk_serial(
+            chunk, request, key, backend_name, c
+        ),
+        submit_chunk=lambda pool, chunk: pool.submit(
+            _run_chunk, chunk, request, key, backend_name
+        ),
+        rows_for_resume=lambda s, k: s.load_ensemble_rows(k),
+        payload_of_row=payload_of_row,
+        row_of_payload=row_of_payload,
+        should_stop=_tombstone_check(store, request),
+    )
+
+    outcomes: list[EnsembleOutcome] = []
+    reports: list[InstanceReport] = []
+    stats = CacheStats()
+    for slot, si, ii, _coords in all_tasks:
+        if not shard.owns(slot):
+            continue
+        payload = payloads.get(slot)
+        assert payload is not None, f"missing result for task slot {slot}"
+        results, facts, dt, delta, _row_backend = payload
+        outcomes.append(EnsembleOutcome(slot, si, ii, results))
+        reports.append(_report(si, ii, facts, dt))
+        stats.merge(CacheStats.from_dict(delta))
+    elapsed = time.perf_counter() - t_start
+    if ledger is not None:
+        ledger.finish(stats, elapsed)
+        ledger.close()
+    return EnsembleBatch(
+        request=request,
+        outcomes=outcomes,
+        instance_reports=reports,
+        cache_stats=stats,
+        jobs_used=jobs_used,
+        elapsed=elapsed,
+        fallback_reason=fallback_reason,
+        replayed_instances=replayed,
+        shard=shard,
+        backend=backend_name,
+    )
+
+
+def assemble_ensemble(
+    request: EnsembleRequest,
+    rows: dict[int, Any],
+    *,
+    allow_partial: bool = False,
+) -> EnsembleBatch:
+    """Reconstruct an :class:`EnsembleBatch` purely from ledger rows.
+
+    The ensemble twin of :func:`repro.store.assemble_batch` /
+    :func:`repro.frontier.assemble_frontier`: outcomes come back in slot
+    order, so aggregate tables are bit-identical to an in-process
+    :func:`execute_ensemble` of the same request.
+    """
+    from repro.store.ledger import StoreError  # lazy: avoids cycle
+
+    expected_slots = request.total_slots
+    expected = _expected_payload(request)
+    missing = [slot for slot in range(expected_slots) if slot not in rows]
+    if missing and not allow_partial:
+        raise StoreError(
+            f"ledger covers {expected_slots - len(missing)}/{expected_slots} "
+            f"slots (first missing plan slot: {missing[0]}); run the "
+            "remaining shards or pass allow_partial"
+        )
+    outcomes: list[EnsembleOutcome] = []
+    reports: list[InstanceReport] = []
+    stats = CacheStats()
+    elapsed = 0.0
+    for slot in sorted(rows):
+        row = rows[slot]
+        if not 0 <= row.slot < expected_slots:
+            raise StoreError(f"ledger row slot {row.slot} outside the plan")
+        if len(row.results) != expected:
+            raise StoreError(
+                f"ledger row for slot {row.slot} has {len(row.results)} "
+                f"result payloads, request expects {expected}"
+            )
+        outcomes.append(
+            EnsembleOutcome(
+                row.slot, row.scenario_index, row.instance_index,
+                list(row.results),
+            )
+        )
+        reports.append(row.report())
+        stats.merge(CacheStats.from_dict(row.cache))
+        elapsed += row.elapsed
+    return EnsembleBatch(
+        request=request,
+        outcomes=outcomes,
+        instance_reports=reports,
+        cache_stats=stats,
+        jobs_used=1,
+        elapsed=elapsed,
+        replayed_instances=len(rows),
+    )

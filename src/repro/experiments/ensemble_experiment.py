@@ -1,0 +1,148 @@
+"""Experiment X8 — Monte-Carlo ensemble frontiers (probabilistic Table 1).
+
+Two parts, both through :func:`repro.ensemble.execute_ensemble`:
+
+**Part A (curve)** — connection-probability-vs-φ curves at k ∈ {1, 2}
+under random per-sensor rotation (the randomly-oriented deployment of the
+Georgiou et al. line) plus a small independent link-failure rate.  Within
+one dispatch regime P(strongly connected) rises monotonically with the
+angular budget — wider antennae tolerate more rotation — which is the CI
+sanity check.  Across regime boundaries the curve *collapses*: the
+constructions that achieve the paper's best range bounds (Theorem 2's
+zero-spread aimed antennae at k = 1, the aimed antenna pairs at k = 2)
+have measure-zero tolerance to rotation, so spending *more* angle can
+drop P(connected) to 0.  Range optimality is bought with fragility.
+
+**Part B (p → 1 limit)** — the probabilistic frontier degenerates to the
+deterministic one: with the identity perturbation every trial reproduces
+the deterministic network, so bisecting φ on
+``quantile_0.5(range_bound) ≤ target`` must land on exactly the Table-1
+thresholds X7 finds — 8π/5 (k = 1), π (k = 2), 4π/5 (k = 3) — while the
+Wilson-interval early stopper discards almost the whole trial budget
+(the empirical p̂ is 0 or 1 after the first chunk).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import GridCell, Scenario
+from repro.ensemble import EnsembleRequest, Perturbation, execute_ensemble
+from repro.experiments.harness import ExperimentRecord
+
+__all__ = ["run_ensemble", "curve_probabilities"]
+
+#: Part A φ grids in units of π, each inside ONE dispatch regime so the
+#: monotone-in-φ claim is about antenna width, not algorithm switches:
+#: k = 1 stays below 8π/5 (the Lemma-1 positive-spread regime), k = 2
+#: below π (Theorem 3 part 1).
+_CURVE_FRACTIONS = {1: (0.6, 0.8, 1.0, 1.2, 1.4), 2: (0.4, 0.55, 0.7, 0.85, 0.99)}
+
+#: Part A perturbation: random fan rotation + 2% directed-link failures.
+_CURVE_PERTURBATION = Perturbation(rotate=True, edge_fail=0.02)
+
+#: Part B (k, target range bound in lmax units) — identical to X7's goals;
+#: the analytic thresholds are 8π/5, π (= crossover_phi(√2)) and 4π/5.
+_GOALS = ((1, 1.0), (2, np.sqrt(2.0)), (3, 1.0))
+
+
+def curve_probabilities(
+    *, n: int = 40, seeds: int = 2, trials: int = 60,
+    jobs: int = 1, store=None, resume: bool = False,
+) -> dict[int, list[tuple[float, float]]]:
+    """Part A raw data: ``k -> [(phi, p_connected), ...]`` in φ order.
+
+    Exposed separately so the CI smoke job can assert monotonicity
+    without parsing the rendered table.
+    """
+    request = EnsembleRequest(
+        scenarios=(Scenario("uniform", n, seeds=seeds, tag="ensemble-x8"),),
+        grid=tuple(
+            GridCell(k, f * np.pi)
+            for k, fractions in sorted(_CURVE_FRACTIONS.items())
+            for f in fractions
+        ),
+        trials=trials,
+        chunk=max(1, trials // 3),
+        perturbation=_CURVE_PERTURBATION,
+        compute_critical=False,
+    )
+    batch = execute_ensemble(request, jobs=jobs, store=store, resume=resume)
+    curves: dict[int, list[tuple[float, float]]] = {}
+    for row in batch.aggregate_rows():
+        curves.setdefault(int(row["k"]), []).append(
+            (float(row["phi"]), float(row["p_connected"]))
+        )
+    return curves
+
+
+def run_ensemble(
+    *,
+    n: int = 40,
+    seeds: int = 2,
+    trials: int = 60,
+    tol: float = 1e-3,
+    jobs: int = 1,
+    store=None,
+    resume: bool = False,
+) -> ExperimentRecord:
+    rec = ExperimentRecord(
+        "X8",
+        "Monte-Carlo ensemble: P(connected) vs phi, and the p->1 "
+        "deterministic limit",
+        ["part", "k", "goal", "p_conn", "phi*/pi", "trials", "saved"],
+    )
+    curves = curve_probabilities(
+        n=n, seeds=seeds, trials=trials, jobs=jobs, store=store, resume=resume
+    )
+    for k, points in sorted(curves.items()):
+        for phi, p in points:
+            rec.add(
+                "curve", k, f"phi={phi / np.pi:.2f}pi",
+                round(p, 3), "-", trials, "-",
+            )
+    for k, target in _GOALS:
+        request = EnsembleRequest(
+            scenarios=(Scenario("uniform", n, seeds=seeds, tag="ensemble-x8"),),
+            ks=(k,),
+            metric="range_bound",
+            quantile=0.5,
+            target=float(target),
+            tol=tol,
+            trials=trials,
+            chunk=max(1, trials // 6),
+            # identity perturbation: every trial IS the deterministic network
+        )
+        batch = execute_ensemble(request, jobs=jobs, store=store, resume=resume)
+        row = batch.aggregate_rows()[0]
+        mean = row["phi_star_mean"]
+        rec.add(
+            "p->1", k, f"q0.5(range)<={target:.3f}",
+            "-",
+            "-" if mean is None else round(mean / np.pi, 4),
+            row["trials"], row["trials_saved"],
+        )
+    rec.note(
+        "curve: P(strongly connected) under random fan rotation + 2% link "
+        "failures rises with phi inside one dispatch regime (wider antennae "
+        "tolerate more rotation); past the regime boundary the range-optimal "
+        "aimed constructions (theorem2 zero-spread, k=2 antenna pairs) have "
+        "zero rotation tolerance — range optimality is bought with fragility."
+    )
+    rec.note(
+        f"p->1 limit: with the identity perturbation the probabilistic "
+        f"frontier must reproduce X7's deterministic thresholds 8pi/5 = "
+        f"{8 / 5:.4f}pi (k=1), pi (k=2), 4pi/5 = {4 / 5:.4f}pi (k=3); the "
+        "Wilson early stopper discards most of the trial budget because "
+        "every probe's success sequence is constant."
+    )
+    rec.note(
+        "determinism: trial t of instance slot i draws from the counter "
+        "stream (fingerprint, i, t), so these numbers are bit-identical "
+        "for any --jobs, shard split or resume order."
+    )
+    return rec
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_ensemble().to_ascii())

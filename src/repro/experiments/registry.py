@@ -7,6 +7,7 @@ from typing import Callable
 
 from repro.experiments.ablations import run_ablations
 from repro.experiments.btsp_experiment import run_btsp
+from repro.experiments.ensemble_experiment import run_ensemble
 from repro.experiments.fig1_lemma1 import run_fig1
 from repro.experiments.fig2_facts import run_fig2
 from repro.experiments.fig34_theorem3 import run_fig3, run_fig4
@@ -37,6 +38,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentRecord]] = {
     "X5": run_scaling,
     "X6": run_ablations,
     "X7": run_frontier,
+    "X8": run_ensemble,
 }
 
 

@@ -20,14 +20,14 @@ Specs live alongside the sweep specs:
 ``repro frontier`` (and ``repro merge``, which recognises frontier ledgers).
 """
 
-from repro.engine.spec import FrontierRequest
+from repro.engine._spec import FrontierRequest
 from repro.frontier.executor import (
     FrontierBatch,
     InstanceOutcome,
     assemble_frontier,
     execute_frontier,
 )
-from repro.frontier.solver import (
+from repro.frontier._solver import (
     PHI_FREE_ALGORITHMS,
     FrontierProbe,
     KFrontier,

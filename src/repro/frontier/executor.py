@@ -24,8 +24,8 @@ from repro.engine.executor import (
     _report,
     _tombstone_check,
 )
-from repro.engine.spec import FrontierRequest, Shard
-from repro.frontier.solver import KFrontier, solve_instance_frontier
+from repro.engine._spec import FrontierRequest, Shard
+from repro.frontier._solver import KFrontier, solve_instance_frontier
 from repro.kernels.backend import resolve_backend, use_backend
 
 __all__ = [

@@ -73,6 +73,14 @@ class KernelCounters:
         loop: a sparse critical-range probe whose result could not be
         certified against the candidate cutoff rebuilt the tables at a
         doubled cutoff instead of returning a silently-wrong value.
+    ensemble_trials:
+        Monte-Carlo trials actually evaluated by the ensemble layer
+        (:mod:`repro.ensemble`), across every probe and grid cell.
+    ensemble_trials_saved:
+        Trials a sequential early-stopped ensemble probe did *not* run:
+        the budgeted trial count minus the trials evaluated before the
+        Wilson interval cleared the probe's threshold.  The counter CI
+        asserts the early-stopping win on, instead of wall-clock.
     """
 
     graph_builds: int = 0
@@ -88,6 +96,8 @@ class KernelCounters:
     batched_instances: int = 0
     sparse_polar_builds: int = 0
     rcut_widenings: int = 0
+    ensemble_trials: int = 0
+    ensemble_trials_saved: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

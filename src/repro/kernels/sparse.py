@@ -54,6 +54,7 @@ __all__ = [
     "SparsePolarTables",
     "sparse_polar_tables",
     "sparse_covered_edges",
+    "sparse_trial_coverage",
     "covered_edge_arrays",
     "strongly_connected_sparse",
     "sparse_metrics",
@@ -226,6 +227,57 @@ def sparse_covered_edges(
     return covered
 
 
+def sparse_trial_coverage(
+    tables: SparsePolarTables,
+    trial_idx: np.ndarray,
+    sensor_idx: np.ndarray,
+    start: np.ndarray,
+    spread: np.ndarray,
+    radius: np.ndarray,
+    *,
+    trials: int,
+    eps: float = 1e-9,
+    ignore_radius: bool = False,
+) -> np.ndarray:
+    """Per-trial covered-edge masks for a chunk of Monte-Carlo trials.
+
+    The sparse analogue of :func:`repro.kernels.batch.packed_coverage` with
+    trials in the role of instances: the antenna arrays are the
+    trial-concatenated ``flattened()`` columns (``trial_idx[a]`` names the
+    trial antenna ``a`` belongs to), all trials share ``tables`` — one set
+    of cached candidate-pair geometry, zero rebuilds — and the whole chunk
+    is one ``coverage_calls`` launch.  Row ``t`` of the returned
+    ``(trials, m)`` boolean is bit-identical to
+    ``sparse_covered_edges(tables, ...)`` on trial ``t``'s antennae alone;
+    the containment expressions are literally the same block body.
+    """
+    covered = np.zeros((int(trials), tables.m), dtype=bool)
+    a = int(np.asarray(sensor_idx).shape[0])
+    if a == 0 or tables.m == 0 or trials == 0:
+        return covered
+    COUNTERS.coverage_calls += 1
+    tid = np.asarray(trial_idx, dtype=np.int64)
+    idx = np.asarray(sensor_idx, dtype=np.int64)
+    deg = tables.indptr[idx + 1] - tables.indptr[idx]
+    COUNTERS.sector_evals += int(deg.sum())
+    flat = covered.reshape(-1)
+    m = tables.m
+    bounds = np.cumsum(deg)
+    lo = 0
+    while lo < a:
+        budget = (bounds[lo - 1] if lo else 0) + _EDGE_BLOCK_ELEMS
+        hi = min(max(int(np.searchsorted(bounds, budget)) + 1, lo + 1), a)
+        eid, hit = _edge_block_hits(
+            tables, idx[lo:hi], start[lo:hi], spread[lo:hi], radius[lo:hi],
+            deg[lo:hi], eps, ignore_radius,
+        )
+        if eid.shape[0]:
+            off = np.repeat(tid[lo:hi], deg[lo:hi]) * m
+            flat[(off + eid)[hit]] = True
+        lo = hi
+    return covered
+
+
 def _edge_block(
     tables: SparsePolarTables,
     idx: np.ndarray,
@@ -238,9 +290,28 @@ def _edge_block(
     covered: np.ndarray,
 ) -> None:
     """OR one antenna block's hits into ``covered`` (expanded edge ids)."""
+    eid, hit = _edge_block_hits(
+        tables, idx, start, spread, radius, deg, eps, ignore_radius
+    )
+    if eid.shape[0]:
+        covered[eid[hit]] = True
+
+
+def _edge_block_hits(
+    tables: SparsePolarTables,
+    idx: np.ndarray,
+    start: np.ndarray,
+    spread: np.ndarray,
+    radius: np.ndarray,
+    deg: np.ndarray,
+    eps: float,
+    ignore_radius: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One antenna block's ``(edge ids, hit mask)`` over expanded edges."""
     total = int(deg.sum())
     if total == 0:
-        return
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=bool)
     ends = np.cumsum(deg)
     eid = (
         np.repeat(tables.indptr[idx], deg)
@@ -270,7 +341,7 @@ def _edge_block(
             tol = radius_tolerance(ra[fin], eps)
             rad_ok[fin] = dist[fin] <= (ra[fin] + tol)
         hit = ang_ok & rad_ok & (dist > 0.0)
-    covered[eid[hit]] = True
+    return eid, hit
 
 
 def covered_edge_arrays(

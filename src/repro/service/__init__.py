@@ -32,7 +32,7 @@ from repro.service.app import create_app
 from repro.service.http import serve
 from repro.service.jobs import IncompleteJob, JobManager
 from repro.service.testing import Response, ServiceClient
-from repro.service.wire import parse_submit, submit_payload
+from repro.service._wire import parse_submit, submit_payload
 from repro.service.worker import drain_plan, drain_store, run_workers
 
 __all__ = [

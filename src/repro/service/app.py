@@ -32,7 +32,7 @@ from typing import Any, Awaitable, Callable
 from repro.errors import InvalidParameterError, ReproError
 from repro.kernels.instrument import kernel_counters
 from repro.service.jobs import IncompleteJob, JobManager
-from repro.service.wire import dump_json, load_json, parse_submit
+from repro.service._wire import dump_json, load_json, parse_submit
 from repro.store.ledger import RunStore, StoreError
 
 __all__ = ["create_app"]

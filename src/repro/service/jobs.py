@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 from typing import Any
 
-from repro.engine.spec import RequestBase
+from repro.engine._spec import RequestBase
 from repro.errors import PlanCancelled, ReproError
 from repro.service.worker import drain_plan
 from repro.store import coordination as coord

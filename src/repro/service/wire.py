@@ -1,83 +1,29 @@
-"""Wire format for the planning service: submit payloads and responses.
+"""Deprecated import location — use :mod:`repro.api` (or :mod:`repro.service`).
 
-The body of ``POST /plans`` is the request's kind-tagged wire form (see
-:meth:`repro.engine.spec.RequestBase.to_wire`) plus optional execution
-hints:
-
-.. code-block:: json
-
-    {
-      "kind": "sweep",
-      "request": { "scenarios": [...], "grid": [...], ... },
-      "shards": 2
-    }
-
-``kind`` defaults to ``"sweep"`` (matching plan files written before
-frontiers existed); ``shards`` (default 1) is the round-robin split
-workers claim — it is an execution hint, *not* part of the plan's
-identity, so the same spec submitted with different shard counts
-deduplicates onto one job id.  The deserialized request re-fingerprints
-to exactly the id an in-process submission would get: the wire format
-adds nothing that could perturb identity.
-
-Everything here is plain ``dict`` ↔ JSON; HTTP framing lives in
-:mod:`repro.service.app` / :mod:`repro.service.http`.
+Shim over :mod:`repro.service._wire`: every attribute access emits a
+:class:`DeprecationWarning` while returning the real object, so old deep
+imports keep working but cannot silently spread.
 """
 
 from __future__ import annotations
 
-import json
-from typing import Any
+import warnings
 
-from repro.engine.spec import RequestBase, request_from_wire
-from repro.errors import InvalidParameterError
+from repro.service import _wire as _impl
 
-__all__ = ["parse_submit", "submit_payload", "dump_json", "load_json"]
-
-
-def submit_payload(request: RequestBase, *, shards: int = 1) -> dict[str, Any]:
-    """The ``POST /plans`` body for ``request`` (client-side helper)."""
-    payload = request.to_wire()
-    if shards != 1:
-        payload["shards"] = int(shards)
-    return payload
+_MESSAGE = (
+    "importing from 'repro.service.wire' is deprecated; "
+    "import from 'repro.api' instead"
+)
 
 
-def parse_submit(data: Any) -> tuple[RequestBase, int]:
-    """Validate a submit payload; returns ``(request, shards)``.
-
-    Raises :class:`~repro.errors.InvalidParameterError` on malformed
-    payloads (non-object body, unknown kind, bad scenario/grid fields,
-    invalid shard count) — the app layer maps that to a 400 response.
-    """
-    if not isinstance(data, dict):
-        raise InvalidParameterError(
-            f"submit payload must be a JSON object, got {type(data).__name__}"
-        )
-    if not isinstance(data.get("request"), dict):
-        raise InvalidParameterError(
-            'submit payload must carry a "request" object '
-            '({"kind": ..., "request": {...}})'
-        )
-    request = request_from_wire(data)
-    shards = data.get("shards", 1)
-    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
-        raise InvalidParameterError(
-            f"shards must be a positive integer, got {shards!r}"
-        )
-    return request, shards
+def __getattr__(name: str):
+    if name.startswith("__"):
+        raise AttributeError(name)
+    value = getattr(_impl, name)
+    warnings.warn(_MESSAGE, DeprecationWarning, stacklevel=2)
+    return value
 
 
-def dump_json(payload: Any) -> bytes:
-    """Serialize a response body (floats round-trip exactly via ``repr``)."""
-    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf8")
-
-
-def load_json(body: bytes) -> Any:
-    """Parse a request body, mapping JSON errors to the library error type."""
-    if not body:
-        raise InvalidParameterError("request body is empty; expected JSON")
-    try:
-        return json.loads(body.decode("utf8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise InvalidParameterError(f"request body is not valid JSON: {exc}") from exc
+def __dir__():
+    return sorted(set(dir(_impl)))

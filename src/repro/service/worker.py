@@ -34,7 +34,7 @@ import time
 from typing import Any, Callable
 
 from repro.api import submit
-from repro.engine.spec import Shard
+from repro.engine._spec import Shard
 from repro.errors import PlanCancelled, ReproError
 from repro.store import coordination as coord
 from repro.store.ledger import RunStore, StoreError

@@ -49,7 +49,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
-from repro.engine.spec import RequestBase, Shard
+from repro.engine._spec import RequestBase, Shard
 from repro.store.ledger import StoreError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -477,7 +477,9 @@ def plan_progress(store: "RunStore", plan_key: str) -> PlanProgress:
     key, request = store.load_request(plan_key)
     kind = request.KIND
     row_type = _KIND_ROW_TYPES[kind]
-    total = request.total_instances
+    # Slot-space totals: one slot per instance for sweeps/frontiers, one
+    # per (instance, trial chunk) for curve-mode ensembles.
+    total = request.total_slots
     entry = queue_entry(store, key)
     queued_shards = entry.shards if entry is not None else 1
 

@@ -43,7 +43,7 @@ from typing import Any, ClassVar, Iterable, Sequence
 from repro.analysis.metrics import OrientationMetrics
 from repro.engine.cache import CacheStats
 from repro.engine.executor import BatchResult, InstanceReport, RunRecord
-from repro.engine.spec import (
+from repro.engine._spec import (
     LEDGER_VERSION,
     FrontierRequest,
     PlanRequest,
@@ -64,6 +64,7 @@ __all__ = [
     "frontier_from_dict",
     "LedgerRow",
     "FrontierRow",
+    "EnsembleRow",
     "ShardLedger",
     "RunStore",
     "merge_stores",
@@ -223,14 +224,36 @@ class FrontierRow(_InstanceRowBase):
     frontiers: list[dict[str, Any]] = field(default_factory=list)
 
 
+@dataclass
+class EnsembleRow(_InstanceRowBase):
+    """One checkpointed ensemble chunk.
+
+    Curve mode: one trial-chunk of one instance — ``results`` holds one
+    ``{"successes", "trials", "critical"}`` payload per grid cell.
+    Threshold mode: one whole instance — ``results`` holds one
+    :meth:`repro.ensemble.solver.KEnsembleFrontier.as_dict` payload per
+    requested ``k``.  Either way the slot is a *slot-space* index
+    (``request.total_slots``), not an instance index.
+    """
+
+    ROW_TYPE: ClassVar[str] = "ensemble"
+    PAYLOAD: ClassVar[str] = "results"
+
+    results: list[dict[str, Any]] = field(default_factory=list)
+
+
 #: Ledger row type tag -> row class; a ledger file may only mix row types
 #: with distinct tags (``shard_done`` summaries ride along untyped).
-_ROW_TYPES = {cls.ROW_TYPE: cls for cls in (LedgerRow, FrontierRow)}
+_ROW_TYPES = {cls.ROW_TYPE: cls for cls in (LedgerRow, FrontierRow, EnsembleRow)}
 
 #: Plan kind -> row type tag.  The single request→rows mapping: a new plan
 #: kind must be registered here (and in :func:`plan_kind`) or resume would
 #: silently parse zero rows and re-execute everything.
-_KIND_ROW_TYPES = {"sweep": LedgerRow.ROW_TYPE, "frontier": FrontierRow.ROW_TYPE}
+_KIND_ROW_TYPES = {
+    "sweep": LedgerRow.ROW_TYPE,
+    "frontier": FrontierRow.ROW_TYPE,
+    "ensemble": EnsembleRow.ROW_TYPE,
+}
 
 
 def _row_type_for(request: PlanRequest | FrontierRequest) -> str:
@@ -501,18 +524,32 @@ class RunStore:
                 rows[slot] = row
         return rows
 
-    def load_frontier_rows(self, plan_key: str) -> dict[int, FrontierRow]:
-        """All ledgered frontier rows of the spec, across every shard file."""
-        rows: dict[int, FrontierRow] = {}
+    def load_typed_rows(self, plan_key: str, row_type: str) -> dict[int, Any]:
+        """All ledgered rows of one row type, across every shard file."""
+        rows: dict[int, Any] = {}
         for path in self.ledger_paths(plan_key):
             parsed = _read_rows(
                 path,
-                row_type="frontier",
+                row_type=row_type,
                 skip_corrupt=self._skip_corrupt(plan_key, path),
             )
             for slot, row in parsed.items():
                 rows[slot] = row
         return rows
+
+    def load_frontier_rows(self, plan_key: str) -> dict[int, FrontierRow]:
+        """All ledgered frontier rows of the spec, across every shard file."""
+        return self.load_typed_rows(plan_key, FrontierRow.ROW_TYPE)
+
+    def load_ensemble_rows(self, plan_key: str) -> dict[int, EnsembleRow]:
+        """All ledgered ensemble rows of the spec, across every shard file."""
+        return self.load_typed_rows(plan_key, EnsembleRow.ROW_TYPE)
+
+    def rows_for(self, request: "RequestBase") -> dict[int, Any]:
+        """Ledgered rows of ``request``, with the row type keyed off its kind."""
+        return self.load_typed_rows(
+            plan_fingerprint(request), _row_type_for(request)
+        )
 
     def completed_for(self, request: PlanRequest) -> dict[int, LedgerRow]:
         """Ledgered rows for ``request`` (empty if never run here)."""
@@ -603,10 +640,7 @@ def merge_stores(
                 f"{run_dir} records plan {k[:12]}, expected {key[:12]}; "
                 "shards of different plans cannot be merged"
             )
-        if isinstance(request, FrontierRequest):
-            rows.update(store.load_frontier_rows(key))
-        else:
-            rows.update(store.load_rows(key))
+        rows.update(store.load_typed_rows(key, _row_type_for(request)))
     assert key is not None and request is not None
     return key, request, rows
 

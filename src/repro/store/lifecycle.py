@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.engine.cache import CacheStats
-from repro.engine.spec import Shard
+from repro.engine._spec import Shard
 from repro.store.ledger import RunStore, StoreError, _read_rows, _row_type_for
 
 __all__ = ["CompactReport", "GcReport", "compact_plan", "gc_store"]

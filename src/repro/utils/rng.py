@@ -16,7 +16,15 @@ import numpy as np
 
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
-__all__ = ["RngLike", "as_rng", "spawn_rngs", "stable_seed"]
+__all__ = [
+    "RngLike",
+    "as_rng",
+    "spawn_rngs",
+    "stable_seed",
+    "counter_rng",
+    "indexed_uniforms",
+    "indexed_normals",
+]
 
 
 def as_rng(seed: RngLike = None) -> np.random.Generator:
@@ -62,3 +70,69 @@ def stable_seed(*parts: Union[int, str, float]) -> int:
     text = "\x1f".join(repr(p) for p in parts)
     digest = hashlib.sha256(text.encode("utf8")).digest()
     return int.from_bytes(digest[:8], "little") & (2**63 - 1)
+
+
+def counter_rng(*parts: Union[int, str, float]) -> np.random.Generator:
+    """A counter-based generator keyed by a path of parameters.
+
+    Philox is a counter-mode bit generator: the stream is a pure function
+    of its key, so two ``counter_rng`` calls with the same path yield
+    bit-identical draws in any process, in any order, regardless of what
+    other streams were consumed in between.  This is the primitive behind
+    the ensemble layer's per-trial determinism contract and the
+    order-independent failure sampling in :mod:`repro.analysis.robustness`:
+    key a stream by *what it is for* — ``(seed, f, trial)`` — never by
+    position in a shared sequential stream.
+    """
+    return np.random.Generator(np.random.Philox(key=stable_seed(*parts)))
+
+
+_U64 = np.uint64
+_MIX_1 = _U64(0x9E3779B97F4A7C15)
+_MIX_2 = _U64(0xBF58476D1CE4E5B9)
+_MIX_3 = _U64(0x94D049BB133111EB)
+#: 2⁻⁵³ — maps the top 53 bits of a mixed word onto [0, 1).
+_INV_2_53 = float(2.0 ** -53)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer, vectorized over a uint64 array."""
+    x = (x + _MIX_1) & ~_U64(0)
+    x = (x ^ (x >> _U64(30))) * _MIX_2
+    x = (x ^ (x >> _U64(27))) * _MIX_3
+    return x ^ (x >> _U64(31))
+
+
+def indexed_uniforms(seed: int, index) -> np.ndarray:
+    """Uniform [0, 1) draws addressed by *index*, not by stream position.
+
+    ``indexed_uniforms(seed, i)`` is a pure function of ``(seed, i)`` —
+    random access into a virtual table of uniforms.  Unlike a sequential
+    generator, evaluating any subset of indices, in any order, in any
+    process yields the same values: this is what makes Monte-Carlo edge
+    failures identical between the dense path (which evaluates all ``n²``
+    pair indices) and the sparse path (which evaluates only the candidate
+    pairs), and between a serial run and any shard/resume split.
+
+    The generator is the splitmix64 finalizer keyed by ``seed`` — a full
+    avalanche mix whose output passes the usual empirical batteries; for
+    failure masks and fading draws its quality is far beyond need.
+    """
+    idx = np.asarray(index, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        base = _splitmix64(np.asarray(_U64(np.uint64(seed)), dtype=np.uint64))
+        z = _splitmix64(idx ^ base)
+    return (z >> _U64(11)).astype(np.float64) * _INV_2_53
+
+
+def indexed_normals(seed: int, index) -> np.ndarray:
+    """Standard-normal draws addressed by index (Box–Muller on
+    :func:`indexed_uniforms` at counters ``2·index`` and ``2·index + 1``).
+
+    Same random-access determinism contract as :func:`indexed_uniforms`.
+    """
+    idx = np.asarray(index, dtype=np.uint64)
+    u1 = indexed_uniforms(seed, idx * _U64(2))
+    u2 = indexed_uniforms(seed, idx * _U64(2) + _U64(1))
+    # 1 - u1 lies in (0, 1]: log never sees zero.
+    return np.sqrt(-2.0 * np.log1p(-u1)) * np.cos(2.0 * np.pi * u2)

@@ -46,6 +46,26 @@ class TestRobustness:
         with pytest.raises(InvalidParameterError):
             failure_sweep(res, max_failures=-1)
 
+    def test_failure_sweep_draws_are_order_independent(self, uniform50):
+        """Trial (f, t) must see the same deletions whatever counts run.
+
+        Regression: the sweep used to thread one sequential generator
+        through every (f, trial) pair, so restricting or reordering the
+        failure counts silently changed every subsequent draw.
+        """
+        res = orient_antennae(uniform50, 2, PI)
+        full = failure_sweep(res, max_failures=3, trials=25, seed=11)
+        only_two = failure_sweep(res, trials=25, seed=11, failures=[2])
+        reordered = failure_sweep(res, trials=25, seed=11, failures=[3, 1, 2])
+        assert only_two.survival(2) == full.survival(2)
+        for f in (1, 2, 3):
+            assert reordered.survival(f) == full.survival(f)
+
+    def test_failure_sweep_rejects_bad_failure_count(self, uniform50):
+        res = orient_antennae(uniform50, 2, PI)
+        with pytest.raises(InvalidParameterError):
+            failure_sweep(res, failures=[0])
+
 
 class TestInterference:
     def test_directional_less_than_omni(self, uniform50):

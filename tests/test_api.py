@@ -10,15 +10,22 @@ and require byte-equality.
 
 import json
 import math
+import warnings
 from pathlib import Path
 
 import pytest
 
 from repro.api import (
+    WIRE_VERSION,
+    EnsembleRequest,
     FrontierRequest,
+    Perturbation,
     PlanRequest,
     RequestBase,
     Shard,
+    UnknownRequestKind,
+    UnsupportedWireVersion,
+    WireFormatError,
     assemble,
     request_from_wire,
     submit,
@@ -65,6 +72,26 @@ def fixture_requests() -> dict[str, RequestBase]:
             phi_lo=0.0,
             phi_hi=2 * math.pi + 1e-13,
             tol=5e-3,
+        ),
+        "ci-ensemble curve": EnsembleRequest(
+            scenarios=(Scenario("uniform", 24, seeds=2, tag="ci-ensemble"),),
+            grid=(GridCell(1, math.pi), GridCell(2, math.pi)),
+            trials=8,
+            chunk=4,
+            perturbation=Perturbation(rotate=True, edge_fail=0.1),
+        ),
+        "ci-ensemble threshold": EnsembleRequest(
+            scenarios=(Scenario("uniform", 24, seeds=2, tag="ci-ensemble"),),
+            ks=(1, 2),
+            metric="critical_range",
+            quantile=0.5,
+            target=1.25,
+            phi_lo=2.0,
+            phi_hi=2 * math.pi,
+            tol=1e-2,
+            trials=12,
+            chunk=6,
+            perturbation=Perturbation(fade_sigma=0.05),
         ),
     }
 
@@ -116,8 +143,47 @@ class TestWireFormat:
     def test_unknown_kind_rejected(self):
         wire = fixture_requests()["ci-smoke sweep"].to_wire()
         wire["kind"] = "mystery"
-        with pytest.raises(InvalidParameterError, match="mystery"):
+        with pytest.raises(UnknownRequestKind, match="mystery"):
             request_from_wire(wire)
+
+    def test_envelope_is_versioned(self):
+        for request in fixture_requests().values():
+            assert request.to_wire()["wire_version"] == WIRE_VERSION == 1
+
+    def test_missing_wire_version_reads_as_v1(self):
+        request = fixture_requests()["ci-frontier threshold"]
+        wire = request.to_wire()
+        del wire["wire_version"]
+        assert request_from_wire(wire) == request
+
+    def test_future_wire_version_rejected(self):
+        wire = fixture_requests()["ci-smoke sweep"].to_wire()
+        wire["wire_version"] = WIRE_VERSION + 1
+        with pytest.raises(UnsupportedWireVersion, match="newer"):
+            request_from_wire(wire)
+
+    def test_malformed_wire_version_rejected(self):
+        wire = fixture_requests()["ci-smoke sweep"].to_wire()
+        for bad in (0, -1, "1", True, None):
+            wire["wire_version"] = bad
+            with pytest.raises(WireFormatError):
+                request_from_wire(wire)
+
+    def test_typed_errors_map_to_invalid_parameter(self):
+        """Service 400s and CLI exit code 2 hinge on this hierarchy."""
+        assert issubclass(UnknownRequestKind, WireFormatError)
+        assert issubclass(UnsupportedWireVersion, WireFormatError)
+        assert issubclass(WireFormatError, InvalidParameterError)
+
+    def test_ensemble_kind_loads_lazily(self):
+        """A plain-engine reader meets an "ensemble" envelope: the kind
+        registers itself through the lazy import inside request_from_wire."""
+        wire = fixture_requests()["ci-ensemble curve"].to_wire()
+        clone = request_from_wire(json.loads(json.dumps(wire)))
+        assert isinstance(clone, EnsembleRequest)
+        assert clone.fingerprint() == (
+            fixture_requests()["ci-ensemble curve"].fingerprint()
+        )
 
 
 class TestSubmitFacade:
@@ -160,11 +226,62 @@ class TestSubmitFacade:
             for r in reference.records
         ]
 
+    def test_dispatches_ensemble(self, tmp_path):
+        request = EnsembleRequest(
+            scenarios=(Scenario("uniform", 16, seeds=1, tag="facade"),),
+            grid=(GridCell(1, math.pi),),
+            trials=4, chunk=2,
+            perturbation=Perturbation(edge_fail=0.1),
+            compute_critical=False,
+        )
+        store = RunStore(tmp_path)
+        result = submit(request, store=store)
+        assert len(result.outcomes) == request.total_slots == 2
+        assert assemble(request, store).aggregate_rows() == (
+            result.aggregate_rows()
+        )
+
     def test_rejects_foreign_types(self):
-        with pytest.raises(InvalidParameterError, match="PlanRequest"):
+        with pytest.raises(InvalidParameterError, match="no executor"):
             submit("not a request")  # type: ignore[arg-type]
-        with pytest.raises(InvalidParameterError, match="FrontierRequest"):
+        with pytest.raises(InvalidParameterError, match="no executor"):
             assemble(42, None)  # type: ignore[arg-type]
+
+
+class TestDeprecatedDeepImports:
+    """The pre-redesign deep modules survive as warning shims."""
+
+    @pytest.mark.parametrize("module, name", [
+        ("repro.engine.spec", "PlanRequest"),
+        ("repro.engine.spec", "FrontierRequest"),
+        ("repro.frontier.solver", "solve_instance_frontier"),
+        ("repro.service.wire", "parse_submit"),
+    ])
+    def test_shim_warns_and_resolves(self, module, name):
+        import importlib
+
+        shim = importlib.import_module(module)
+        impl = importlib.import_module(
+            module.rsplit(".", 1)[0] + "._" + module.rsplit(".", 1)[1]
+        )
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            value = getattr(shim, name)
+        assert value is getattr(impl, name)
+
+    def test_shim_does_not_warn_on_dunders(self):
+        """Import machinery probes __path__ etc. — those must stay silent."""
+        import repro.engine.spec as shim
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(AttributeError):
+                shim.__path__
+
+    def test_public_surface_matches_all(self):
+        import repro.api as api
+
+        for name in api.__all__:
+            assert hasattr(api, name), name
 
 
 class TestOldImportsKeepWorking:

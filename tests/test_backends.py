@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.engine import GridCell, PlanRequest, Scenario, execute_plan
-from repro.engine.spec import FrontierRequest
+from repro.engine._spec import FrontierRequest
 from repro.errors import InvalidParameterError
 from repro.kernels import (
     KNOWN_BACKENDS,

@@ -120,7 +120,7 @@ class TestRegistry:
     def test_all_ids_registered(self):
         assert set(EXPERIMENTS) == {
             "T1", "F1", "F2", "F3", "F4", "F5", "F6",
-            "X1", "X2", "X3", "X4", "X5", "X6", "X7",
+            "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8",
         }
 
     def test_run_experiment_unknown(self):

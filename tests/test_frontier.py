@@ -22,7 +22,7 @@ from repro.frontier import (
     execute_frontier,
     solve_instance_frontier,
 )
-from repro.frontier.solver import ProbeEngine
+from repro.frontier._solver import ProbeEngine
 from repro.kernels.instrument import recording
 from repro.store import (
     RunStore,
@@ -383,7 +383,7 @@ class TestFrontierCLI:
         stays import-light) must match the spec's FRONTIER_METRICS exactly:
         a metric added to the spec must be added to the CLI mirror too."""
         from repro.__main__ import _FRONTIER_METRIC_CHOICES, build_parser
-        from repro.engine.spec import FRONTIER_METRICS
+        from repro.engine._spec import FRONTIER_METRICS
 
         assert _FRONTIER_METRIC_CHOICES == FRONTIER_METRICS
         parser = build_parser()
