@@ -274,6 +274,89 @@ def test_sparse_large_n_axis(n, capsys):
         ))
 
 
+@pytest.mark.parametrize("n", (200, 1000))
+def test_symmetric_mode_axis(n, capsys):
+    """The symmetric connectivity objective vs strong, counter-for-counter.
+
+    Measures the full metrics stack under both modes on the same instance
+    (strong: Table-1 orientation; symmetric: bounded-angle MST at φ=2π,
+    always feasible) and merges a ``symmetric_mode`` section into
+    BENCH_kernels.json.  The asserted quantities are counters: the
+    symmetric path must reuse the shared polar tables (zero extra trig)
+    and the prefix-mask bisection (zero per-probe graph builds) exactly
+    like strong mode — the mode seam adds a mutual mask, not a new
+    kernel shape.
+    """
+    import json
+
+    from repro.analysis.metrics import orientation_metrics
+    from repro.core.symmetric import orient_bounded_angle_mst
+
+    coords = Scenario("uniform", n, seeds=1, tag="bench-symmetric").instance(0)
+    ps = PointSet(coords)
+    tree = euclidean_mst(ps)
+    tables = polar_tables(ps.coords)
+
+    strong_result = orient_antennae(ps, 2, np.pi, tree=tree)
+    with recording() as rec_strong:
+        t_strong, m_strong = measure(
+            lambda: orientation_metrics(strong_result, tables=tables)
+        )
+    sym_result = orient_bounded_angle_mst(ps, 2, 2 * np.pi, tree=tree)
+    with recording() as rec_sym:
+        t_sym, m_sym = measure(
+            lambda: orientation_metrics(sym_result, tables=tables, mode="symmetric")
+        )
+
+    assert m_sym.mode == "symmetric" and m_sym.strongly_connected
+    assert np.isfinite(m_sym.critical_range)
+    for rec in (rec_strong, rec_sym):
+        assert rec.trig_evals == 0, "shared tables must not recompute trig"
+        # One DiGraph per mode: the top-level connectivity check.  The
+        # critical bisection itself is prefix-mask, zero builds per probe.
+        assert rec.graph_builds == 1, rec.graph_builds
+    assert rec_sym.critical_searches == 1
+
+    out = "BENCH_kernels.json"
+    report = {}
+    if os.path.exists(out):
+        with open(out, encoding="utf8") as fh:
+            try:
+                report = json.load(fh)
+            except ValueError:
+                report = {}
+    section = report.setdefault("symmetric_mode", {})
+    section[str(n)] = {
+        "n": n,
+        "strong": {
+            "metrics_s": round(t_strong, 6),
+            "critical_range": m_strong.critical_range,
+            "counters": rec_strong.as_dict(),
+        },
+        "symmetric": {
+            "metrics_s": round(t_sym, 6),
+            "critical_range": m_sym.critical_range,
+            "counters": rec_sym.as_dict(),
+        },
+    }
+    with open(out, "w", encoding="utf8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    with capsys.disabled():
+        print()
+        print(format_ascii_table(
+            ["mode", "seconds", "probes", "scipy calls", "critical searches"],
+            [
+                ["strong", round(t_strong, 4), rec_strong.connectivity_probes,
+                 rec_strong.scipy_scc_calls, rec_strong.critical_searches],
+                ["symmetric", round(t_sym, 4), rec_sym.connectivity_probes,
+                 rec_sym.scipy_scc_calls, rec_sym.critical_searches],
+            ],
+            title=f"[K1] connectivity-mode axis, n={n} -> {out}",
+        ))
+
+
 def test_counters_report(capsys):
     """Not a benchmark: show the cumulative kernel counters for this run."""
     with capsys.disabled():

@@ -282,6 +282,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             phis=args.phi,
             tag=args.tag,
             compute_critical=not args.no_critical,
+            mode=args.mode,
             backend=args.backend,
         )
 
@@ -314,6 +315,7 @@ def cmd_frontier(args: argparse.Namespace) -> int:
             phi_lo=args.phi_lo,
             phi_hi=args.phi_hi,
             tol=args.tol,
+            mode=args.mode,
             backend=args.backend,
         )
 
@@ -348,6 +350,7 @@ def cmd_ensemble(args: argparse.Namespace) -> int:
             confidence=args.confidence,
             early_stop=not args.no_early_stop,
             compute_critical=not args.no_critical,
+            mode=args.mode,
             backend=args.backend,
         )
         if args.phi is not None:
@@ -397,7 +400,9 @@ def cmd_merge(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(
-        f"[merge] plan {key[:12]}: {request.describe()}",
+        f"[merge] plan {key[:12]} "
+        f"({getattr(request, 'mode', 'strong')} connectivity): "
+        f"{request.describe()}",
         file=sys.stderr, flush=True,
     )
     print(f"[merge] {batch.summary()}", file=sys.stderr, flush=True)
@@ -535,6 +540,30 @@ def _durable_options() -> argparse.ArgumentParser:
     return parent
 
 
+def _mode_options() -> argparse.ArgumentParser:
+    """The connectivity-mode option shared by every plan-building command.
+
+    ``sweep``/``frontier``/``ensemble`` all evaluate their objective under
+    one :data:`repro.kernels.connectivity.CONNECTIVITY_MODES` member;
+    defining the flag once keeps the spelling (and the help text's
+    identity caveat) identical across them.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    g = parent.add_argument_group(
+        "connectivity mode",
+        "shared by 'sweep', 'frontier' and 'ensemble'",
+    )
+    g.add_argument("--mode", choices=("strong", "symmetric"),
+                   default="strong",
+                   help="connectivity objective: 'strong' (directed strong "
+                        "connectivity, the paper's default) or 'symmetric' "
+                        "(links count only when both endpoints cover each "
+                        "other; bounded-angle tree construction).  Part of "
+                        "the plan's identity, so the two modes never share "
+                        "a run-directory ledger (default: strong)")
+    return parent
+
+
 def _output_options() -> argparse.ArgumentParser:
     """The output option group shared by every table-emitting command.
 
@@ -567,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     durable = _durable_options()
     output = _output_options()
+    mode = _mode_options()
 
     p = sub.add_parser("plan", help="orient antennae for a CSV deployment")
     p.add_argument("--input", required=True, help="CSV of x,y sensor coordinates")
@@ -594,7 +624,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sweep",
         help="run a (workload × n) × (k × phi) batch through the engine",
-        parents=[durable, output], epilog=_EXIT_CODES,
+        parents=[durable, output, mode], epilog=_EXIT_CODES,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p.add_argument("--workload", nargs="+", default=["uniform"],
@@ -621,7 +651,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "frontier",
         help="adaptively bisect phi to a metric threshold or map its staircase",
-        parents=[durable, output], epilog=_EXIT_CODES,
+        parents=[durable, output, mode], epilog=_EXIT_CODES,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p.add_argument("--workload", nargs="+", default=["uniform"],
@@ -652,11 +682,11 @@ def build_parser() -> argparse.ArgumentParser:
         "ensemble",
         help="Monte-Carlo trials over a perturbation model: connection-"
              "probability curves or probabilistic phi frontiers",
-        parents=[durable, output], epilog=_EXIT_CODES,
+        parents=[durable, output, mode], epilog=_EXIT_CODES,
         formatter_class=argparse.RawDescriptionHelpFormatter,
         description="Runs M perturbed trials (random rotations, edge/node "
                     "failures, range fading) per instance.  With --phi the "
-                    "command estimates P(strongly connected) and critical-"
+                    "command estimates P(connected under --mode) and critical-"
                     "range quantiles at every (k, phi) grid cell (curve "
                     "mode); with --p-target or --target it bisects phi for "
                     "the smallest budget meeting the probabilistic predicate "
@@ -690,7 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sigma of the per-sensor log-normal range fade")
     p.add_argument("--p-target", type=float, default=None,
                    help="threshold mode: smallest phi with "
-                        "P(strongly connected) >= P_TARGET")
+                        "P(connected under --mode) >= P_TARGET")
     p.add_argument("--metric", choices=_FRONTIER_METRIC_CHOICES,
                    default="critical_range",
                    help="metric for the quantile predicate "

@@ -18,7 +18,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.result import OrientationResult
-from repro.graph.connectivity import is_strongly_connected
+from repro.graph.connectivity import is_strongly_connected, is_symmetrically_connected
 from repro.kernels.backend import active_backend
 from repro.kernels.batch import BatchedInstances, PackedPolarTables
 from repro.kernels.geometry import PolarTables, polar_tables
@@ -34,7 +34,14 @@ __all__ = [
 
 @dataclass
 class OrientationMetrics:
-    """Flat record of an orientation's measured properties."""
+    """Flat record of an orientation's measured properties.
+
+    ``mode`` names the connectivity objective the measurement was taken
+    under: ``strongly_connected`` holds connectivity under that mode (mutual
+    undirected connectivity when ``mode == "symmetric"``) and
+    ``critical_range`` is that mode's critical radius.  ``edges`` is always
+    the *directed* transmission-edge count, mode-independent.
+    """
 
     algorithm: str
     n: int
@@ -48,18 +55,26 @@ class OrientationMetrics:
     antennas_total: int
     edges: int
     strongly_connected: bool
+    mode: str = "strong"
 
     def as_dict(self) -> dict:
-        return asdict(self)
+        d = asdict(self)
+        # Strong-mode dicts predate the mode seam; omitting the default keeps
+        # every previously written ledger metric payload byte-identical.
+        if d.get("mode") == "strong":
+            del d["mode"]
+        return d
 
     def identical(self, other: "OrientationMetrics") -> bool:
         """Bitwise field equality, except NaN == NaN (skipped critical ranges).
 
         The engine's determinism guarantee (parallel == serial) is stated in
         terms of this predicate: dataclass ``==`` is unusable whenever
-        ``compute_critical=False`` leaves NaN critical ranges.
+        ``compute_critical=False`` leaves NaN critical ranges.  Compares the
+        full field set (``asdict``), including ``mode`` even when the
+        serialized form omits its default.
         """
-        for name, a in self.as_dict().items():
+        for name, a in asdict(self).items():
             b = getattr(other, name)
             if a != b and not (a != a and b != b):  # NaN-tolerant
                 return False
@@ -75,6 +90,7 @@ def orientation_metrics(
     *,
     compute_critical: bool = True,
     tables: PolarTables | SparsePolarTables | None = None,
+    mode: str = "strong",
 ) -> OrientationMetrics:
     """Measure ``result``; ranges are reported in lmax units.
 
@@ -85,26 +101,32 @@ def orientation_metrics(
     or activating a backend whose ``use_sparse`` rule selects this
     instance — routes the measurement through the radius-bounded sparse
     path (:func:`repro.kernels.sparse.sparse_metrics`), bit-identical by
-    its certification contract.
+    its certification contract.  ``mode`` selects the connectivity
+    objective the connectivity flag and critical range are measured under.
     """
     backend = active_backend()
     if isinstance(tables, SparsePolarTables):
         return _sparse_orientation_metrics(
-            result, tables, compute_critical=compute_critical, backend=backend
+            result, tables, compute_critical=compute_critical, backend=backend,
+            mode=mode,
         )
     if tables is None:
         wants = getattr(backend, "use_sparse", None)
         if wants is not None and wants(len(result.points)):
             return _sparse_orientation_metrics(
-                result, None, compute_critical=compute_critical, backend=backend
+                result, None, compute_critical=compute_critical, backend=backend,
+                mode=mode,
             )
         tables = polar_tables(result.points.coords)
     g = result.transmission_graph(tables=tables)
     counts = result.assignment.counts()
     critical = (
-        result.measured_critical_range_normalized(tables=tables)
+        result.measured_critical_range_normalized(tables=tables, mode=mode)
         if compute_critical
         else float("nan")
+    )
+    connected = (
+        is_strongly_connected(g) if mode == "strong" else is_symmetrically_connected(g)
     )
     return OrientationMetrics(
         algorithm=result.algorithm,
@@ -118,7 +140,8 @@ def orientation_metrics(
         antennas_max=int(counts.max()) if len(counts) else 0,
         antennas_total=int(counts.sum()),
         edges=g.m,
-        strongly_connected=is_strongly_connected(g),
+        strongly_connected=connected,
+        mode=mode,
     )
 
 
@@ -128,6 +151,7 @@ def _sparse_orientation_metrics(
     *,
     compute_critical: bool,
     backend,
+    mode: str = "strong",
 ) -> OrientationMetrics:
     """Measure through the radius-bounded candidate geometry.
 
@@ -146,6 +170,7 @@ def _sparse_orientation_metrics(
             range_bound_abs=result.range_bound_absolute,
             compute_critical=compute_critical,
             tables=tables,
+            mode=mode,
         )
     if compute_critical:
         critical = critical_abs / result.lmax if result.lmax > 0 else critical_abs
@@ -170,6 +195,7 @@ def _sparse_orientation_metrics(
         antennas_total=int(counts.sum()),
         edges=edges,
         strongly_connected=connected,
+        mode=mode,
     )
 
 
@@ -180,6 +206,7 @@ def batched_orientation_metrics(
     *,
     compute_critical: bool = True,
     eps: float = 1e-9,
+    mode: str = "strong",
 ) -> list[OrientationMetrics]:
     """Measure one grid cell's results for a whole chunk of instances.
 
@@ -218,7 +245,10 @@ def batched_orientation_metrics(
     cover = backend.packed_coverage(
         tables, inst_idx, sensor_idx, start, spread, radius, eps=eps
     )
-    connected = backend.packed_strongly_connected(cover, batch.counts)
+    if mode == "symmetric":
+        connected = backend.packed_symmetric_connected(cover, batch.counts)
+    else:
+        connected = backend.packed_strongly_connected(cover, batch.counts)
     edges = cover.reshape(m, -1).sum(axis=1)
 
     if compute_critical:
@@ -226,7 +256,12 @@ def batched_orientation_metrics(
             tables, inst_idx, sensor_idx, start, spread, radius,
             eps=eps, ignore_radius=True,
         )
-        critical_abs = backend.packed_critical(tables, cover_ang, eps=eps)
+        if mode == "symmetric":
+            critical_abs = backend.packed_symmetric_critical(
+                tables, cover_ang, eps=eps
+            )
+        else:
+            critical_abs = backend.packed_critical(tables, cover_ang, eps=eps)
 
     out = []
     for i, result in enumerate(results):
@@ -254,6 +289,7 @@ def batched_orientation_metrics(
                 antennas_total=int(counts.sum()),
                 edges=int(edges[i]),
                 strongly_connected=bool(connected[i]),
+                mode=mode,
             )
         )
     return out

@@ -130,16 +130,21 @@ def critical_range(
     *,
     eps: float = 1e-9,
     tables: PolarTables | None = None,
+    mode: str = "strong",
 ) -> float:
-    """Smallest uniform antenna radius making the network strongly connected.
+    """Smallest uniform antenna radius making the network connected.
 
     Keeps every sector's orientation and spread, ignores its stored radius,
     and bisects over the candidate distances (those of angularly covered
     pairs) via :func:`~repro.kernels.critical.critical_range_search`: one
     covered-pairs computation, one sort, O(log m) CSR connectivity probes,
     and zero per-probe graph constructions (see the kernel counters).
-    Returns ``inf`` if no radius achieves strong connectivity (the
-    orientations themselves are deficient).
+    ``mode`` selects the objective: strong connectivity of the directed
+    graph (the paper's model) or, for ``"symmetric"``, undirected
+    connectivity of the mutual-coverage graph
+    (:func:`~repro.kernels.critical.symmetric_critical_range_search`).
+    Returns ``inf`` if no radius achieves connectivity (the orientations
+    themselves are deficient).
 
     This is the honest "measured range" metric reported by the benchmarks:
     for an orientation produced by an algorithm with bound ``r_bound``, the
@@ -150,4 +155,7 @@ def critical_range(
     if n <= 1:
         return 0.0
     pairs, dists = covered_pairs(points, assignment, eps=eps, tables=tables)
-    return active_backend().critical_range(n, pairs, dists, eps=eps)
+    backend = active_backend()
+    if mode == "symmetric":
+        return backend.symmetric_critical_range(n, pairs, dists, eps=eps)
+    return backend.critical_range(n, pairs, dists, eps=eps)

@@ -14,6 +14,7 @@ from repro.core.theorem6 import orient_theorem6
 from repro.core.ktwo_zero import orient_k2_zero_spread
 from repro.core.kone import orient_k1
 from repro.core.planner import orient_antennae, choose_algorithm
+from repro.core.symmetric import orient_bounded_angle_mst, orient_for_mode
 
 __all__ = [
     "OrientationResult",
@@ -31,4 +32,6 @@ __all__ = [
     "orient_k1",
     "orient_antennae",
     "choose_algorithm",
+    "orient_bounded_angle_mst",
+    "orient_for_mode",
 ]

@@ -78,8 +78,10 @@ class OrientationResult:
         """Longest intended edge in multiples of lmax."""
         return self.realized_range() / self.lmax if self.lmax > 0 else 0.0
 
-    def measured_critical_range(self, *, tables: PolarTables | None = None) -> float:
-        """Minimal uniform radius achieving strong connectivity (absolute).
+    def measured_critical_range(
+        self, *, tables: PolarTables | None = None, mode: str = "strong"
+    ) -> float:
+        """Minimal uniform radius achieving connectivity under ``mode`` (absolute).
 
         Records the kernel work it performed (connectivity probes, graph
         builds — zero by construction — trig evaluations) under
@@ -88,7 +90,7 @@ class OrientationResult:
         shared polar geometry (one trig pass per instance when provided).
         """
         with recording() as rec:
-            cr = critical_range(self.points, self.assignment, tables=tables)
+            cr = critical_range(self.points, self.assignment, tables=tables, mode=mode)
         self.stats["critical_range_kernels"] = {
             "backend": active_backend().name,
             **rec.as_dict(),
@@ -96,9 +98,9 @@ class OrientationResult:
         return cr
 
     def measured_critical_range_normalized(
-        self, *, tables: PolarTables | None = None
+        self, *, tables: PolarTables | None = None, mode: str = "strong"
     ) -> float:
-        cr = self.measured_critical_range(tables=tables)
+        cr = self.measured_critical_range(tables=tables, mode=mode)
         return cr / self.lmax if self.lmax > 0 else cr
 
     def max_spread_sum(self) -> float:

@@ -33,12 +33,14 @@ from repro.errors import InvalidParameterError
 from repro.experiments.workloads import WORKLOADS, make_workload
 from repro.geometry.angles import clamp_angular_budget
 from repro.kernels.backend import KNOWN_BACKENDS
+from repro.kernels.connectivity import CONNECTIVITY_MODES, validate_mode
 from repro.utils.rng import stable_seed
 
 __all__ = [
     "LEDGER_VERSION",
     "WIRE_VERSION",
     "FRONTIER_METRICS",
+    "CONNECTIVITY_MODES",
     "Scenario",
     "GridCell",
     "RequestBase",
@@ -280,10 +282,21 @@ class RequestBase:
         """Subclass ``__post_init__`` prologue: normalize shared fields."""
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
         object.__setattr__(self, "backend", _validate_backend(self.backend))
+        object.__setattr__(self, "mode", validate_mode(self.mode))
         if not self.scenarios:
             raise InvalidParameterError(
                 f"a {type(self).__name__} needs at least one scenario"
             )
+
+    def _mode_payload(self, spec: dict[str, Any]) -> dict[str, Any]:
+        """Append the connectivity mode to a serialized spec — only when it
+        is not the default.  Strong-mode specs keep their historical byte
+        form, so every pre-existing fingerprint and ledger key is stable;
+        symmetric mode is a new key new fingerprints simply include.
+        Readers use ``data.get("mode", "strong")`` (forward-compatible)."""
+        if self.mode != "strong":
+            spec["mode"] = self.mode
+        return spec
 
     def _scenarios_payload(self) -> list[dict[str, Any]]:
         """The scenarios' serialized form (shared by every request kind)."""
@@ -379,6 +392,12 @@ class PlanRequest(RequestBase):
 
     grid: tuple[GridCell, ...] = ()
     compute_critical: bool = True
+    #: Connectivity objective every cell is evaluated under (``"strong"``
+    #: or ``"symmetric"``).  Unlike ``backend`` this IS identity: symmetric
+    #: plans measure a different objective, so the mode participates in
+    #: serialization and the fingerprint (conditionally — see
+    #: :meth:`RequestBase._mode_payload`).
+    mode: str = "strong"
     #: Kernel backend to execute with (``None`` = env var / default).  Not
     #: part of the plan's identity: excluded from serialization and the
     #: fingerprint (see :func:`_validate_backend`).
@@ -393,11 +412,11 @@ class PlanRequest(RequestBase):
             raise InvalidParameterError("a PlanRequest needs at least one grid cell")
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        return self._mode_payload({
             "scenarios": self._scenarios_payload(),
             "grid": [{"k": c.k, "phi": c.phi} for c in self.grid],
             "compute_critical": self.compute_critical,
-        }
+        })
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "PlanRequest":
@@ -405,6 +424,7 @@ class PlanRequest(RequestBase):
             scenarios=tuple(_scenario_from_dict(s) for s in data["scenarios"]),
             grid=tuple(GridCell(c["k"], c["phi"]) for c in data["grid"]),
             compute_critical=bool(data["compute_critical"]),
+            mode=str(data.get("mode", "strong")),
         )
 
     def _fingerprint_spec(self) -> dict[str, Any]:
@@ -425,6 +445,7 @@ class PlanRequest(RequestBase):
         phis: Sequence[float],
         tag: str = "sweep",
         compute_critical: bool = True,
+        mode: str = "strong",
         backend: "str | None" = None,
     ) -> "PlanRequest":
         """Build the dense cross product (workloads × sizes) × (ks × phis)."""
@@ -435,7 +456,8 @@ class PlanRequest(RequestBase):
         )
         grid = tuple(GridCell(int(k), float(p)) for k in ks for p in phis)
         return cls(
-            scenarios, grid, compute_critical=compute_critical, backend=backend
+            scenarios, grid, compute_critical=compute_critical, mode=mode,
+            backend=backend,
         )
 
     @property
@@ -449,9 +471,10 @@ class PlanRequest(RequestBase):
         scen = ", ".join(s.label for s in self.scenarios[:4])
         if len(self.scenarios) > 4:
             scen += f", … ({len(self.scenarios)} scenarios)"
+        suffix = "" if self.mode == "strong" else f" [{self.mode}]"
         return (
             f"{self.total_instances} instances [{scen}] × grid [{cells}] "
-            f"= {self.total_runs} runs"
+            f"= {self.total_runs} runs{suffix}"
         )
 
 
@@ -480,6 +503,9 @@ class FrontierRequest(RequestBase):
     phi_lo: float = 0.0
     phi_hi: float = _TWO_PI
     tol: float = 1e-3
+    #: Connectivity objective the probes are measured under; identity, like
+    #: :attr:`PlanRequest.mode` (conditionally serialized/fingerprinted).
+    mode: str = "strong"
     #: Kernel backend to execute with (``None`` = env var / default);
     #: excluded from serialization and the fingerprint like
     #: :attr:`PlanRequest.backend`.
@@ -518,8 +544,12 @@ class FrontierRequest(RequestBase):
             object.__setattr__(self, "target", target)
 
     @property
-    def mode(self) -> str:
-        """``"threshold"`` (a target bound is given) or ``"staircase"``."""
+    def search_mode(self) -> str:
+        """``"threshold"`` (a target bound is given) or ``"staircase"``.
+
+        Renamed from ``mode`` when requests grew a *connectivity* mode;
+        ``mode`` is now always one of :data:`CONNECTIVITY_MODES`.
+        """
         return "threshold" if self.target is not None else "staircase"
 
     @property
@@ -528,7 +558,7 @@ class FrontierRequest(RequestBase):
         return self.metric == "critical_range"
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        return self._mode_payload({
             "scenarios": self._scenarios_payload(),
             "ks": list(self.ks),
             "metric": self.metric,
@@ -536,7 +566,7 @@ class FrontierRequest(RequestBase):
             "phi_lo": self.phi_lo,
             "phi_hi": self.phi_hi,
             "tol": self.tol,
-        }
+        })
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "FrontierRequest":
@@ -548,6 +578,7 @@ class FrontierRequest(RequestBase):
             phi_lo=float(data["phi_lo"]),
             phi_hi=float(data["phi_hi"]),
             tol=float(data["tol"]),
+            mode=str(data.get("mode", "strong")),
         )
 
     def _fingerprint_spec(self) -> dict[str, Any]:
@@ -568,10 +599,11 @@ class FrontierRequest(RequestBase):
             if self.target is not None
             else f"{self.metric} staircase"
         )
+        suffix = "" if self.mode == "strong" else f" [{self.mode}]"
         return (
             f"{self.total_instances} instances [{scen}] × k∈{list(self.ks)}: "
             f"{goal} over phi∈[{self.phi_lo:.4f}, {self.phi_hi:.4f}] "
-            f"to tol {self.tol:g}"
+            f"to tol {self.tol:g}{suffix}"
         )
 
 

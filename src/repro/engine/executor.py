@@ -29,7 +29,7 @@ from repro.analysis.metrics import (
     batched_orientation_metrics,
     orientation_metrics,
 )
-from repro.core.planner import orient_antennae
+from repro.core.symmetric import orient_for_mode
 from repro.engine.cache import ArtifactCache, CacheStats
 from repro.engine._spec import GridCell, PlanRequest, Scenario, Shard
 from repro.experiments.harness import aggregate_rows
@@ -113,20 +113,26 @@ def run_instance_grid(
     *,
     compute_critical: bool = True,
     cache: ArtifactCache | None = None,
+    mode: str = "strong",
 ) -> tuple[list[OrientationMetrics], dict[str, float]]:
     """Plan one instance at every grid cell, building its artifacts once.
 
     Returns the per-cell metrics (grid order) and the instance-level facts
     derived from the cached artifacts (``lmax``, MST weight, diameter).
+    ``mode`` selects the connectivity objective: the Table-1 dispatcher for
+    ``"strong"``, the bounded-angle MST construction for ``"symmetric"``
+    (see :func:`repro.core.symmetric.orient_for_mode`) — measured under the
+    same mode.
     """
     cache = cache if cache is not None else ArtifactCache()
     ps, tree, tables, facts = instance_artifacts(cache, coords)
     metrics = []
     for cell in grid:
-        result = orient_antennae(ps, cell.k, cell.phi, tree=tree)
+        result = orient_for_mode(ps, cell.k, cell.phi, mode=mode, tree=tree)
         metrics.append(
             orientation_metrics(
-                result, compute_critical=compute_critical, tables=tables
+                result, compute_critical=compute_critical, tables=tables,
+                mode=mode,
             )
         )
     return metrics, facts
@@ -162,10 +168,12 @@ def _run_chunk(
     backend_name: str,
     batched: bool,
     cache: ArtifactCache | None = None,
+    mode: str = "strong",
 ) -> list[tuple[int, _Payload]]:
     """Worker entry point: process a chunk of instances with a local cache.
 
-    All kernel work (per-instance or batched) runs under ``backend_name``.
+    All kernel work (per-instance or batched) runs under ``backend_name``,
+    planning and measuring under connectivity ``mode``.
     """
     cache = cache if cache is not None else ArtifactCache()
     with use_backend(backend_name) as backend:
@@ -179,26 +187,36 @@ def _run_chunk(
             if dense:
                 out.extend(
                     _run_chunk_batched(
-                        dense, grid, compute_critical, cache, backend_name
+                        dense, grid, compute_critical, cache, backend_name, mode
                     )
                 )
             out.extend(
-                (slot, _run_task(coords, grid, compute_critical, cache, backend_name))
+                (
+                    slot,
+                    _run_task(
+                        coords, grid, compute_critical, cache, backend_name, mode
+                    ),
+                )
                 for slot, _si, _ii, coords in sparse
             )
             return out
         return [
-            (slot, _run_task(coords, grid, compute_critical, cache, backend_name))
+            (
+                slot,
+                _run_task(coords, grid, compute_critical, cache, backend_name, mode),
+            )
             for slot, _si, _ii, coords in chunk
         ]
 
 
-def _run_task(coords, grid, compute_critical, cache, backend_name) -> _Payload:
+def _run_task(
+    coords, grid, compute_critical, cache, backend_name, mode="strong"
+) -> _Payload:
     """Run one instance, measuring wall time and its cache-stats delta."""
     before = cache.stats.as_dict()
     t0 = time.perf_counter()
     metrics, facts = run_instance_grid(
-        coords, grid, compute_critical=compute_critical, cache=cache
+        coords, grid, compute_critical=compute_critical, cache=cache, mode=mode
     )
     dt = time.perf_counter() - t0
     after = cache.stats.as_dict()
@@ -212,6 +230,7 @@ def _run_chunk_batched(
     compute_critical: bool,
     cache: ArtifactCache,
     backend_name: str,
+    mode: str = "strong",
 ) -> list[tuple[int, _Payload]]:
     """Process a chunk through the packed multi-instance kernels.
 
@@ -247,12 +266,13 @@ def _run_chunk_batched(
         cell_metrics: list[list[OrientationMetrics]] = [[] for _ in sub]
         for cell in grid:
             results = [
-                orient_antennae(ps, cell.k, cell.phi, tree=tree)
+                orient_for_mode(ps, cell.k, cell.phi, mode=mode, tree=tree)
                 for _, ps, tree, _ in sub
             ]
             for j, m in enumerate(
                 batched_orientation_metrics(
-                    results, batch, tables, compute_critical=compute_critical
+                    results, batch, tables,
+                    compute_critical=compute_critical, mode=mode,
                 )
             ):
                 cell_metrics[j].append(m)
@@ -600,6 +620,7 @@ def execute_plan(
             metrics=[m.as_dict() for m in metrics],
             cache=delta,
             backend=row_backend,
+            mode=request.mode,
         )
 
     payloads, replayed, jobs_used, fallback_reason, ledger = _execute_durable(
@@ -608,11 +629,11 @@ def execute_plan(
         store=store, resume=resume,
         run_chunk_serial=lambda chunk, c: _run_chunk(
             chunk, grid, request.compute_critical,
-            backend_name, batch_instances, cache=c,
+            backend_name, batch_instances, cache=c, mode=request.mode,
         ),
         submit_chunk=lambda pool, chunk: pool.submit(
             _run_chunk, chunk, grid, request.compute_critical,
-            backend_name, batch_instances,
+            backend_name, batch_instances, mode=request.mode,
         ),
         rows_for_resume=lambda s, key: s.load_rows(key),
         payload_of_row=payload_of_row,

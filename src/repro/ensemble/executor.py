@@ -26,7 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.core.planner import orient_antennae
+from repro.core.symmetric import orient_for_mode
 from repro.engine.cache import ArtifactCache, CacheStats
 from repro.engine.executor import (
     InstanceReport,
@@ -87,7 +87,7 @@ def _run_task(
 ) -> _Payload:
     before = cache.stats.as_dict()
     t0 = time.perf_counter()
-    if request.mode == "threshold":
+    if request.objective == "threshold":
         frontiers, facts = solve_instance_ensemble(
             coords, request, key, slot, cache=cache
         )
@@ -101,12 +101,14 @@ def _run_task(
             memo_key = (instance_slot, ci)
             result = orient_memo.get(memo_key)
             if result is None:
-                result = orient_antennae(ps, cell.k, cell.phi, tree=tree)
+                result = orient_for_mode(
+                    ps, cell.k, cell.phi, mode=request.mode, tree=tree
+                )
                 orient_memo[memo_key] = result
             m = measure_trials(
                 ps, tables, result, request.perturbation, key, instance_slot,
                 trial_indices, cache=cache, want_connectivity=True,
-                want_critical=request.compute_critical,
+                want_critical=request.compute_critical, mode=request.mode,
             )
             results.append(
                 {
@@ -197,7 +199,7 @@ class EnsembleBatch:
     def trial_totals(self) -> tuple[int, int]:
         """``(trials evaluated, trials saved by early stopping)``."""
         used = saved = 0
-        if self.request.mode == "curve":
+        if self.request.objective == "curve":
             for o in self.outcomes:
                 used += sum(r["trials"] for r in o.results)
         else:
@@ -213,7 +215,7 @@ class EnsembleBatch:
         quantile pooled over every instance and trial chunk present.
         Threshold mode: one row per (scenario, k) — where φ* landed, with
         trial and audit accounting."""
-        if self.request.mode == "curve":
+        if self.request.objective == "curve":
             return self._aggregate_curve()
         return self._aggregate_threshold()
 
@@ -298,7 +300,7 @@ class EnsembleBatch:
     def summary(self) -> str:
         mode = f"{self.jobs_used} workers" if self.jobs_used > 1 else "serial"
         used, saved = self.trial_totals()
-        if self.request.mode == "curve":
+        if self.request.objective == "curve":
             head = (
                 f"{len(self.outcomes)} trial chunks × "
                 f"{len(self.request.grid)} cells: {used} trials "
@@ -319,7 +321,7 @@ class EnsembleBatch:
 
 
 def _expected_payload(request: EnsembleRequest) -> int:
-    return len(request.grid) if request.mode == "curve" else len(request.ks)
+    return len(request.grid) if request.objective == "curve" else len(request.ks)
 
 
 def execute_ensemble(
@@ -347,7 +349,7 @@ def execute_ensemble(
     backend_name = resolve_backend(backend or request.backend).name
     shard = Shard.of(shard)
     key = request.fingerprint()
-    if request.mode == "curve":
+    if request.objective == "curve":
         n_chunks = request.n_chunks
         all_tasks: list[_Task] = [
             (islot * n_chunks + c, si, ii, coords)
@@ -390,6 +392,7 @@ def execute_ensemble(
             results=results,
             cache=delta,
             backend=row_backend,
+            mode=request.mode,
         )
 
     payloads, replayed, jobs_used, fallback_reason, ledger = _execute_durable(

@@ -38,7 +38,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.core.planner import orient_antennae
+from repro.core.symmetric import SYMMETRIC_ALGORITHM, orient_for_mode
 from repro.engine.cache import ArtifactCache
 from repro.engine.executor import instance_artifacts
 from repro.frontier._solver import PHI_FREE_ALGORITHMS, dispatch_regime
@@ -246,6 +246,7 @@ class EnsembleProbeEngine:
                 self._ps, self._tables, result, request.perturbation,
                 self.key, self.instance_slot, trial_indices,
                 cache=self._cache, want_connectivity=True,
+                mode=request.mode,
             )
             return m.connected
         metric = request.metric
@@ -256,6 +257,7 @@ class EnsembleProbeEngine:
             want_connectivity=False,
             want_critical=metric == "critical_range",
             want_realized=metric == "realized_range",
+            mode=request.mode,
         )
         if metric == "critical_range":
             values = m.critical
@@ -296,16 +298,27 @@ class EnsembleProbeEngine:
                 hit.algorithm, True,
             )
         else:
-            algo, k_used = dispatch_regime(self.k, phi)
-            regime = (algo, k_used)
-            memo = self._by_regime.get(regime) if algo in PHI_FREE_ALGORITHMS else None
+            if self.request.mode == "strong":
+                algo, k_used = dispatch_regime(self.k, phi)
+                regime = (algo, k_used)
+                phi_free = algo in PHI_FREE_ALGORITHMS
+            else:
+                # Symmetric mode: feasibility of the bounded-angle MST flips
+                # at max_v s*(v), so its trial outcomes are NOT φ-free and
+                # the regime memo must never fire (the exact-φ memo above
+                # still applies).
+                algo, regime, phi_free = SYMMETRIC_ALGORITHM, None, False
+            memo = self._by_regime.get(regime) if phi_free else None
             if memo is not None:
                 probe = EnsembleProbe(
                     phi, memo.successes, memo.trials_used, memo.budget,
                     memo.met, algo, True,
                 )
             else:
-                result = orient_antennae(self._ps, self.k, phi, tree=self._tree)
+                result = orient_for_mode(
+                    self._ps, self.k, phi, mode=self.request.mode,
+                    tree=self._tree,
+                )
                 successes, used, met = self._sequential(result)
                 saved = self.request.trials - used
                 self.trials_used += used
@@ -314,7 +327,7 @@ class EnsembleProbeEngine:
                 probe = EnsembleProbe(
                     phi, successes, used, self.request.trials, met, algo, False
                 )
-                if algo in PHI_FREE_ALGORITHMS:
+                if phi_free:
                     self._by_regime[regime] = probe
             self._by_phi[phi] = probe
         self.probes.append(probe)

@@ -175,6 +175,10 @@ class EnsembleRequest(RequestBase):
     confidence: float = 0.95
     early_stop: bool = True
     compute_critical: bool = True
+    #: Connectivity objective trials are planned and judged under
+    #: (``"strong"`` | ``"symmetric"``); part of the identity, serialized
+    #: only when non-default so strong-mode fingerprints stay frozen.
+    mode: str = "strong"
     #: Kernel backend to execute with; excluded from serialization and the
     #: fingerprint like :attr:`~repro.engine._spec.PlanRequest.backend`.
     backend: "str | None" = None
@@ -253,8 +257,13 @@ class EnsembleRequest(RequestBase):
     # -- derived shape ----------------------------------------------------
 
     @property
-    def mode(self) -> str:
-        """``"curve"`` (grid given) or ``"threshold"`` (ks given)."""
+    def objective(self) -> str:
+        """``"curve"`` (grid given) or ``"threshold"`` (ks given).
+
+        Renamed from ``mode`` when the connectivity-mode seam landed:
+        ``mode`` now names the connectivity objective (strong/symmetric),
+        matching the other request kinds.
+        """
         return "curve" if self.grid else "threshold"
 
     @property
@@ -275,7 +284,7 @@ class EnsembleRequest(RequestBase):
     @property
     def wants_critical(self) -> bool:
         """Do trials need the per-trial critical range?"""
-        if self.mode == "curve":
+        if self.objective == "curve":
             return self.compute_critical
         return self.predicate == "quantile" and self.metric == "critical_range"
 
@@ -291,14 +300,14 @@ class EnsembleRequest(RequestBase):
 
     @property
     def total_slots(self) -> int:
-        if self.mode == "curve":
+        if self.objective == "curve":
             return self.total_instances * self.n_chunks
         return self.total_instances
 
     # -- serialization / identity -----------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        return self._mode_payload({
             "scenarios": self._scenarios_payload(),
             "grid": [{"k": c.k, "phi": c.phi} for c in self.grid],
             "ks": list(self.ks),
@@ -315,7 +324,7 @@ class EnsembleRequest(RequestBase):
             "confidence": self.confidence,
             "early_stop": self.early_stop,
             "compute_critical": self.compute_critical,
-        }
+        })
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "EnsembleRequest":
@@ -336,6 +345,7 @@ class EnsembleRequest(RequestBase):
             confidence=float(data["confidence"]),
             early_stop=bool(data["early_stop"]),
             compute_critical=bool(data["compute_critical"]),
+            mode=str(data.get("mode", "strong")),
         )
 
     def _fingerprint_spec(self) -> dict[str, Any]:
@@ -360,21 +370,22 @@ class EnsembleRequest(RequestBase):
         if len(self.scenarios) > 4:
             scen += f", … ({len(self.scenarios)} scenarios)"
         pert = self.perturbation.label()
-        if self.mode == "curve":
+        suffix = "" if self.mode == "strong" else f" [{self.mode}]"
+        if self.objective == "curve":
             cells = ", ".join(c.label for c in self.grid[:4])
             if len(self.grid) > 4:
                 cells += f", … ({len(self.grid)} cells)"
             return (
                 f"{self.total_instances} instances [{scen}] × grid [{cells}] "
-                f"× {self.trials} trials ({pert})"
+                f"× {self.trials} trials ({pert}){suffix}"
             )
         goal = (
-            f"P(strongly connected) >= {self.p_target:g}"
+            f"P(connected) >= {self.p_target:g}"
             if self.predicate == "connectivity"
             else f"q{self.quantile:g}({self.metric}) <= {self.target:g}"
         )
         return (
             f"{self.total_instances} instances [{scen}] × k∈{list(self.ks)}: "
             f"{goal} over phi∈[{self.phi_lo:.4f}, {self.phi_hi:.4f}] "
-            f"to tol {self.tol:g}, {self.trials} trials ({pert})"
+            f"to tol {self.tol:g}, {self.trials} trials ({pert}){suffix}"
         )

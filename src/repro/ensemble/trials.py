@@ -39,8 +39,14 @@ import numpy as np
 
 from repro.kernels.backend import active_backend
 from repro.kernels.batch import PackedPolarTables
-from repro.kernels.connectivity import strongly_connected_edges
-from repro.kernels.critical import critical_range_search
+from repro.kernels.connectivity import (
+    strongly_connected_edges,
+    symmetric_connected_edges,
+)
+from repro.kernels.critical import (
+    critical_range_search,
+    symmetric_critical_range_search,
+)
 from repro.kernels.instrument import COUNTERS
 from repro.kernels.sparse import (
     SparsePolarTables,
@@ -165,6 +171,7 @@ def measure_trials(
     want_critical: bool = False,
     want_realized: bool = False,
     eps: float = 1e-9,
+    mode: str = "strong",
 ) -> TrialMeasurements:
     """Measure one chunk of trials of one oriented instance.
 
@@ -173,7 +180,11 @@ def measure_trials(
     :func:`~repro.engine.executor.instance_artifacts` returned); ``result``
     is the deterministic :class:`~repro.core.result.OrientationResult` the
     perturbation is applied to.  ``cache`` is required on the sparse path
-    when fading may widen the candidate cutoff.
+    when fading may widen the candidate cutoff.  ``mode`` selects the
+    per-trial connectivity objective; under ``"symmetric"`` a link works
+    only when both directions survive the perturbation, so fading (which
+    skews the two directions' effective distances apart) is judged at the
+    pair's *worse* direction.
     """
     trial_list = [int(t) for t in trial_indices]
     count = len(trial_list)
@@ -200,13 +211,13 @@ def measure_trials(
         connected, critical = _measure_sparse(
             ps, tables, pert, draws, sensor_idx, start_t, spread, radius_t,
             cache=cache, want_connectivity=want_connectivity,
-            want_critical=want_critical, eps=eps,
+            want_critical=want_critical, eps=eps, mode=mode,
         )
     else:
         connected, critical = _measure_dense(
             tables, pert, draws, sensor_idx, start_t, spread, radius_t,
             want_connectivity=want_connectivity, want_critical=want_critical,
-            eps=eps,
+            eps=eps, mode=mode,
         )
     if critical is not None and result.lmax > 0:
         critical = critical / result.lmax
@@ -218,7 +229,7 @@ def measure_trials(
 
 def _measure_dense(
     tables, pert, draws, sensor_idx, start_t, spread, radius_t,
-    *, want_connectivity, want_critical, eps,
+    *, want_connectivity, want_critical, eps, mode="strong",
 ):
     count, n = start_t.shape[0], tables.dist.shape[0]
     antennae = sensor_idx.shape[0]
@@ -271,15 +282,22 @@ def _measure_dense(
     else:
         counts = packed.counts
 
-    connected = (
-        backend.packed_strongly_connected(cover, counts)
-        if want_connectivity
-        else None
-    )
+    if not want_connectivity:
+        connected = None
+    elif mode == "symmetric":
+        connected = backend.packed_symmetric_connected(cover, counts)
+    else:
+        connected = backend.packed_strongly_connected(cover, counts)
     critical = None
     if want_critical:
         if draws.fade is not None:
             dist_eff = tables.dist[None, :, :] / draws.fade[:, :, None]
+            if mode == "symmetric":
+                # A symmetric link needs BOTH directions under the radius;
+                # fading makes the two effective distances differ, so the
+                # pair is judged at the worse one.  Without fading the
+                # matrix is already symmetric and this branch never runs.
+                dist_eff = np.maximum(dist_eff, dist_eff.swapaxes(1, 2))
         else:
             dist_eff = np.broadcast_to(tables.dist, (count, n, n))
         if draws.alive is not None:
@@ -287,16 +305,40 @@ def _measure_dense(
                 np.arange(count)[:, None, None], perm[:, :, None], perm[:, None, :]
             ]
         eff = PackedPolarTables(dist_eff, dist_eff, counts)
-        critical = backend.packed_critical(eff, cover_ang, eps=eps)
+        if mode == "symmetric":
+            critical = backend.packed_symmetric_critical(eff, cover_ang, eps=eps)
+        else:
+            critical = backend.packed_critical(eff, cover_ang, eps=eps)
     return connected, critical
 
 
 # -- sparse path -----------------------------------------------------------
 
 
+def _pair_max_dists(n: int, src, dst, dists) -> np.ndarray:
+    """Per-directed-edge max of its own and its reverse edge's distance.
+
+    Edges whose reverse is absent keep their own distance (they are dropped
+    by the mutual filter downstream anyway).  Same packed-key pairing as
+    :func:`~repro.kernels.connectivity.mutual_mask`.
+    """
+    if src.shape[0] == 0:
+        return np.asarray(dists, dtype=float)
+    key = src.astype(np.int64) * np.int64(n) + dst.astype(np.int64)
+    rkey = dst.astype(np.int64) * np.int64(n) + src.astype(np.int64)
+    order = np.argsort(key, kind="stable")
+    skey = key[order]
+    pos = np.searchsorted(skey, rkey)
+    pos[pos == skey.shape[0]] = 0  # any in-range slot; equality check decides
+    has = skey[pos] == rkey
+    out = np.asarray(dists, dtype=float).copy()
+    out[has] = np.maximum(out[has], out[order[pos[has]]])
+    return out
+
+
 def _measure_sparse(
     ps, tables, pert, draws, sensor_idx, start_t, spread, radius_t,
-    *, cache, want_connectivity, want_critical, eps,
+    *, cache, want_connectivity, want_critical, eps, mode="strong",
 ):
     count, n = start_t.shape[0], tables.n
     antennae = sensor_idx.shape[0]
@@ -354,9 +396,12 @@ def _measure_sparse(
                 dst = tables.indices[mask]
                 if relabel is not None:
                     src, dst = relabel[src], relabel[dst]
-                connected[j] = n_eff <= 1 or strongly_connected_edges(
-                    n_eff, src, dst
-                )
+                if n_eff <= 1:
+                    connected[j] = True
+                elif mode == "symmetric":
+                    connected[j] = symmetric_connected_edges(n_eff, src, dst)
+                else:
+                    connected[j] = strongly_connected_edges(n_eff, src, dst)
             if critical is None:
                 continue
             mask = cov_ang[j]
@@ -366,11 +411,20 @@ def _measure_sparse(
             fade_src = draws.fade[j, src] if draws.fade is not None else None
             if fade_src is not None:
                 dists = dists / fade_src
+                if mode == "symmetric":
+                    # Judge each mutual pair at its worse direction (see
+                    # measure_trials); pairing uses the pre-relabel ids.
+                    dists = _pair_max_dists(n, src, dst, dists)
             if relabel is not None:
                 src, dst = relabel[src], relabel[dst]
-            value = critical_range_search(
-                n_eff, np.column_stack([src, dst]), dists, eps=eps
-            )
+            if mode == "symmetric":
+                value = symmetric_critical_range_search(
+                    n_eff, np.column_stack([src, dst]), dists, eps=eps
+                )
+            else:
+                value = critical_range_search(
+                    n_eff, np.column_stack([src, dst]), dists, eps=eps
+                )
             critical[j] = value
             # Certify: every edge the accepting dense probe could use has
             # physical length <= value * max fade, so the candidate set is

@@ -26,7 +26,8 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.analysis.metrics import orientation_metrics
-from repro.core.planner import choose_dispatch, orient_antennae
+from repro.core.planner import choose_dispatch
+from repro.core.symmetric import SYMMETRIC_ALGORITHM, orient_for_mode
 from repro.engine.cache import ArtifactCache
 from repro.engine.executor import instance_artifacts
 from repro.engine._spec import FrontierRequest
@@ -46,6 +47,13 @@ __all__ = [
 #: from the spanning tree; Theorem 3 part 1 clamps its working budget to π.
 #: The φ-dependent regimes (``k1-tour``, ``k1-pairs``, ``theorem3.part2``)
 #: widen their sectors with φ and must be re-probed.
+#:
+#: Audited for symmetric mode: the bounded-angle construction
+#: (``"bounded-angle-mst"``) is deliberately NOT a member — its wedge
+#: *layout* ignores φ, but the feasible/infeasible decision (and with it
+#: every measured metric) flips at ``max_v s*(v)``, so a symmetric probe
+#: may never be answered from a regime memo.  The exact-φ memo still
+#: applies in both modes.
 PHI_FREE_ALGORITHMS = frozenset(
     {"theorem2", "theorem3.part1", "k2-zero-spread", "theorem5", "theorem6"}
 )
@@ -162,13 +170,15 @@ class ProbeEngine:
 
     def __init__(self, pointset, tree, tables, k: int, metric: str,
                  compute_critical: bool,
-                 regime_memo: "dict[tuple[str, int], float] | None" = None):
+                 regime_memo: "dict[tuple[str, int], float] | None" = None,
+                 mode: str = "strong"):
         self._ps = pointset
         self._tree = tree
         self._tables = tables
         self.k = int(k)
         self.metric = metric
         self.compute_critical = compute_critical
+        self.mode = mode
         self._by_phi: dict[float, FrontierProbe] = {}
         # The regime key (algorithm, k_used) identifies the construction
         # regardless of the caller's k budget, so the memo may be shared by
@@ -185,20 +195,30 @@ class ProbeEngine:
         if hit is not None:
             probe = FrontierProbe(phi, hit.value, hit.algorithm, True)
         else:
-            algo, k_used = dispatch_regime(self.k, phi)
-            regime = (algo, k_used)
-            if algo in PHI_FREE_ALGORITHMS and regime in self._by_regime:
+            if self.mode == "strong":
+                algo, k_used = dispatch_regime(self.k, phi)
+                regime = (algo, k_used)
+                phi_free = algo in PHI_FREE_ALGORITHMS
+            else:
+                # Symmetric construction depends on φ through the
+                # feasibility flip, so no regime is φ-free (see the
+                # PHI_FREE_ALGORITHMS audit note).
+                algo, regime, phi_free = SYMMETRIC_ALGORITHM, None, False
+            if phi_free and regime in self._by_regime:
                 probe = FrontierProbe(phi, self._by_regime[regime], algo, True)
             else:
-                result = orient_antennae(self._ps, self.k, phi, tree=self._tree)
+                result = orient_for_mode(
+                    self._ps, self.k, phi, mode=self.mode, tree=self._tree
+                )
                 m = orientation_metrics(
                     result,
                     compute_critical=self.compute_critical,
                     tables=self._tables,
+                    mode=self.mode,
                 )
                 value = float(getattr(m, self.metric))
                 probe = FrontierProbe(phi, value, algo, False)
-                if algo in PHI_FREE_ALGORITHMS:
+                if phi_free:
                     self._by_regime[regime] = value
             self._by_phi[phi] = probe
         self.probes.append(probe)
@@ -295,9 +315,9 @@ def solve_instance_frontier(
     for k in request.ks:
         engine = ProbeEngine(
             ps, tree, tables, k, request.metric, request.compute_critical,
-            regime_memo=regime_memo,
+            regime_memo=regime_memo, mode=request.mode,
         )
-        if request.mode == "threshold":
+        if request.search_mode == "threshold":
             assert request.target is not None
             status, phi_star, v_lo, v_hi = _solve_threshold(
                 engine, request.phi_lo, request.phi_hi, request.tol,

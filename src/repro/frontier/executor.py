@@ -145,7 +145,7 @@ class FrontierBatch:
                 "metric": self.request.metric,
                 "runs": len(fs),
             }
-            if self.request.mode == "threshold":
+            if self.request.search_mode == "threshold":
                 stars = [f.phi_star for f in fs if f.phi_star is not None]
                 row["target"] = self.request.target
                 row["found"] = len(stars)
@@ -245,6 +245,7 @@ def execute_frontier(
             frontiers=frontier_dicts,
             cache=delta,
             backend=row_backend,
+            mode=request.mode,
         )
 
     payloads, replayed, jobs_used, fallback_reason, ledger = _execute_durable(

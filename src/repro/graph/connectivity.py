@@ -25,6 +25,7 @@ from repro.kernels.backend import active_backend
 
 __all__ = [
     "is_strongly_connected",
+    "is_symmetrically_connected",
     "strong_connectivity_certificate",
     "directed_vertex_connectivity",
     "is_strongly_c_connected",
@@ -41,6 +42,31 @@ def is_strongly_connected(g: DiGraph) -> bool:
     graph copies.
     """
     return active_backend().strongly_connected(g.n, *g.csr())
+
+
+def is_symmetrically_connected(g: DiGraph) -> bool:
+    """True iff the *mutual* edges of ``g`` form a connected undirected graph.
+
+    The symmetric-mode objective: a link counts only when both directions
+    are present.  Symmetrizes the CSR edge list with one
+    :func:`~repro.kernels.connectivity.mutual_mask` pass (no second graph
+    build) and hands the mutual CSR to the active backend's undirected
+    kernel — the same ``csgraph`` scaffold as :func:`is_strongly_connected`,
+    one ``connection`` flag apart.
+    """
+    from repro.kernels.connectivity import mutual_mask
+
+    n = g.n
+    if n <= 1:
+        return active_backend().symmetric_connected(n, *g.csr())
+    indptr, indices = g.csr()
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    mask = mutual_mask(n, src, indices)
+    # ``src`` is CSR-sorted, so the masked list is still grouped by source.
+    mptr = np.concatenate(
+        [[0], np.cumsum(np.bincount(src[mask], minlength=n))]
+    ).astype(np.int64)
+    return active_backend().symmetric_connected(n, mptr, indices[mask])
 
 
 @dataclass

@@ -14,9 +14,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.digraph import DiGraph
-from repro.kernels.connectivity import scc_count_csr
+from repro.kernels.connectivity import component_count_csr, scc_count_csr
 
-__all__ = ["strongly_connected_components", "scc_count", "condensation"]
+__all__ = [
+    "strongly_connected_components",
+    "scc_count",
+    "undirected_component_count",
+    "condensation",
+]
 
 
 def scc_count(g: DiGraph) -> int:
@@ -29,6 +34,47 @@ def scc_count(g: DiGraph) -> int:
     if count is not None:
         return count
     return int(strongly_connected_components(g).max()) + 1 if g.n else 0
+
+
+def undirected_component_count(g: DiGraph) -> int:
+    """Number of weakly connected components (edge direction ignored).
+
+    The undirected counterpart of :func:`scc_count`, routed through the
+    same CSR scaffold (:func:`~repro.kernels.connectivity.component_count_csr`
+    with ``connection="weak"`` — no second graph build).  Without scipy a
+    BFS sweep over the symmetrized adjacency labels the components.
+    """
+    count = component_count_csr(g.n, *g.csr(), connection="weak")
+    if count is not None:
+        return count
+    n = g.n
+    if n == 0:
+        return 0
+    indptr, indices = g.csr()
+    # Symmetrize once: forward targets plus reversed edges, grouped by vertex.
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    both_src = np.concatenate([src, indices])
+    both_dst = np.concatenate([indices, src])
+    order = np.argsort(both_src, kind="stable")
+    adj_ptr = np.concatenate(
+        [[0], np.cumsum(np.bincount(both_src, minlength=n))]
+    ).astype(np.int64)
+    adj = both_dst[order]
+    seen = np.zeros(n, dtype=bool)
+    components = 0
+    for start in range(n):
+        if seen[start]:
+            continue
+        components += 1
+        seen[start] = True
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in adj[adj_ptr[u] : adj_ptr[u + 1]]:
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(int(v))
+    return components
 
 
 def strongly_connected_components(g: DiGraph) -> np.ndarray:

@@ -56,11 +56,13 @@ from repro.kernels.batch import (
     packed_critical,
     packed_polar_tables,
     packed_strongly_connected,
+    packed_symmetric_connected,
+    packed_symmetric_critical,
 )
 from repro.kernels.coverage import batched_coverage
-from repro.kernels.critical import critical_range_search
+from repro.kernels.critical import critical_range_search, symmetric_critical_range_search
 from repro.kernels.geometry import PolarTables, polar_tables
-from repro.kernels.connectivity import strongly_connected_csr
+from repro.kernels.connectivity import strongly_connected_csr, symmetric_connected_csr
 
 __all__ = [
     "KNOWN_BACKENDS",
@@ -133,7 +135,15 @@ class KernelBackend(Protocol):
         self, n: int, indptr: np.ndarray, indices: np.ndarray
     ) -> bool: ...
 
+    def symmetric_connected(
+        self, n: int, indptr: np.ndarray, indices: np.ndarray
+    ) -> bool: ...
+
     def critical_range(
+        self, n: int, pairs: np.ndarray, dists: np.ndarray, *, eps: float = 1e-9
+    ) -> float: ...
+
+    def symmetric_critical_range(
         self, n: int, pairs: np.ndarray, dists: np.ndarray, *, eps: float = 1e-9
     ) -> float: ...
 
@@ -157,7 +167,15 @@ class KernelBackend(Protocol):
         self, cover: np.ndarray, counts: np.ndarray
     ) -> np.ndarray: ...
 
+    def packed_symmetric_connected(
+        self, cover: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray: ...
+
     def packed_critical(
+        self, tables: PackedPolarTables, cover_ang: np.ndarray, *, eps: float = 1e-9
+    ) -> np.ndarray: ...
+
+    def packed_symmetric_critical(
         self, tables: PackedPolarTables, cover_ang: np.ndarray, *, eps: float = 1e-9
     ) -> np.ndarray: ...
 
@@ -184,8 +202,14 @@ class NumpyBackend:
     def strongly_connected(self, n, indptr, indices):
         return strongly_connected_csr(n, indptr, indices)
 
+    def symmetric_connected(self, n, indptr, indices):
+        return symmetric_connected_csr(n, indptr, indices)
+
     def critical_range(self, n, pairs, dists, *, eps=1e-9):
         return critical_range_search(n, pairs, dists, eps=eps)
+
+    def symmetric_critical_range(self, n, pairs, dists, *, eps=1e-9):
+        return symmetric_critical_range_search(n, pairs, dists, eps=eps)
 
     def packed_polar(self, batch):
         return packed_polar_tables(batch)
@@ -198,8 +222,14 @@ class NumpyBackend:
     def packed_strongly_connected(self, cover, counts):
         return packed_strongly_connected(cover, counts)
 
+    def packed_symmetric_connected(self, cover, counts):
+        return packed_symmetric_connected(cover, counts)
+
     def packed_critical(self, tables, cover_ang, *, eps=1e-9):
         return packed_critical(tables, cover_ang, eps=eps)
+
+    def packed_symmetric_critical(self, tables, cover_ang, *, eps=1e-9):
+        return packed_symmetric_critical(tables, cover_ang, eps=eps)
 
     def use_sparse(self, n: int) -> bool:
         return False

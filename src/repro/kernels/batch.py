@@ -40,9 +40,13 @@ import hashlib
 import numpy as np
 
 from repro.geometry.angles import angle_of
-from repro.kernels.connectivity import _HAVE_SCIPY, strongly_connected_csr
+from repro.kernels.connectivity import (
+    _HAVE_SCIPY,
+    strongly_connected_csr,
+    symmetric_connected_csr,
+)
 from repro.kernels.coverage import _fill_block
-from repro.kernels.critical import _critical_search_impl
+from repro.kernels.critical import _critical_search_impl, _symmetric_search_impl
 from repro.errors import InvalidParameterError
 from repro.kernels.geometry import DENSE_LIMIT_ENV_VAR, _ROW_BLOCK_ELEMS, dense_element_limit
 from repro.kernels.instrument import COUNTERS
@@ -54,7 +58,9 @@ __all__ = [
     "packed_polar_tables",
     "packed_coverage",
     "packed_strongly_connected",
+    "packed_symmetric_connected",
     "packed_critical",
+    "packed_symmetric_critical",
 ]
 
 
@@ -252,6 +258,29 @@ def packed_strongly_connected(cover: np.ndarray, counts: np.ndarray) -> np.ndarr
     No cross-instance edges exist, so this is exactly the per-instance
     answer.  Instances with ``counts[m] <= 1`` are trivially connected.
     """
+    return _packed_connected(
+        cover, counts, connection="strong", probe=strongly_connected_csr
+    )
+
+
+def packed_symmetric_connected(cover: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Per-instance symmetric connectivity, one component call per chunk.
+
+    Symmetrizes the coverage chunk (elementwise AND with its per-instance
+    transpose — the mutual-edge graph) and runs the same block-diagonal
+    union build with ``connection="weak"``: labels constant on an
+    instance's block iff its mutual graph is one undirected component.
+    """
+    sym = cover & cover.swapaxes(1, 2)
+    return _packed_connected(
+        sym, counts, connection="weak", probe=symmetric_connected_csr
+    )
+
+
+def _packed_connected(
+    cover: np.ndarray, counts: np.ndarray, *, connection: str, probe
+) -> np.ndarray:
+    """Shared block-diagonal one-launch connectivity body (both modes)."""
     counts = np.asarray(counts, dtype=np.int64)
     m = int(counts.shape[0])
     out = np.zeros(m, dtype=bool)
@@ -264,7 +293,7 @@ def packed_strongly_connected(cover: np.ndarray, counts: np.ndarray) -> np.ndarr
             indptr = np.concatenate(
                 [np.zeros(1, np.int64), np.cumsum(sub.sum(axis=1), dtype=np.int64)]
             )
-            out[i] = strongly_connected_csr(n, indptr, np.nonzero(sub)[1])
+            out[i] = probe(n, indptr, np.nonzero(sub)[1])
         return out
 
     from scipy.sparse import coo_matrix
@@ -283,7 +312,7 @@ def packed_strongly_connected(cover: np.ndarray, counts: np.ndarray) -> np.ndarr
         (np.ones(src.shape[0], dtype=np.int8), (src, dst)), shape=(total, total)
     )
     _, labels = connected_components(
-        graph, directed=True, connection="strong", return_labels=True
+        graph, directed=True, connection=connection, return_labels=True
     )
     starts = base[:-1]
     nonempty = counts > 0
@@ -320,4 +349,32 @@ def packed_critical(
             continue
         dists = tables.dist[i][src, dst]
         out[i] = _critical_search_impl(n, src, dst, dists, eps)
+    return out
+
+
+def packed_symmetric_critical(
+    tables: PackedPolarTables, cover_ang: np.ndarray, *, eps: float = 1e-9
+) -> np.ndarray:
+    """Per-instance symmetric critical range from an angular coverage chunk.
+
+    One ``critical_searches`` launch for the whole chunk; each instance
+    runs the identical symmetrize-then-bisect body as
+    :func:`~repro.kernels.critical.symmetric_critical_range_search` on the
+    same edge arrays, so results are bit-identical.
+    """
+    counts = tables.counts
+    m = int(counts.shape[0])
+    out = np.empty(m, dtype=float)
+    COUNTERS.critical_searches += 1
+    for i in range(m):
+        n = int(counts[i])
+        if n <= 1:
+            out[i] = 0.0
+            continue
+        src, dst = np.nonzero(cover_ang[i, :n, :n])
+        if src.shape[0] == 0:
+            out[i] = np.inf
+            continue
+        dists = tables.dist[i][src, dst]
+        out[i] = _symmetric_search_impl(n, src, dst, dists, eps)
     return out

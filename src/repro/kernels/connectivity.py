@@ -27,11 +27,37 @@ except ImportError:  # pragma: no cover - scipy is a hard dependency
     _HAVE_SCIPY = False
 
 __all__ = [
+    "CONNECTIVITY_MODES",
+    "validate_mode",
     "strongly_connected_csr",
     "strongly_connected_edges",
+    "symmetric_connected_csr",
+    "symmetric_connected_edges",
+    "mutual_mask",
+    "mutual_edges",
     "scc_count_csr",
+    "component_count_csr",
     "reverse_csr",
 ]
+
+#: The two connectivity objectives every kernel/planner layer serves.
+#: ``strong``: the paper's directed model (u→v iff some antenna of u covers
+#: v; the graph must be strongly connected).  ``symmetric``: the
+#: Aschner–Katz model — an edge exists only when *both* endpoints cover
+#: each other, and the resulting undirected graph must be connected.
+CONNECTIVITY_MODES = ("strong", "symmetric")
+
+
+def validate_mode(mode: str) -> str:
+    """Validate a connectivity-mode string (shared by specs and kernels)."""
+    if mode not in CONNECTIVITY_MODES:
+        from repro.errors import InvalidParameterError
+
+        raise InvalidParameterError(
+            f"unknown connectivity mode {mode!r}; "
+            f"choose from {', '.join(CONNECTIVITY_MODES)}"
+        )
+    return mode
 
 
 def strongly_connected_csr(n: int, indptr: np.ndarray, indices: np.ndarray) -> bool:
@@ -80,12 +106,103 @@ def strongly_connected_edges(n: int, src: np.ndarray, dst: np.ndarray) -> bool:
     return strongly_connected_csr(n, indptr, dst[order])
 
 
+def mutual_mask(n: int, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Boolean mask of the edges whose reverse is also present.
+
+    An edge ``(u, v)`` survives iff ``(v, u)`` is also in the list — the
+    symmetric-connectivity edge set.  Membership is one sort plus one
+    ``searchsorted`` on the packed key ``src·n + dst``; both directions of
+    every surviving pair are kept, so the masked list is itself a valid
+    (mutual) directed edge list.  Duplicate edges must not be present
+    (coverage-derived lists never are).
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    key = src * np.int64(n) + dst
+    rkey = dst * np.int64(n) + src
+    skey = np.sort(key)
+    pos = np.searchsorted(skey, rkey)
+    pos[pos == skey.shape[0]] = 0  # any in-range slot; equality check decides
+    return skey[pos] == rkey
+
+
+def mutual_edges(
+    n: int, src: np.ndarray, dst: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Restrict directed edge arrays to the mutual pairs (see :func:`mutual_mask`)."""
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    mask = mutual_mask(n, src, dst)
+    return src[mask], dst[mask]
+
+
+def symmetric_connected_csr(n: int, indptr: np.ndarray, indices: np.ndarray) -> bool:
+    """Is the *mutual* CSR graph ``(indptr, indices)`` connected (undirected)?
+
+    The input must be a symmetric edge set (both directions of every pair
+    present — e.g. the CSR of ``cover & cover.T`` or the output of
+    :func:`mutual_edges`); connectivity is then undirected-component
+    connectivity, answered by the same ``csgraph`` call as the strong
+    kernel with ``connection="weak"`` (single-BFS fallback: on a mutual
+    edge set, reachability from vertex 0 equals undirected connectivity).
+    """
+    COUNTERS.connectivity_probes += 1
+    if n <= 1:
+        return True
+    if indices.shape[0] < 2 * (n - 1):  # undirected connectivity needs n-1 pairs
+        return False
+    if np.any(np.diff(indptr) == 0):  # an isolated vertex (mutual set)
+        return False
+    if _HAVE_SCIPY:
+        COUNTERS.scipy_scc_calls += 1
+        mat = csr_matrix(
+            (np.ones(indices.shape[0], dtype=np.int8), indices, indptr), shape=(n, n)
+        )
+        ncomp = connected_components(
+            mat, directed=True, connection="weak", return_labels=False
+        )
+        return int(ncomp) == 1
+    COUNTERS.bfs_fallbacks += 1
+    return _bfs_covers_all(n, indptr, indices)
+
+
+def symmetric_connected_edges(n: int, src: np.ndarray, dst: np.ndarray) -> bool:
+    """Symmetric connectivity straight from (directed) parallel edge arrays.
+
+    Symmetrizes the list via :func:`mutual_edges` first, then groups into
+    the same CSR scaffold as :func:`strongly_connected_edges`.
+    """
+    if n <= 1:
+        return True
+    src, dst = mutual_edges(n, src, dst)
+    if src.shape[0] < 2 * (n - 1):
+        COUNTERS.connectivity_probes += 1
+        return False
+    order = np.argsort(src, kind="stable")
+    indptr = np.concatenate([[0], np.cumsum(np.bincount(src, minlength=n))])
+    return symmetric_connected_csr(n, indptr, dst[order])
+
+
 def scc_count_csr(n: int, indptr: np.ndarray, indices: np.ndarray) -> int | None:
     """Number of SCCs via scipy, or ``None`` when scipy is unavailable.
 
     Callers that also need per-vertex labels (in Tarjan's reverse
     topological id order) should use
     :func:`repro.graph.scc.strongly_connected_components` instead.
+    """
+    return component_count_csr(n, indptr, indices, connection="strong")
+
+
+def component_count_csr(
+    n: int, indptr: np.ndarray, indices: np.ndarray, *, connection: str = "strong"
+) -> int | None:
+    """Component count on one CSR scaffold, or ``None`` without scipy.
+
+    ``connection="strong"`` counts SCCs; ``connection="weak"`` counts
+    undirected components (the symmetric-mode objective) — same matrix
+    build, same ``csgraph`` call, one flag apart.
     """
     if n == 0:
         return 0
@@ -96,7 +213,9 @@ def scc_count_csr(n: int, indptr: np.ndarray, indices: np.ndarray) -> int | None
         (np.ones(indices.shape[0], dtype=np.int8), indices, indptr), shape=(n, n)
     )
     return int(
-        connected_components(mat, directed=True, connection="strong", return_labels=False)
+        connected_components(
+            mat, directed=True, connection=connection, return_labels=False
+        )
     )
 
 

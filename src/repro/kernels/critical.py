@@ -20,10 +20,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.sectors import radius_tolerance
-from repro.kernels.connectivity import strongly_connected_csr
+from repro.kernels.connectivity import (
+    mutual_mask,
+    strongly_connected_csr,
+    symmetric_connected_csr,
+)
 from repro.kernels.instrument import COUNTERS
 
-__all__ = ["critical_range_search"]
+__all__ = ["critical_range_search", "symmetric_critical_range_search"]
 
 
 def critical_range_search(
@@ -45,16 +49,68 @@ def critical_range_search(
     return _critical_search_impl(n, pairs[:, 0], pairs[:, 1], dists, eps)
 
 
-def _critical_search_impl(
+def symmetric_critical_range_search(
+    n: int, pairs: np.ndarray, dists: np.ndarray, *, eps: float = 1e-9
+) -> float:
+    """Symmetric-mode bottleneck radius over candidate edges.
+
+    Same one-sort prefix-mask bisection as :func:`critical_range_search`,
+    run on the *symmetrized* candidate list: an angularly covered pair
+    survives only when both directions are present (:func:`mutual_edges`).
+    Distances are direction-symmetric bit-exactly (``hypot(-dx, -dy) ==
+    hypot(dx, dy)``), so a radius prefix of the mutual list contains
+    whole pairs and the probe checks undirected connectivity of exactly
+    the mutual graph at that radius.
+    """
+    if n <= 1:
+        return 0.0
+    pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    dists = np.asarray(dists, dtype=float)
+    if pairs.shape[0] == 0:
+        return float("inf")
+    COUNTERS.critical_searches += 1
+    return _symmetric_search_impl(n, pairs[:, 0], pairs[:, 1], dists, eps)
+
+
+def _symmetric_search_impl(
     n: int, src_all: np.ndarray, dst_all: np.ndarray, dists: np.ndarray, eps: float
+) -> float:
+    """Counter-free symmetric search body (packed kernels reuse it too).
+
+    Symmetrizes the candidate list, then runs the shared prefix-mask
+    bisection with the undirected-connectivity probe.  Requires ``n >= 2``
+    and at least one edge.
+    """
+    mask = mutual_mask(n, src_all, dst_all)
+    if not mask.any():
+        return float("inf")
+    return _critical_search_impl(
+        n,
+        np.asarray(src_all, dtype=np.int64)[mask],
+        np.asarray(dst_all, dtype=np.int64)[mask],
+        dists[mask],
+        eps,
+        probe=symmetric_connected_csr,
+    )
+
+
+def _critical_search_impl(
+    n: int,
+    src_all: np.ndarray,
+    dst_all: np.ndarray,
+    dists: np.ndarray,
+    eps: float,
+    probe=strongly_connected_csr,
 ) -> float:
     """The search body, free of launch accounting (``critical_searches``).
 
     Shared by the per-instance entry point above and the packed
     multi-instance kernel (:func:`repro.kernels.batch.packed_critical`),
-    which counts one launch for a whole chunk.  Connectivity probes are
-    still counted inside :func:`strongly_connected_csr`.  Requires
-    ``n >= 2`` and at least one edge.
+    which counts one launch for a whole chunk.  ``probe`` is the CSR
+    connectivity predicate the bisection drives — the strong kernel by
+    default, :func:`symmetric_connected_csr` on an already-mutual edge
+    list for symmetric mode.  Connectivity probes are still counted
+    inside the probe.  Requires ``n >= 2`` and at least one edge.
     """
     m = src_all.shape[0]
 
@@ -77,7 +133,7 @@ def _critical_search_impl(
         cnt = int(np.searchsorted(sorted_dists, r + radius_tolerance(r, eps), side="right"))
         row_counts = np.bincount(src[:cnt], minlength=n)
         indptr = np.concatenate([zero, np.cumsum(row_counts)])
-        return strongly_connected_csr(n, indptr, indices_all[ranks < cnt])
+        return probe(n, indptr, indices_all[ranks < cnt])
 
     candidates = np.unique(dists)
     if not connected_at(float(candidates[-1])):

@@ -38,6 +38,7 @@ from repro.kernels.batch import (
     PackedPolarTables,
     packed_polar_tables,
 )
+from repro.kernels.connectivity import mutual_mask
 from repro.kernels.geometry import PolarTables, polar_tables
 from repro.kernels.instrument import COUNTERS
 
@@ -179,6 +180,28 @@ def _nb_sc_csr(n, indptr, indices):  # pragma: no cover - JIT
 
 
 @njit(cache=True)
+def _nb_sym_connected_prefix(n, ssrc, sdst, cnt):  # pragma: no cover - JIT
+    # Undirected connectivity of the first ``cnt`` distance-ranked edges of
+    # a *mutual* list (distances are direction-symmetric, so a distance
+    # prefix always contains whole pairs — single BFS is then exact).
+    if cnt < 2 * (n - 1):
+        return False
+    rc = np.zeros(n, np.int64)
+    for j in range(cnt):
+        rc[ssrc[j]] += 1
+    indptr = np.zeros(n + 1, np.int64)
+    for u in range(n):
+        indptr[u + 1] = indptr[u] + rc[u]
+    pos = indptr[:n].copy()
+    indices = np.empty(cnt, np.int64)
+    for j in range(cnt):
+        u = ssrc[j]
+        indices[pos[u]] = sdst[j]
+        pos[u] += 1
+    return _nb_csr_reaches_all(n, indptr, indices)
+
+
+@njit(cache=True)
 def _nb_connected_prefix(n, ssrc, sdst, cnt):  # pragma: no cover - JIT
     # Strong connectivity of the first ``cnt`` distance-ranked edges.
     rc = np.zeros(n, np.int64)
@@ -233,6 +256,46 @@ def _nb_critical(n, src, dst, dists, eps):  # pragma: no cover - JIT
 
 
 @njit(cache=True)
+def _nb_sym_critical(n, src, dst, dists, eps):  # pragma: no cover - JIT
+    """Symmetric bisection body on an already-mutual edge list.
+
+    Same shape as :func:`_nb_critical` with the undirected prefix probe;
+    returns ``(value, probes)``.  Needs n>=2, m>=1.
+    """
+    m = src.shape[0]
+    order = np.argsort(dists, kind="mergesort")
+    ssrc = np.empty(m, np.int64)
+    sdst = np.empty(m, np.int64)
+    sd = np.empty(m, np.float64)
+    for i in range(m):
+        j = order[i]
+        ssrc[i] = src[j]
+        sdst[i] = dst[j]
+        sd[i] = dists[j]
+    cand = np.unique(dists)
+    probes = 0
+    top = cand[cand.shape[0] - 1]
+    scale = top if top > 1.0 else 1.0
+    cnt = np.searchsorted(sd, top + eps * scale, side="right")
+    probes += 1
+    if not _nb_sym_connected_prefix(n, ssrc, sdst, cnt):
+        return np.inf, probes
+    lo = 0
+    hi = cand.shape[0] - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        r = cand[mid]
+        scale = r if r > 1.0 else 1.0
+        cnt = np.searchsorted(sd, r + eps * scale, side="right")
+        probes += 1
+        if _nb_sym_connected_prefix(n, ssrc, sdst, cnt):
+            hi = mid
+        else:
+            lo = mid + 1
+    return cand[hi], probes
+
+
+@njit(cache=True)
 def _nb_dense_sc(cov, n):  # pragma: no cover - JIT
     # Two-pass BFS on one instance's dense boolean block.
     seen = np.zeros(n, np.bool_)
@@ -269,6 +332,29 @@ def _nb_dense_sc(cov, n):  # pragma: no cover - JIT
     return remaining == 0
 
 
+@njit(cache=True)
+def _nb_dense_weak(cov, n):  # pragma: no cover - JIT
+    # Single BFS on the mutual edges of one dense boolean block: the
+    # symmetrization (``cov[u, v] and cov[v, u]``) happens in the edge
+    # test, so reachability from 0 equals undirected connectivity.
+    seen = np.zeros(n, np.bool_)
+    stack = np.empty(n, np.int64)
+    seen[0] = True
+    stack[0] = 0
+    top = 1
+    remaining = n - 1
+    while top > 0:
+        top -= 1
+        u = stack[top]
+        for v in range(n):
+            if cov[u, v] and cov[v, u] and not seen[v]:
+                seen[v] = True
+                remaining -= 1
+                stack[top] = v
+                top += 1
+    return remaining == 0
+
+
 @njit(cache=True, parallel=True)
 def _nb_packed_sc(cover, counts, out):  # pragma: no cover - JIT
     for m in prange(counts.shape[0]):
@@ -277,6 +363,16 @@ def _nb_packed_sc(cover, counts, out):  # pragma: no cover - JIT
             out[m] = True
         else:
             out[m] = _nb_dense_sc(cover[m], n)
+
+
+@njit(cache=True, parallel=True)
+def _nb_packed_weak(cover, counts, out):  # pragma: no cover - JIT
+    for m in prange(counts.shape[0]):
+        n = counts[m]
+        if n <= 1:
+            out[m] = True
+        else:
+            out[m] = _nb_dense_weak(cover[m], n)
 
 
 @njit(cache=True, parallel=True)
@@ -309,6 +405,43 @@ def _nb_packed_critical(dist, cover, counts, eps, out,
                             dd[i] = dist[m, u, v]
                             i += 1
                 r, p = _nb_critical(n, src, dst, dd, eps)
+                out[m] = r
+                probes[m] = p
+
+
+@njit(cache=True, parallel=True)
+def _nb_packed_sym_critical(dist, cover, counts, eps, out,
+                            probes):  # pragma: no cover - JIT
+    # Row-major extraction of the *mutual* pairs mirrors the numpy path
+    # (``np.nonzero`` order + ``mutual_mask``), so the candidate array and
+    # every bisection branch coincide bit-for-bit.
+    for m in prange(counts.shape[0]):
+        n = counts[m]
+        if n <= 1:
+            out[m] = 0.0
+            probes[m] = 0
+        else:
+            cnt = 0
+            for u in range(n):
+                for v in range(n):
+                    if cover[m, u, v] and cover[m, v, u]:
+                        cnt += 1
+            if cnt == 0:
+                out[m] = np.inf
+                probes[m] = 0
+            else:
+                src = np.empty(cnt, np.int64)
+                dst = np.empty(cnt, np.int64)
+                dd = np.empty(cnt, np.float64)
+                i = 0
+                for u in range(n):
+                    for v in range(n):
+                        if cover[m, u, v] and cover[m, v, u]:
+                            src[i] = u
+                            dst[i] = v
+                            dd[i] = dist[m, u, v]
+                            i += 1
+                r, p = _nb_sym_critical(n, src, dst, dd, eps)
                 out[m] = r
                 probes[m] = p
 
@@ -370,6 +503,22 @@ class NumbaBackend:
             )
         )
 
+    def symmetric_connected(self, n, indptr, indices):
+        # Input is an already-mutual edge set (see the numpy kernel's
+        # contract), so the single JIT'd BFS answers undirected
+        # connectivity exactly.
+        COUNTERS.connectivity_probes += 1
+        if n <= 1:
+            return True
+        COUNTERS.bfs_fallbacks += 1
+        return bool(
+            _nb_csr_reaches_all(
+                int(n),
+                np.ascontiguousarray(indptr, dtype=np.int64),
+                np.ascontiguousarray(indices, dtype=np.int64),
+            )
+        )
+
     def critical_range(self, n, pairs, dists, *, eps=1e-9):
         if n <= 1:
             return 0.0
@@ -382,6 +531,30 @@ class NumbaBackend:
             np.ascontiguousarray(pairs[:, 0]),
             np.ascontiguousarray(pairs[:, 1]),
             np.ascontiguousarray(dists, dtype=np.float64),
+            float(eps),
+        )
+        COUNTERS.connectivity_probes += int(probes)
+        COUNTERS.bfs_fallbacks += int(probes)
+        return float(value)
+
+    def symmetric_critical_range(self, n, pairs, dists, *, eps=1e-9):
+        if n <= 1:
+            return 0.0
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if pairs.shape[0] == 0:
+            return float("inf")
+        COUNTERS.critical_searches += 1
+        # Symmetrization stays on the shared numpy path (one sort +
+        # searchsorted); only the bisection arithmetic is JIT'd.
+        mask = mutual_mask(int(n), pairs[:, 0], pairs[:, 1])
+        if not mask.any():
+            return float("inf")
+        dists = np.asarray(dists, dtype=np.float64)
+        value, probes = _nb_sym_critical(
+            int(n),
+            np.ascontiguousarray(pairs[:, 0][mask]),
+            np.ascontiguousarray(pairs[:, 1][mask]),
+            np.ascontiguousarray(dists[mask]),
             float(eps),
         )
         COUNTERS.connectivity_probes += int(probes)
@@ -435,6 +608,17 @@ class NumbaBackend:
         _nb_packed_sc(cover, counts, out)
         return out
 
+    def packed_symmetric_connected(self, cover, counts):
+        counts = np.ascontiguousarray(counts, dtype=np.int64)
+        m = int(counts.shape[0])
+        out = np.zeros(m, dtype=bool)
+        if m == 0:
+            return out
+        COUNTERS.connectivity_probes += m
+        COUNTERS.bfs_fallbacks += m
+        _nb_packed_weak(cover, counts, out)
+        return out
+
     def packed_critical(self, tables, cover_ang, *, eps=1e-9):
         counts = np.ascontiguousarray(tables.counts, dtype=np.int64)
         m = int(counts.shape[0])
@@ -445,6 +629,21 @@ class NumbaBackend:
         probes = np.zeros(m, dtype=np.int64)
         _nb_packed_critical(tables.dist, cover_ang, counts, float(eps), out,
                             probes)
+        total = int(probes.sum())
+        COUNTERS.connectivity_probes += total
+        COUNTERS.bfs_fallbacks += total
+        return out
+
+    def packed_symmetric_critical(self, tables, cover_ang, *, eps=1e-9):
+        counts = np.ascontiguousarray(tables.counts, dtype=np.int64)
+        m = int(counts.shape[0])
+        out = np.empty(m, dtype=float)
+        if m == 0:
+            return out
+        COUNTERS.critical_searches += 1
+        probes = np.zeros(m, dtype=np.int64)
+        _nb_packed_sym_critical(tables.dist, cover_ang, counts, float(eps),
+                                out, probes)
         total = int(probes.sum())
         COUNTERS.connectivity_probes += total
         COUNTERS.bfs_fallbacks += total

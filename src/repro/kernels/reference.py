@@ -25,7 +25,9 @@ from repro.kernels.instrument import COUNTERS
 __all__ = [
     "coverage_matrix_loop",
     "critical_range_rebuild",
+    "critical_range_rebuild_symmetric",
     "bfs_strongly_connected",
+    "symmetric_connected_loop",
 ]
 
 
@@ -81,6 +83,83 @@ def bfs_strongly_connected(g: DiGraph) -> bool:
     if not bool(g.reachable_from(0).all()):
         return False
     return bool(g.reversed().reachable_from(0).all())
+
+
+def symmetric_connected_loop(n: int, pairs) -> bool:
+    """Set-and-loop symmetric-connectivity oracle over directed pairs.
+
+    An undirected edge exists only where both directions appear in
+    ``pairs``; connectivity is a plain Python BFS over that mutual
+    adjacency.  Deliberately naive (hash set + list-of-lists) so it shares
+    no code with the vectorized ``mutual_mask`` / CSR kernels it checks.
+    """
+    COUNTERS.connectivity_probes += 1
+    if n <= 1:
+        return True
+    edge_set = {(int(u), int(v)) for u, v in np.asarray(pairs).reshape(-1, 2)}
+    adj: list[list[int]] = [[] for _ in range(n)]
+    for u, v in edge_set:
+        if (v, u) in edge_set:
+            adj[u].append(v)
+    seen = [False] * n
+    seen[0] = True
+    stack = [0]
+    count = 1
+    while stack:
+        u = stack.pop()
+        for v in adj[u]:
+            if not seen[v]:
+                seen[v] = True
+                count += 1
+                stack.append(v)
+    return count == n
+
+
+def critical_range_rebuild_symmetric(
+    points, assignment: AntennaAssignment, *, eps: float = 1e-9
+) -> float:
+    """Symmetric-mode critical range, rebuild style: one BFS per probe.
+
+    Mirrors :func:`critical_range_rebuild` with the symmetric objective:
+    the candidate list is restricted to *mutual* pairs up front (so the
+    bisection walks the same ``np.unique`` candidates as the kernel path
+    — a one-sided distance inside another pair's tolerance window could
+    otherwise shift the answer), and each probe re-derives the undirected
+    graph from scratch.
+    """
+    coords = _points_arr(points)
+    n = coords.shape[0]
+    if n <= 1:
+        return 0.0
+    cover = coverage_matrix_loop(points, assignment, eps=eps, ignore_radius=True)
+    s, d = np.nonzero(cover)
+    if s.size == 0:
+        return float("inf")
+    edge_set = {(int(u), int(v)) for u, v in zip(s, d)}
+    keep = [i for i in range(s.size) if (int(d[i]), int(s[i])) in edge_set]
+    if not keep:
+        return float("inf")
+    s, d = s[keep], d[keep]
+    pairs = np.stack([s, d], axis=1)
+    diff = coords[s] - coords[d]
+    dists = np.hypot(diff[:, 0], diff[:, 1])
+    candidates = np.unique(dists)
+
+    def connected_at(r: float) -> bool:
+        tol = eps * max(1.0, r)
+        mask = dists <= r + tol
+        return symmetric_connected_loop(n, pairs[mask])
+
+    if not connected_at(float(candidates[-1])):
+        return float("inf")
+    lo, hi = 0, candidates.size - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if connected_at(float(candidates[mid])):
+            hi = mid
+        else:
+            lo = mid + 1
+    return float(candidates[hi])
 
 
 def critical_range_rebuild(

@@ -45,9 +45,13 @@ import numpy as np
 
 from repro.geometry.angles import TWO_PI, angle_of
 from repro.geometry.sectors import radius_tolerance
-from repro.kernels.connectivity import strongly_connected_csr
+from repro.kernels.connectivity import (
+    strongly_connected_csr,
+    symmetric_connected_csr,
+    validate_mode,
+)
 from repro.kernels.coverage import _ccw_from_start
-from repro.kernels.critical import critical_range_search
+from repro.kernels.critical import critical_range_search, symmetric_critical_range_search
 from repro.kernels.instrument import COUNTERS
 
 __all__ = [
@@ -56,7 +60,9 @@ __all__ = [
     "sparse_covered_edges",
     "sparse_trial_coverage",
     "covered_edge_arrays",
+    "reverse_edge_permutation",
     "strongly_connected_sparse",
+    "symmetric_connected_sparse",
     "sparse_metrics",
     "required_cutoff",
     "default_instance_cutoff",
@@ -365,6 +371,35 @@ def strongly_connected_sparse(tables: SparsePolarTables, mask: np.ndarray) -> bo
     return strongly_connected_csr(n, indptr, tables.indices[mask])
 
 
+def reverse_edge_permutation(tables: SparsePolarTables) -> np.ndarray:
+    """Index of each candidate edge's reverse edge.
+
+    The candidate set is direction-symmetric by construction (both
+    directions of every within-cutoff pair are emitted, ``(src, dst)``
+    lexsorted), so the reverse of edge ``e`` is found exactly by one
+    ``searchsorted`` of the reversed packed keys against the sorted keys.
+    """
+    n = np.int64(tables.n)
+    key = tables.src * n + tables.indices  # sorted: edges are (src, dst) lexsorted
+    rkey = tables.indices * n + tables.src
+    return np.searchsorted(key, rkey)
+
+
+def symmetric_connected_sparse(tables: SparsePolarTables, mask: np.ndarray) -> bool:
+    """Symmetric connectivity of the masked edge set.
+
+    Keeps only the mutual edges (mask true in both directions, via
+    :func:`reverse_edge_permutation`) and checks undirected connectivity
+    on the same CSR scaffold as the strong kernel.
+    """
+    n = tables.n
+    mutual = mask & mask[reverse_edge_permutation(tables)]
+    src = tables.src[mutual]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+    return symmetric_connected_csr(n, indptr, tables.indices[mutual])
+
+
 # -- cutoff policy ------------------------------------------------------------------
 
 
@@ -443,13 +478,19 @@ def sparse_metrics(
     compute_critical: bool = True,
     tables: SparsePolarTables | None = None,
     tables_factory=None,
+    mode: str = "strong",
 ) -> tuple[int, bool, float, SparsePolarTables | None]:
     """Measure one antenna set through the radius-bounded sparse path.
 
-    Returns ``(edges, strongly_connected, critical_abs, tables)`` —
-    bit-identical to the dense pipeline (transmission-graph edge count,
-    strong connectivity of the radius-respecting cover, and the absolute
-    critical range over angularly-covered pairs).
+    Returns ``(edges, connected, critical_abs, tables)`` — bit-identical
+    to the dense pipeline (transmission-graph edge count, connectivity of
+    the radius-respecting cover under ``mode``, and the absolute critical
+    range over angularly-covered pairs — symmetrized first in symmetric
+    mode).  ``edges`` always counts *directed* transmission edges, in both
+    modes, matching the dense metrics.  The certification argument is
+    mode-independent: below a certified radius the sparse and dense
+    candidate sets are the same edge set, hence so are their mutual
+    subsets and prefix graphs.
 
     Parameters
     ----------
@@ -466,12 +507,19 @@ def sparse_metrics(
         cache own the artifacts); defaults to :func:`sparse_polar_tables`
         on ``coords``.
     """
+    validate_mode(mode)
     c = np.ascontiguousarray(np.asarray(coords, dtype=float))
     n = c.shape[0]
     a = int(np.asarray(sensor_idx).shape[0])
     if n <= 1:
         critical = 0.0 if compute_critical else float("nan")
         return 0, True, critical, tables
+    connected_of = (
+        strongly_connected_sparse if mode == "strong" else symmetric_connected_sparse
+    )
+    critical_of = (
+        critical_range_search if mode == "strong" else symmetric_critical_range_search
+    )
 
     factory = tables_factory or (lambda r: sparse_polar_tables(c, r))
     cap = complete_cutoff(c, eps)
@@ -492,7 +540,7 @@ def sparse_metrics(
             tables, sensor_idx, start, spread, radius, eps=eps
         )
         edges = int(np.count_nonzero(cov))
-        connected = strongly_connected_sparse(tables, cov)
+        connected = connected_of(tables, cov)
         if not compute_critical:
             return edges, connected, float("nan"), tables
         cov_ang = sparse_covered_edges(
@@ -500,7 +548,7 @@ def sparse_metrics(
             eps=eps, ignore_radius=True,
         )
         pairs, dists = covered_edge_arrays(tables, cov_ang)
-        critical = critical_range_search(n, pairs, dists, eps=eps)
+        critical = critical_of(n, pairs, dists, eps=eps)
         # a == 0 can never cover a pair at any cutoff: inf is genuine.
         if (
             tables.r_cut >= cap

@@ -150,6 +150,7 @@ class JobManager:
         payload = {
             "id": key,
             "kind": request.KIND,
+            "mode": getattr(request, "mode", "strong"),
             "state": progress.state,
             "total_instances": progress.total_instances,
             "done_instances": progress.done_instances,
@@ -160,8 +161,9 @@ class JobManager:
         return payload
 
     def progress(self, job_id: str) -> dict[str, Any]:
-        key, _request = self.resolve(job_id)
+        key, request = self.resolve(job_id)
         payload = coord.plan_progress(self.store, key).as_dict()
+        payload["mode"] = getattr(request, "mode", "strong")
         error = self._errors.get(key)
         if error is not None:
             payload["error"] = error

@@ -1,0 +1,88 @@
+"""Bounded-angle wedge layouts over a spanning tree (symmetric mode).
+
+Symmetric connectivity needs every tree edge covered from *both* ends, so
+each vertex must aim antennae at **all** of its tree neighbours — there is
+no analogue of the strong-mode trick of covering a neighbour one-way and
+routing back around the cycle.  The cheapest way to cover ``d`` neighbour
+directions with at most ``k`` sectors is to leave the ``k`` largest
+circular gaps between consecutive directions uncovered; the minimum
+feasible per-vertex spread sum is therefore
+
+    ``s*(v) = 2π − (sum of the k largest ccw gaps at v)``   (0 when d ≤ k).
+
+Unlike Lemma 1's window (``k`` *consecutive* gaps skipped by one antenna),
+the ``k`` skipped gaps here may fall anywhere on the circle — each maximal
+run of non-skipped gaps becomes one wedge.  The layout depends only on the
+neighbour directions, never on the budget φ: φ enters solely through the
+feasibility test ``φ ≥ max_v s*(v)`` (see :mod:`repro.core.symmetric`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.geometry.angles import TWO_PI, ccw_angle, ccw_gaps
+
+__all__ = ["wedge_spread_required", "wedge_layout", "tree_spread_requirements"]
+
+
+def _gap_choice(gaps: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest gaps (ties to the lower index), sorted."""
+    return np.sort(np.argsort(-gaps, kind="stable")[:k])
+
+
+def wedge_spread_required(angles, k: int) -> float:
+    """Minimum total spread to cover every direction with ``<= k`` sectors."""
+    a = np.asarray(angles, dtype=float)
+    if a.size <= k:
+        return 0.0
+    _, gaps = ccw_gaps(a)
+    return float(max(0.0, TWO_PI - gaps[_gap_choice(gaps, k)].sum()))
+
+
+def wedge_layout(angles, k: int) -> list[tuple[float, float]]:
+    """``(start, spread)`` wedges covering all ``angles`` with ``<= k`` sectors.
+
+    Achieves exactly :func:`wedge_spread_required` total spread.  With
+    ``d <= k`` directions every wedge degenerates to a zero-spread ray
+    (duplicates collapse); otherwise wedge ``i`` sweeps ccw from the
+    direction following skipped gap ``i`` to the direction preceding
+    skipped gap ``i + 1``.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"antenna count k must be >= 1, got {k}")
+    a = np.asarray(angles, dtype=float)
+    if a.size == 0:
+        return []
+    order, gaps = ccw_gaps(a)
+    srt = np.asarray(a, dtype=float)[order]
+    srt = np.mod(srt, TWO_PI)
+    d = srt.size
+    if d <= k:
+        return [(float(x), 0.0) for x in np.unique(srt)]
+    drop = _gap_choice(gaps, k)
+    wedges: list[tuple[float, float]] = []
+    for i in range(k):
+        start = srt[(drop[i] + 1) % d]
+        end = srt[drop[(i + 1) % k]]
+        wedges.append((float(start), float(ccw_angle(start, end))))
+    return wedges
+
+
+def tree_spread_requirements(points, tree, k: int) -> np.ndarray:
+    """Per-vertex ``s*(v)`` over ``tree``'s neighbour directions.
+
+    ``points`` is the ``(n, 2)`` coordinate array (or anything exposing
+    ``.coords``); the tree supplies the neighbour lists.  Feasibility of a
+    budget φ is ``φ >= tree_spread_requirements(...).max()``.
+    """
+    coords = getattr(points, "coords", None)
+    if coords is None:
+        coords = np.asarray(points, dtype=float)
+    out = np.zeros(tree.n, dtype=float)
+    for v, nbrs in enumerate(tree.adjacency()):
+        if len(nbrs) > k:
+            off = coords[np.asarray(nbrs, dtype=np.int64)] - coords[v]
+            out[v] = wedge_spread_required(np.arctan2(off[:, 1], off[:, 0]), k)
+    return out

@@ -146,21 +146,26 @@ class _InstanceRowBase:
     facts: dict[str, float]
     cache: dict[str, int]
     backend: str = "numpy"
+    mode: str = "strong"
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "type": self.ROW_TYPE,
-                "slot": self.slot,
-                "scenario_index": self.scenario_index,
-                "instance_index": self.instance_index,
-                "elapsed": self.elapsed,
-                "facts": self.facts,
-                self.PAYLOAD: getattr(self, self.PAYLOAD),
-                "cache": self.cache,
-                "backend": self.backend,
-            }
-        )
+        payload = {
+            "type": self.ROW_TYPE,
+            "slot": self.slot,
+            "scenario_index": self.scenario_index,
+            "instance_index": self.instance_index,
+            "elapsed": self.elapsed,
+            "facts": self.facts,
+            self.PAYLOAD: getattr(self, self.PAYLOAD),
+            "cache": self.cache,
+            "backend": self.backend,
+        }
+        # Provenance tag for the connectivity objective.  Strong-mode rows
+        # predate the seam: omitting the default keeps them byte-identical
+        # to every ledger written before it (readers default to "strong").
+        if self.mode != "strong":
+            payload["mode"] = self.mode
+        return json.dumps(payload)
 
     @classmethod
     def from_obj(cls, obj: dict[str, Any]) -> "_InstanceRowBase":
@@ -174,6 +179,7 @@ class _InstanceRowBase:
             facts=dict(obj["facts"]),
             cache={k: int(v) for k, v in obj["cache"].items()},
             backend=str(obj.get("backend", "numpy")),
+            mode=str(obj.get("mode", "strong")),
             **{cls.PAYLOAD: list(obj[cls.PAYLOAD])},
         )
 
@@ -636,6 +642,16 @@ def merge_stores(
         if key is None:
             key, request = k, req
         elif k != key:
+            mode, other = (
+                getattr(request, "mode", "strong"),
+                getattr(req, "mode", "strong"),
+            )
+            if mode != other:
+                raise StoreError(
+                    f"{run_dir} records a {other}-mode plan, expected "
+                    f"{mode}; runs with different connectivity modes "
+                    "cannot be merged"
+                )
             raise StoreError(
                 f"{run_dir} records plan {k[:12]}, expected {key[:12]}; "
                 "shards of different plans cannot be merged"

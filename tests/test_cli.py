@@ -80,6 +80,19 @@ class TestSweepCommand:
         assert "theorem3.part1" in out
         assert "theorem3.part2" in out
 
+    def test_symmetric_mode_flag(self, capsys):
+        rc = main(["sweep", "--n", "14", "--seeds", "1", "--k", "1", "--phi",
+                   "2pi", "--mode", "symmetric", "--tag", "cli-test"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "bounded-angle-mst" in captured.out
+        assert "[symmetric]" in captured.err
+
+    def test_mode_rejects_unknown_value(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--n", "14", "--mode", "undirected"])
+        assert "invalid choice" in capsys.readouterr().err
+
     def test_json_output_and_jobs(self, capsys):
         rc = main(["sweep", "--n", "18", "--seeds", "2", "--k", "1", "--phi",
                    "pi", "--jobs", "2", "--format", "json", "--no-critical"])

@@ -247,7 +247,7 @@ class TestDurability:
     def test_two_shard_merge_equals_unsharded(self, tmp_path):
         for request in (curve_request(), threshold_request()):
             reference = execute_ensemble(request).aggregate_rows()
-            run_dir = tmp_path / f"runs-{request.mode}"
+            run_dir = tmp_path / f"runs-{request.objective}"
             store = RunStore(run_dir)
             for i in range(2):
                 execute_ensemble(request, store=store, shard=(i, 2))

@@ -82,8 +82,8 @@ class TestFrontierRequest:
                 k2_request(target=bad)
 
     def test_modes(self):
-        assert k2_request().mode == "threshold"
-        assert k2_request(target=None).mode == "staircase"
+        assert k2_request().search_mode == "threshold"
+        assert k2_request(target=None).search_mode == "staircase"
         assert k2_request(metric="critical_range").compute_critical
         assert not k2_request().compute_critical
 
